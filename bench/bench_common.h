@@ -1,0 +1,39 @@
+#ifndef WARPLDA_BENCH_BENCH_COMMON_H_
+#define WARPLDA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "corpus/corpus.h"
+#include "corpus/synthetic.h"
+
+namespace warplda::bench {
+
+/// Builds one of the paper's Table 3 dataset shapes at the given scale.
+/// `name` is "nytimes", "pubmed" or "clueweb".
+inline Corpus MakeShapedCorpus(const std::string& name, double scale,
+                               uint64_t seed = 0) {
+  SyntheticConfig config;
+  if (name == "pubmed") {
+    config = PubMedShape(scale);
+  } else if (name == "clueweb") {
+    config = ClueWebShape(scale);
+  } else {
+    config = NYTimesShape(scale);
+  }
+  if (seed != 0) config.seed = seed;
+  return GenerateLdaCorpus(config).corpus;
+}
+
+/// Prints a separator + bench header so `for b in bench/*; do $b; done`
+/// output reads as one report.
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace warplda::bench
+
+#endif  // WARPLDA_BENCH_BENCH_COMMON_H_

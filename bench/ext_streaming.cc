@@ -1,0 +1,100 @@
+// Extension bench (paper §7 "stochastic learning"): streaming mini-batch
+// WarpLDA vs the batch trainer. Measures held-out perplexity as a function
+// of documents seen — the stream should approach batch quality within one
+// pass while touching each document once.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/streaming.h"
+#include "core/trainer.h"
+#include "core/warp_lda.h"
+#include "corpus/split.h"
+#include "corpus/synthetic.h"
+#include "eval/perplexity.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  int64_t docs = 4000;
+  int64_t k = 32;
+  int64_t batch_size = 200;
+  warplda::FlagSet flags;
+  flags.Int("docs", &docs, "corpus size in documents")
+      .Int("k", &k, "number of topics")
+      .Int("batch", &batch_size, "mini-batch size");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  warplda::bench::PrintHeader(
+      "Extension: streaming (mini-batch) WarpLDA vs batch training",
+      "§7 future work — stochastic learning combined with the O(1) sampler");
+
+  warplda::SyntheticConfig config;
+  config.num_docs = static_cast<uint32_t>(docs);
+  config.vocab_size = 2000;
+  config.num_topics = static_cast<uint32_t>(k);
+  config.mean_doc_length = 60;
+  config.alpha = 0.05;
+  config.word_zipf_skew = 1.2;
+  config.seed = 91;
+  warplda::Corpus full = warplda::GenerateLdaCorpus(config).corpus;
+  warplda::CorpusSplit split = warplda::SplitByDocument(full, 0.1, 5);
+  std::printf("train: %s | heldout: %u docs\n\n",
+              warplda::DescribeCorpus(split.train).c_str(),
+              split.heldout.num_docs());
+
+  // Batch reference: full WarpLDA training.
+  {
+    warplda::LdaConfig lda =
+        warplda::LdaConfig::PaperDefaults(static_cast<uint32_t>(k));
+    lda.alpha = 0.1;
+    warplda::WarpLdaSampler sampler;
+    warplda::TrainOptions options;
+    options.iterations = 50;
+    options.eval_every = 0;
+    warplda::Stopwatch watch;
+    warplda::TrainResult result = Train(sampler, split.train, lda, options);
+    warplda::TopicModel model = result.ToModel(split.train, lda);
+    std::printf("batch WarpLDA (50 sweeps, %.1fs): heldout perplexity %.1f\n",
+                watch.Seconds(),
+                warplda::HeldOutPerplexity(model, split.heldout));
+  }
+
+  // Streaming: one pass, reporting perplexity as the stream progresses.
+  {
+    warplda::StreamingOptions stream_options;
+    stream_options.num_topics = static_cast<uint32_t>(k);
+    stream_options.alpha = 0.1;
+    stream_options.batch_size = static_cast<uint32_t>(batch_size);
+    warplda::StreamingWarpLda trainer(split.train.num_words(),
+                                      stream_options);
+    warplda::Stopwatch watch;
+    std::vector<std::vector<warplda::WordId>> batch;
+    uint32_t seen = 0;
+    std::printf("\nstreaming WarpLDA (single pass, batch=%lld):\n",
+                static_cast<long long>(batch_size));
+    for (warplda::DocId d = 0; d < split.train.num_docs(); ++d) {
+      auto words = split.train.doc_tokens(d);
+      batch.emplace_back(words.begin(), words.end());
+      if (batch.size() == stream_options.batch_size ||
+          d + 1 == split.train.num_docs()) {
+        trainer.ProcessBatch(batch);
+        seen += static_cast<uint32_t>(batch.size());
+        batch.clear();
+        if (trainer.batches_seen() % 4 == 0 ||
+            d + 1 == split.train.num_docs()) {
+          warplda::TopicModel model = trainer.ExportModel();
+          std::printf("  %6u docs seen, %6.1fs: heldout perplexity %.1f\n",
+                      seen, watch.Seconds(),
+                      warplda::HeldOutPerplexity(model, split.heldout));
+          std::fflush(stdout);
+        }
+      }
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: streaming perplexity falls toward the batch value\n"
+      "within one pass over the stream.\n");
+  return 0;
+}

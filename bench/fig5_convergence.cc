@@ -1,0 +1,167 @@
+// Fig 5: single-machine convergence of WarpLDA (M=2) vs LightLDA (best M) vs
+// F+LDA. Emits all five panels' data per setting: log likelihood by
+// iteration, by time, iteration/time speedup ratios at target likelihoods,
+// and throughput. Paper settings: NYTimes K=1e3/1e4, PubMed K=1e4/1e5 — here
+// scaled by --scale / --k-scale with identical structure.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/light_lda.h"
+#include "baselines/sampler.h"
+#include "bench/bench_common.h"
+#include "core/trainer.h"
+#include "core/warp_lda.h"
+#include "util/flags.h"
+
+namespace {
+
+using warplda::IterationStat;
+
+// Linear interpolation of (iteration, time) where the trace first crosses a
+// likelihood level. Returns false if it never does.
+bool CrossingPoint(const std::vector<IterationStat>& history, double level,
+                   double* iteration, double* seconds) {
+  for (size_t i = 0; i < history.size(); ++i) {
+    if (history[i].log_likelihood >= level) {
+      if (i == 0) {
+        *iteration = history[0].iteration;
+        *seconds = history[0].seconds;
+      } else {
+        const auto& a = history[i - 1];
+        const auto& b = history[i];
+        double t = (level - a.log_likelihood) /
+                   (b.log_likelihood - a.log_likelihood);
+        *iteration = a.iteration + t * (b.iteration - a.iteration);
+        *seconds = a.seconds + t * (b.seconds - a.seconds);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.002;
+  int64_t iterations = 60;
+  int64_t eval_every = 5;
+  int64_t k1 = 100;
+  int64_t k2 = 400;
+  bool run_pubmed = true;
+  warplda::FlagSet flags;
+  flags.Double("scale", &scale, "corpus scale vs the paper's datasets")
+      .Int("iters", &iterations, "training iterations per run")
+      .Int("eval-every", &eval_every, "likelihood evaluation stride")
+      .Int("k1", &k1, "small topic count (paper: 1e3 / 1e4)")
+      .Int("k2", &k2, "large topic count (paper: 1e4 / 1e5)")
+      .Bool("pubmed", &run_pubmed, "also run the PubMed-shaped corpus");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  warplda::bench::PrintHeader(
+      "Fig 5: convergence — WarpLDA vs LightLDA vs F+LDA",
+      "Fig 5 — LL by iteration, LL by time, speedup ratios, throughput");
+
+  struct Setting {
+    std::string shape;
+    uint32_t k;
+  };
+  std::vector<Setting> settings = {
+      {"nytimes", static_cast<uint32_t>(k1)},
+      {"nytimes", static_cast<uint32_t>(k2)}};
+  if (run_pubmed) {
+    settings.push_back({"pubmed", static_cast<uint32_t>(k1)});
+    settings.push_back({"pubmed", static_cast<uint32_t>(k2)});
+  }
+
+  for (const auto& setting : settings) {
+    // PubMed is 27x NYTimes in documents; keep token counts comparable.
+    double corpus_scale = setting.shape == "pubmed" ? scale / 27 : scale;
+    warplda::Corpus corpus =
+        warplda::bench::MakeShapedCorpus(setting.shape, corpus_scale);
+    std::printf("\n--- %s (%s), K=%u ---\n", setting.shape.c_str(),
+                warplda::DescribeCorpus(corpus).c_str(), setting.k);
+
+    warplda::TrainOptions options;
+    options.iterations = static_cast<uint32_t>(iterations);
+    options.eval_every = static_cast<uint32_t>(eval_every);
+
+    struct Run {
+      std::string name;
+      warplda::TrainResult result;
+    };
+    std::vector<Run> runs;
+
+    auto run_one = [&](warplda::Sampler& sampler, uint32_t mh_steps) {
+      warplda::LdaConfig config =
+          warplda::LdaConfig::PaperDefaults(setting.k);
+      config.mh_steps = mh_steps;
+      warplda::TrainResult result = Train(sampler, corpus, config, options);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s(M=%u)", sampler.name().c_str(),
+                    mh_steps);
+      std::printf("%-16s", label);
+      for (const auto& stat : result.history) {
+        if (stat.iteration % (4 * options.eval_every) == 0 ||
+            stat.iteration == options.iterations) {
+          std::printf(" [i%u t%.1fs ll%.4g]", stat.iteration, stat.seconds,
+                      stat.log_likelihood);
+        }
+      }
+      std::printf("  (%.2fM tok/s)\n",
+                  corpus.num_tokens() * options.iterations /
+                      result.total_seconds / 1e6);
+      std::fflush(stdout);
+      runs.push_back({label, std::move(result)});
+    };
+
+    {
+      warplda::WarpLdaSampler warp;
+      run_one(warp, 2);
+    }
+    {
+      warplda::LightLdaSampler light;
+      run_one(light, 4);  // paper picks LightLDA's best M per setting
+    }
+    {
+      auto flda = warplda::CreateSampler("f+lda");
+      run_one(*flda, 1);
+    }
+
+    // Speedup panels: ratio of iterations/time for LightLDA and F+LDA to
+    // reach the likelihood levels WarpLDA attains.
+    const auto& warp_history = runs[0].result.history;
+    double start_ll = warp_history.front().log_likelihood;
+    double end_ll = runs[0].result.final_log_likelihood;
+    std::printf("%-12s %14s %12s %12s\n", "target-ll", "vs", "iter-ratio",
+                "time-ratio");
+    for (double frac : {0.7, 0.9, 0.99}) {
+      double level = start_ll + frac * (end_ll - start_ll);
+      double warp_iter, warp_time;
+      if (!CrossingPoint(warp_history, level, &warp_iter, &warp_time)) {
+        continue;
+      }
+      for (size_t r = 1; r < runs.size(); ++r) {
+        double iter, seconds;
+        if (CrossingPoint(runs[r].result.history, level, &iter, &seconds)) {
+          std::printf("%-12.4g %14s %12.2f %12.2f\n", level,
+                      runs[r].name.c_str(), iter / warp_iter,
+                      seconds / warp_time);
+        } else {
+          std::printf("%-12.4g %14s %12s %12s\n", level, runs[r].name.c_str(),
+                      "not-reached", "not-reached");
+        }
+      }
+    }
+  }
+
+  std::printf(
+      "\nPaper's claim: WarpLDA needs somewhat more iterations than the\n"
+      "baselines (iter-ratio < 1) but is 5-15x faster than LightLDA in time\n"
+      "and faster than F+LDA for K <= 1e4 (time-ratio > 1).\n");
+  return 0;
+}

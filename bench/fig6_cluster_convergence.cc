@@ -1,0 +1,84 @@
+// Fig 6: distributed convergence on the ClueWeb12 subset, WarpLDA (M=4) vs
+// LightLDA (M=16) on 32 machines. Substitution: the convergence trace comes
+// from real single-machine training on a ClueWeb-shaped corpus; per-iteration
+// wall time is mapped through the simulated 32-worker cluster (real greedy
+// partitioning + the communication cost model), with each algorithm's
+// measured per-token cost driving its compute term.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/light_lda.h"
+#include "bench/bench_common.h"
+#include "core/trainer.h"
+#include "core/warp_lda.h"
+#include "dist/cluster_sim.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  double scale = 1e-5;
+  int64_t workers = 32;
+  int64_t k = 300;
+  int64_t iterations = 40;
+  warplda::FlagSet flags;
+  flags.Double("scale", &scale, "ClueWeb12-subset scale")
+      .Int("workers", &workers, "simulated machines")
+      .Int("k", &k, "topics (paper: 1e4)")
+      .Int("iters", &iterations, "training iterations");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  warplda::bench::PrintHeader(
+      "Fig 6: distributed convergence, ClueWeb12 subset",
+      "Fig 6 — WarpLDA(M=4) vs LightLDA(M=16), 32 machines");
+
+  warplda::Corpus corpus =
+      warplda::bench::MakeShapedCorpus("clueweb", scale);
+  std::printf("corpus: %s, K=%lld, %lld simulated workers\n\n",
+              warplda::DescribeCorpus(corpus).c_str(),
+              static_cast<long long>(k), static_cast<long long>(workers));
+
+  warplda::TrainOptions options;
+  options.iterations = static_cast<uint32_t>(iterations);
+  options.eval_every = 4;
+
+  auto run = [&](warplda::Sampler& sampler, uint32_t mh_steps) {
+    warplda::LdaConfig config =
+        warplda::LdaConfig::PaperDefaults(static_cast<uint32_t>(k));
+    config.mh_steps = mh_steps;
+    warplda::TrainResult result = Train(sampler, corpus, config, options);
+
+    // Drive the cluster model with this algorithm's measured per-token cost.
+    warplda::ClusterConfig cluster;
+    cluster.num_workers = static_cast<uint32_t>(workers);
+    cluster.per_token_ns = result.total_seconds /
+                           (static_cast<double>(corpus.num_tokens()) *
+                            options.iterations) *
+                           1e9 / 2.0;  // per phase
+    cluster.bytes_per_token = 4 * (1 + mh_steps);
+    warplda::ClusterSim sim(corpus, cluster);
+    double per_iter = sim.SimulateIteration().wall_seconds;
+
+    std::printf("%s(M=%u): measured %.0f ns/token, simulated %.4fs/iter "
+                "(speedup %.1fx)\n",
+                sampler.name().c_str(), mh_steps, 2 * cluster.per_token_ns,
+                per_iter, sim.SimulatedSpeedup());
+    for (const auto& stat : result.history) {
+      std::printf("  iter %3u  sim-time %8.3fs  ll %.6g\n", stat.iteration,
+                  per_iter * stat.iteration, stat.log_likelihood);
+    }
+    std::fflush(stdout);
+  };
+
+  {
+    warplda::WarpLdaSampler warp;
+    run(warp, 4);
+  }
+  {
+    warplda::LightLdaSampler light;
+    run(light, 16);
+  }
+
+  std::printf(
+      "\nPaper's claim: WarpLDA reaches any given likelihood ~10x sooner in\n"
+      "wall time than LightLDA in the 32-machine setting.\n");
+  return 0;
+}

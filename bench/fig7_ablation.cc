@@ -1,0 +1,99 @@
+// Fig 7: quality of the MCEM solution — the bridge from LightLDA's CGS to
+// WarpLDA's MCEM, one ablation at a time (M=1 everywhere):
+//   LightLDA -> +DW (delayed C_w) -> +DW+DD (delayed C_d too)
+//   -> +DW+DD+SP (WarpLDA's simple word proposal) -> WarpLDA.
+// The paper's finding: all five need roughly the same number of iterations
+// to reach a given log likelihood, i.e. delayed updates and the simple
+// proposal do not hurt convergence per iteration.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/light_lda.h"
+#include "bench/bench_common.h"
+#include "core/trainer.h"
+#include "core/warp_lda.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  double scale = 0.002;
+  int64_t k = 200;
+  int64_t iterations = 60;
+  warplda::FlagSet flags;
+  flags.Double("scale", &scale, "NYTimes-shape corpus scale")
+      .Int("k", &k, "topics (paper: 1e3)")
+      .Int("iters", &iterations, "training iterations");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  warplda::bench::PrintHeader(
+      "Fig 7: MCEM solution quality ablation (M=1)",
+      "Fig 7 — LightLDA / +DW / +DW+DD / +DW+DD+SP / WarpLDA, LL vs iter");
+
+  warplda::Corpus corpus =
+      warplda::bench::MakeShapedCorpus("nytimes", scale);
+  std::printf("corpus: %s, K=%lld\n\n",
+              warplda::DescribeCorpus(corpus).c_str(),
+              static_cast<long long>(k));
+
+  warplda::LdaConfig config =
+      warplda::LdaConfig::PaperDefaults(static_cast<uint32_t>(k));
+  config.mh_steps = 1;
+  warplda::TrainOptions options;
+  options.iterations = static_cast<uint32_t>(iterations);
+  options.eval_every = 5;
+
+  std::vector<std::vector<warplda::IterationStat>> traces;
+  std::vector<std::string> names;
+
+  auto run = [&](warplda::Sampler& sampler) {
+    warplda::TrainResult result = Train(sampler, corpus, config, options);
+    names.push_back(sampler.name());
+    traces.push_back(result.history);
+    std::fflush(stdout);
+  };
+
+  {
+    warplda::LightLdaSampler base;
+    run(base);
+  }
+  {
+    warplda::LightLdaOptions o;
+    o.delay_word_counts = true;
+    warplda::LightLdaSampler dw(o);
+    run(dw);
+  }
+  {
+    warplda::LightLdaOptions o;
+    o.delay_word_counts = true;
+    o.delay_doc_counts = true;
+    warplda::LightLdaSampler dwdd(o);
+    run(dwdd);
+  }
+  {
+    warplda::LightLdaOptions o;
+    o.delay_word_counts = true;
+    o.delay_doc_counts = true;
+    o.simple_word_proposal = true;
+    warplda::LightLdaSampler dwddsp(o);
+    run(dwddsp);
+  }
+  {
+    warplda::WarpLdaSampler warp;
+    run(warp);
+  }
+
+  std::printf("%-8s", "iter");
+  for (const auto& name : names) std::printf(" %20s", name.c_str());
+  std::printf("\n");
+  for (size_t row = 0; row < traces[0].size(); ++row) {
+    std::printf("%-8u", traces[0][row].iteration);
+    for (const auto& trace : traces) {
+      std::printf(" %20.6g", trace[row].log_likelihood);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper's claim: the five curves overlap — delayed updates and the\n"
+      "simple q_word barely change per-iteration convergence.\n");
+  return 0;
+}

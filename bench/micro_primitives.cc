@@ -1,0 +1,143 @@
+// Microbenchmarks of the sampling primitives behind the O(1) claims, plus
+// the ablation comparisons DESIGN.md calls out: hash vs dense counts and
+// alias sampling vs random positioning for the doc proposal.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "util/alias_table.h"
+#include "util/ftree.h"
+#include "util/hash_count.h"
+#include "util/rng.h"
+
+namespace warplda {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngNextInt(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.NextInt(1000));
+}
+BENCHMARK(BM_RngNextInt);
+
+void BM_AliasBuild(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.NextDouble() + 0.01;
+  AliasTable table;
+  for (auto _ : state) {
+    table.Build(weights);
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AliasBuild)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_AliasSample(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.NextDouble() + 0.01;
+  AliasTable table;
+  table.Build(weights);
+  for (auto _ : state) benchmark::DoNotOptimize(table.Sample(rng));
+}
+BENCHMARK(BM_AliasSample)->Arg(64)->Arg(16384)->Arg(1 << 20);
+
+void BM_FTreeUpdate(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  FTree tree(n);
+  Rng rng(4);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    tree.Update(i, rng.NextDouble());
+    i = (i + 7919) % n;
+  }
+}
+BENCHMARK(BM_FTreeUpdate)->Arg(1024)->Arg(1 << 17);
+
+void BM_FTreeSample(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.NextDouble() + 0.01;
+  FTree tree;
+  tree.Build(weights);
+  for (auto _ : state) benchmark::DoNotOptimize(tree.Sample(rng));
+}
+BENCHMARK(BM_FTreeSample)->Arg(1024)->Arg(1 << 17);
+
+// Ablation: per-document counting with a hash table (capacity 2L) vs a
+// dense K vector that must be cleared per document.
+void BM_CountsHash(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const uint32_t doc_len = 256;
+  Rng rng(6);
+  std::vector<uint32_t> topics(doc_len);
+  for (auto& t : topics) t = rng.NextInt(k);
+  HashCount counts;
+  for (auto _ : state) {
+    counts.Init(std::min(k, 2 * doc_len));
+    for (uint32_t t : topics) counts.Inc(t);
+    benchmark::DoNotOptimize(counts.Get(topics[0]));
+  }
+  state.SetItemsProcessed(state.iterations() * doc_len);
+}
+BENCHMARK(BM_CountsHash)->Arg(1024)->Arg(1 << 17);
+
+void BM_CountsDense(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const uint32_t doc_len = 256;
+  Rng rng(6);
+  std::vector<uint32_t> topics(doc_len);
+  for (auto& t : topics) t = rng.NextInt(k);
+  std::vector<uint32_t> counts(k);
+  for (auto _ : state) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (uint32_t t : topics) ++counts[t];
+    benchmark::DoNotOptimize(counts[topics[0]]);
+  }
+  state.SetItemsProcessed(state.iterations() * doc_len);
+}
+BENCHMARK(BM_CountsDense)->Arg(1024)->Arg(1 << 17);
+
+// Ablation: the two O(1) ways to draw from q_doc ∝ C_dk (paper §4.3):
+// alias table over c_d vs random positioning into z_d.
+void BM_DocProposalAlias(benchmark::State& state) {
+  const uint32_t doc_len = 256;
+  const uint32_t k = 1024;
+  Rng rng(7);
+  std::vector<uint32_t> z(doc_len);
+  for (auto& t : z) t = rng.NextInt(k);
+  HashCount counts(2 * doc_len);
+  for (uint32_t t : z) counts.Inc(t);
+  std::vector<std::pair<uint32_t, double>> entries;
+  counts.ForEachNonZero([&](uint32_t topic, int32_t c) {
+    entries.emplace_back(topic, static_cast<double>(c));
+  });
+  AliasTable table;
+  table.BuildSparse(entries);
+  for (auto _ : state) benchmark::DoNotOptimize(table.Sample(rng));
+}
+BENCHMARK(BM_DocProposalAlias);
+
+void BM_DocProposalPositioning(benchmark::State& state) {
+  const uint32_t doc_len = 256;
+  const uint32_t k = 1024;
+  Rng rng(8);
+  std::vector<uint32_t> z(doc_len);
+  for (auto& t : z) t = rng.NextInt(k);
+  for (auto _ : state) benchmark::DoNotOptimize(z[rng.NextInt(doc_len)]);
+}
+BENCHMARK(BM_DocProposalPositioning);
+
+}  // namespace
+}  // namespace warplda
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Table 4: L3 cache miss rates of LightLDA vs F+LDA vs WarpLDA (M=1).
+// Substitution for PAPI hardware counters: each sampler's count-structure
+// access stream is replayed through a set-associative LRU cache simulator.
+// The cache is scaled down with the corpus so the capacity-vs-footprint
+// ratios match the paper's setting (30MB L3 vs multi-GB matrices).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/sampler.h"
+#include "bench/bench_common.h"
+#include "cachesim/cache_sim.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  int64_t cache_kb = 512;
+  int64_t warmup = 2;
+  double scale = 0.001;
+  warplda::FlagSet flags;
+  flags.Int("cache-kb", &cache_kb, "simulated LLC size in KB")
+      .Int("warmup", &warmup, "iterations before measuring")
+      .Double("scale", &scale, "corpus scale");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  warplda::bench::PrintHeader(
+      "Table 4: simulated LLC miss rate, M=1",
+      "Table 4 — L3 cache miss rate of LightLDA / F+LDA / WarpLDA");
+
+  struct Setting {
+    const char* shape;
+    uint32_t k;
+  };
+  std::vector<Setting> settings = {
+      {"nytimes", 256}, {"nytimes", 1024}, {"pubmed", 1024}};
+
+  std::printf("simulated cache: %lld KB, 64B lines, 16-way LRU\n\n",
+              static_cast<long long>(cache_kb));
+  std::printf("%-22s %10s %10s %10s\n", "setting", "LightLDA", "F+LDA",
+              "WarpLDA");
+
+  for (const auto& setting : settings) {
+    warplda::Corpus corpus =
+        warplda::bench::MakeShapedCorpus(setting.shape, scale);
+    warplda::LdaConfig config = warplda::LdaConfig::PaperDefaults(setting.k);
+    config.mh_steps = 1;
+
+    std::printf("%-10s K=%-8u ", setting.shape, setting.k);
+    for (const char* name : {"lightlda", "f+lda", "warplda"}) {
+      auto sampler = warplda::CreateSampler(name);
+      sampler->Init(corpus, config);
+      for (int64_t i = 0; i < warmup; ++i) sampler->Iterate();
+      warplda::CacheConfig cache;
+      cache.size_bytes = static_cast<uint64_t>(cache_kb) * 1024;
+      warplda::CacheSim sim(cache);
+      sampler->set_tracer(&sim);
+      sampler->Iterate();
+      std::printf("%9.1f%% ", 100.0 * sim.miss_rate());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper (30MB L3, full-size corpora): LightLDA 33-38%%, F+LDA 17-77%%,\n"
+      "WarpLDA 5-17%% — WarpLDA lowest in every setting; the same ordering\n"
+      "should hold above.\n");
+  return 0;
+}

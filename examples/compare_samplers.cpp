@@ -1,0 +1,66 @@
+// Side-by-side comparison of all six samplers on one corpus: convergence,
+// wall time, throughput, and sparsity statistics. A minimal version of the
+// paper's evaluation you can point at any UCI dataset.
+//
+//   ./compare_samplers [--k 100] [--iters 30] [--docword path --scale ...]
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/sampler.h"
+#include "core/trainer.h"
+#include "corpus/synthetic.h"
+#include "corpus/uci.h"
+#include "eval/log_likelihood.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  int64_t k = 100;
+  int64_t iterations = 30;
+  int64_t mh_steps = 2;
+  std::string docword;
+  double scale = 0.001;
+  warplda::FlagSet flags;
+  flags.Int("k", &k, "number of topics")
+      .Int("iters", &iterations, "training iterations")
+      .Int("m", &mh_steps, "MH proposals per token (MH samplers)")
+      .String("docword", &docword, "optional UCI docword file")
+      .Double("scale", &scale, "synthetic NYTimes-shape scale if no docword");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  warplda::Corpus corpus;
+  if (!docword.empty()) {
+    std::string error;
+    if (!warplda::uci::ReadDocword(docword, &corpus, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+  } else {
+    warplda::SyntheticConfig config = warplda::NYTimesShape(scale);
+    corpus = warplda::GenerateLdaCorpus(config).corpus;
+  }
+  std::printf("corpus: %s\n\n", warplda::DescribeCorpus(corpus).c_str());
+
+  warplda::LdaConfig config =
+      warplda::LdaConfig::PaperDefaults(static_cast<uint32_t>(k));
+  config.mh_steps = static_cast<uint32_t>(mh_steps);
+  warplda::TrainOptions options;
+  options.iterations = static_cast<uint32_t>(iterations);
+  options.eval_every = 0;
+
+  std::printf("%-11s %14s %10s %12s %8s %8s\n", "sampler", "final-ll",
+              "seconds", "Mtok/s", "K_d", "K_w");
+  for (const auto& name : warplda::SamplerNames()) {
+    auto sampler = warplda::CreateSampler(name);
+    warplda::TrainResult result = Train(*sampler, corpus, config, options);
+    auto sparsity = warplda::ComputeSparsity(corpus, result.assignments);
+    std::printf("%-11s %14.6g %10.2f %12.2f %8.1f %8.1f\n",
+                sampler->name().c_str(), result.final_log_likelihood,
+                result.total_seconds,
+                corpus.num_tokens() * options.iterations /
+                    result.total_seconds / 1e6,
+                sparsity.mean_topics_per_doc, sparsity.mean_topics_per_word);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: train WarpLDA on a small synthetic corpus, inspect topics,
+// save the model, and infer topic proportions for a new document.
+//
+//   ./quickstart [--k 10] [--iters 50]
+#include <cstdio>
+
+#include "core/inference.h"
+#include "core/trainer.h"
+#include "core/warp_lda.h"
+#include "corpus/synthetic.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  int64_t k = 10;
+  int64_t iterations = 50;
+  warplda::FlagSet flags;
+  flags.Int("k", &k, "number of topics").Int("iters", &iterations,
+                                             "training iterations");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  // 1. Get a corpus. Synthetic here; see the other examples for building one
+  //    from raw text (tokenizer) or UCI files (corpus/uci.h).
+  warplda::SyntheticConfig synth;
+  synth.num_docs = 500;
+  synth.vocab_size = 1000;
+  synth.num_topics = 10;
+  synth.mean_doc_length = 64;
+  warplda::SyntheticCorpus data = warplda::GenerateLdaCorpus(synth);
+  std::printf("corpus: %s\n", warplda::DescribeCorpus(data.corpus).c_str());
+
+  // 2. Train with WarpLDA. LdaConfig::PaperDefaults gives α=50/K, β=0.01.
+  warplda::LdaConfig config =
+      warplda::LdaConfig::PaperDefaults(static_cast<uint32_t>(k));
+  config.alpha = 0.1;  // small K: use a sharper document prior
+  warplda::WarpLdaSampler sampler;
+  warplda::TrainOptions options;
+  options.iterations = static_cast<uint32_t>(iterations);
+  options.eval_every = 10;
+  options.verbose = true;
+  warplda::TrainResult result =
+      Train(sampler, data.corpus, config, options);
+
+  // 3. Inspect the learned topics (word ids; real apps map via Vocabulary).
+  warplda::TopicModel model = result.ToModel(data.corpus, config);
+  for (warplda::TopicId topic = 0; topic < 3 && topic < model.num_topics();
+       ++topic) {
+    std::printf("topic %u:", topic);
+    for (const auto& [word, count] : model.TopWords(topic, 8)) {
+      std::printf(" w%u(%d)", word, count);
+    }
+    std::printf("\n");
+  }
+
+  // 4. Persist and reload the model.
+  std::string error;
+  if (!model.Save("quickstart_model.bin", &error)) {
+    std::fprintf(stderr, "save failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("model saved to quickstart_model.bin\n");
+
+  // 5. Infer topic proportions for an unseen document.
+  warplda::Inferencer inferencer(model);
+  auto doc = data.corpus.doc_tokens(0);
+  std::vector<warplda::WordId> words(doc.begin(), doc.end());
+  auto theta = inferencer.InferTheta(words);
+  std::printf("doc 0 most likely topic: %u (theta:",
+              inferencer.MostLikelyTopic(words));
+  for (double t : theta) std::printf(" %.2f", t);
+  std::printf(")\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Serving-time inference: train once, then fold in a stream of unseen
+// documents with the O(1) MH machinery (fixed topics). Demonstrates the
+// model save/load cycle and reports inference throughput — the deployment
+// pattern for recommendation/advertising systems the paper cites.
+//
+//   ./streaming_inference [--k 20] [--docs 2000]
+#include <cstdio>
+#include <vector>
+
+#include "core/inference.h"
+#include "core/trainer.h"
+#include "core/warp_lda.h"
+#include "corpus/synthetic.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  int64_t k = 20;
+  int64_t stream_docs = 2000;
+  warplda::FlagSet flags;
+  flags.Int("k", &k, "number of topics")
+      .Int("docs", &stream_docs, "unseen documents to fold in");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  // Train on one half of a synthetic corpus.
+  warplda::SyntheticConfig synth;
+  synth.num_docs = 2000;
+  synth.vocab_size = 3000;
+  synth.num_topics = static_cast<uint32_t>(k);
+  synth.mean_doc_length = 80;
+  synth.word_zipf_skew = 1.2;
+  warplda::SyntheticCorpus data = warplda::GenerateLdaCorpus(synth);
+
+  warplda::LdaConfig config =
+      warplda::LdaConfig::PaperDefaults(static_cast<uint32_t>(k));
+  config.alpha = 0.1;
+  warplda::WarpLdaSampler sampler;
+  warplda::TrainOptions options;
+  options.iterations = 60;
+  options.eval_every = 0;
+  warplda::TrainResult result = Train(sampler, data.corpus, config, options);
+  std::printf("trained: ll %.6g in %.2fs\n", result.final_log_likelihood,
+              result.total_seconds);
+
+  // Persist + reload, as a serving process would.
+  warplda::TopicModel model = result.ToModel(data.corpus, config);
+  std::string error;
+  if (!model.Save("streaming_model.bin", &error)) {
+    std::fprintf(stderr, "save failed: %s\n", error.c_str());
+    return 1;
+  }
+  warplda::TopicModel serving;
+  if (!serving.Load("streaming_model.bin", &error)) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Stream unseen documents from the same generator.
+  synth.seed = 4321;
+  synth.num_docs = static_cast<uint32_t>(stream_docs);
+  warplda::SyntheticCorpus stream = warplda::GenerateLdaCorpus(synth);
+
+  warplda::InferenceOptions inf_options;
+  inf_options.iterations = 20;
+  warplda::Inferencer inferencer(serving, inf_options);
+
+  warplda::Stopwatch watch;
+  uint64_t tokens = 0;
+  std::vector<uint32_t> topic_histogram(serving.num_topics(), 0);
+  for (warplda::DocId d = 0; d < stream.corpus.num_docs(); ++d) {
+    auto doc = stream.corpus.doc_tokens(d);
+    std::vector<warplda::WordId> words(doc.begin(), doc.end());
+    ++topic_histogram[inferencer.MostLikelyTopic(words)];
+    tokens += words.size();
+  }
+  double seconds = watch.Seconds();
+  std::printf("folded in %lld docs (%llu tokens) in %.2fs  (%.2fK docs/s, "
+              "%.2fM tokens/s)\n",
+              static_cast<long long>(stream_docs),
+              static_cast<unsigned long long>(tokens), seconds,
+              stream_docs / seconds / 1e3, tokens / seconds / 1e6);
+
+  std::printf("stream topic distribution:");
+  for (uint32_t count : topic_histogram) std::printf(" %u", count);
+  std::printf("\n");
+  return 0;
+}

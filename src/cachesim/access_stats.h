@@ -1,0 +1,75 @@
+#ifndef WARPLDA_CACHESIM_ACCESS_STATS_H_
+#define WARPLDA_CACHESIM_ACCESS_STATS_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "cachesim/tracer.h"
+
+namespace warplda {
+
+/// Counting tracer behind Table 2: tallies sequential vs random accesses and
+/// measures the size of the randomly accessed memory region per scope
+/// (per document or per word, depending on the sampler's visiting order).
+class AccessStats : public MemoryTracer {
+ public:
+  void OnAccess(uintptr_t addr, uint32_t bytes, bool random,
+                bool write) override {
+    (void)write;
+    if (random) {
+      ++random_accesses_;
+      // Track distinct 64B lines touched randomly within the current scope.
+      uintptr_t first = addr >> 6;
+      uintptr_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) >> 6;
+      for (uintptr_t line = first; line <= last; ++line) {
+        scope_lines_.insert(line);
+      }
+    } else {
+      ++sequential_accesses_;
+    }
+  }
+
+  void OnScopeEnd() override {
+    ++scopes_;
+    total_scope_lines_ += scope_lines_.size();
+    if (scope_lines_.size() > max_scope_lines_) {
+      max_scope_lines_ = scope_lines_.size();
+    }
+    scope_lines_.clear();
+  }
+
+  uint64_t random_accesses() const { return random_accesses_; }
+  uint64_t sequential_accesses() const { return sequential_accesses_; }
+  uint64_t scopes() const { return scopes_; }
+
+  /// Mean bytes of randomly accessed memory per document/word scope.
+  double mean_random_bytes_per_scope() const {
+    return scopes_ == 0 ? 0.0
+                        : 64.0 * static_cast<double>(total_scope_lines_) /
+                              static_cast<double>(scopes_);
+  }
+
+  /// Peak bytes of randomly accessed memory in any single scope.
+  uint64_t max_random_bytes_per_scope() const { return 64 * max_scope_lines_; }
+
+  void Reset() {
+    random_accesses_ = 0;
+    sequential_accesses_ = 0;
+    scopes_ = 0;
+    total_scope_lines_ = 0;
+    max_scope_lines_ = 0;
+    scope_lines_.clear();
+  }
+
+ private:
+  uint64_t random_accesses_ = 0;
+  uint64_t sequential_accesses_ = 0;
+  uint64_t scopes_ = 0;
+  uint64_t total_scope_lines_ = 0;
+  uint64_t max_scope_lines_ = 0;
+  std::unordered_set<uintptr_t> scope_lines_;
+};
+
+}  // namespace warplda
+
+#endif  // WARPLDA_CACHESIM_ACCESS_STATS_H_

@@ -1,0 +1,66 @@
+#include "cachesim/cache_sim.h"
+
+#include <algorithm>
+
+namespace warplda {
+
+namespace {
+uint32_t Log2(uint32_t x) {
+  uint32_t n = 0;
+  while ((1u << n) < x) ++n;
+  return n;
+}
+}  // namespace
+
+CacheSim::CacheSim(const CacheConfig& config) : config_(config) {
+  line_shift_ = Log2(config_.line_bytes);
+  uint64_t lines = config_.size_bytes >> line_shift_;
+  num_sets_ = static_cast<uint32_t>(lines / config_.associativity);
+  if (num_sets_ == 0) num_sets_ = 1;
+  ways_.assign(static_cast<size_t>(num_sets_) * config_.associativity, Way{});
+}
+
+void CacheSim::Reset() {
+  std::fill(ways_.begin(), ways_.end(), Way{});
+  clock_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void CacheSim::Touch(uintptr_t addr) {
+  uint64_t line = static_cast<uint64_t>(addr) >> line_shift_;
+  uint32_t set = static_cast<uint32_t>(line % num_sets_);
+  uint64_t tag = line / num_sets_;
+  Way* base = &ways_[static_cast<size_t>(set) * config_.associativity];
+  ++clock_;
+
+  Way* lru = base;
+  for (uint32_t i = 0; i < config_.associativity; ++i) {
+    Way& w = base[i];
+    if (w.valid && w.tag == tag) {
+      w.last_use = clock_;
+      ++hits_;
+      return;
+    }
+    if (!w.valid) {
+      lru = &w;  // prefer an invalid way for fills
+    } else if (lru->valid && w.last_use < lru->last_use) {
+      lru = &w;
+    }
+  }
+  ++misses_;
+  lru->valid = true;
+  lru->tag = tag;
+  lru->last_use = clock_;
+}
+
+void CacheSim::OnAccess(uintptr_t addr, uint32_t bytes, bool /*random*/,
+                        bool /*write*/) {
+  uintptr_t first = addr >> line_shift_;
+  uintptr_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) >> line_shift_;
+  for (uintptr_t line = first; line <= last; ++line) {
+    Touch(line << line_shift_);
+  }
+}
+
+}  // namespace warplda

@@ -1,0 +1,35 @@
+#ifndef WARPLDA_CACHESIM_TRACER_H_
+#define WARPLDA_CACHESIM_TRACER_H_
+
+#include <cstdint>
+
+namespace warplda {
+
+/// Hook through which samplers report their memory accesses to the count
+/// matrices and per-token state. Used to reproduce the paper's memory-access
+/// analysis (Table 2) and L3 miss rates (Table 4) without hardware counters.
+///
+/// Samplers call OnAccess for every logical read/write of count structures,
+/// flagging whether the access is random (scattered across a large structure)
+/// or sequential (streaming). OnScopeEnd marks the end of one document/word,
+/// delimiting the "randomly accessed memory per-document" regions the paper
+/// analyzes in §3.1. Tracing is optional: samplers skip all calls when no
+/// tracer is attached, so the hot path stays branch-predictable.
+class MemoryTracer {
+ public:
+  virtual ~MemoryTracer() = default;
+
+  /// Reports an access to [addr, addr+bytes). `random` marks accesses whose
+  /// location depends on a sampled topic (vs streaming over token arrays).
+  /// `write` marks stores.
+  virtual void OnAccess(uintptr_t addr, uint32_t bytes, bool random,
+                        bool write) = 0;
+
+  /// Called when the sampler finishes one document (doc-major visiting) or
+  /// one word (word-major visiting).
+  virtual void OnScopeEnd() {}
+};
+
+}  // namespace warplda
+
+#endif  // WARPLDA_CACHESIM_TRACER_H_

@@ -1,0 +1,87 @@
+#include "core/checkpoint.h"
+
+#include <fstream>
+
+namespace warplda {
+
+namespace {
+constexpr uint64_t kMagic = 0x57415250'434B5031ULL;  // "WARPCKP1"
+
+template <typename T>
+void Put(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+template <typename T>
+bool Get(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+}  // namespace
+
+bool SaveCheckpoint(const TrainingCheckpoint& checkpoint,
+                    const std::string& path, std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Fail(error, "cannot open " + path + " for writing");
+  Put(out, kMagic);
+  Put(out, checkpoint.config.num_topics);
+  Put(out, checkpoint.config.alpha);
+  Put(out, checkpoint.config.beta);
+  Put(out, checkpoint.config.mh_steps);
+  Put(out, checkpoint.config.seed);
+  Put(out, checkpoint.iteration);
+  Put(out, static_cast<uint64_t>(checkpoint.assignments.size()));
+  out.write(reinterpret_cast<const char*>(checkpoint.assignments.data()),
+            static_cast<std::streamsize>(checkpoint.assignments.size() *
+                                         sizeof(TopicId)));
+  if (!out.good()) return Fail(error, "write error on " + path);
+  return true;
+}
+
+bool LoadCheckpoint(const std::string& path, TrainingCheckpoint* checkpoint,
+                    std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail(error, "cannot open " + path);
+  uint64_t magic = 0;
+  if (!Get(in, &magic) || magic != kMagic) {
+    return Fail(error, path + ": bad magic");
+  }
+  uint64_t count = 0;
+  if (!Get(in, &checkpoint->config.num_topics) ||
+      !Get(in, &checkpoint->config.alpha) ||
+      !Get(in, &checkpoint->config.beta) ||
+      !Get(in, &checkpoint->config.mh_steps) ||
+      !Get(in, &checkpoint->config.seed) ||
+      !Get(in, &checkpoint->iteration) || !Get(in, &count)) {
+    return Fail(error, path + ": truncated header");
+  }
+  checkpoint->assignments.resize(count);
+  in.read(reinterpret_cast<char*>(checkpoint->assignments.data()),
+          static_cast<std::streamsize>(count * sizeof(TopicId)));
+  if (!in.good()) return Fail(error, path + ": truncated assignments");
+  for (TopicId z : checkpoint->assignments) {
+    if (z >= checkpoint->config.num_topics) {
+      return Fail(error, path + ": assignment out of range");
+    }
+  }
+  return true;
+}
+
+bool RestoreSampler(Sampler& sampler, const Corpus& corpus,
+                    const TrainingCheckpoint& checkpoint,
+                    std::string* error) {
+  if (checkpoint.assignments.size() != corpus.num_tokens()) {
+    return Fail(error,
+                "checkpoint token count does not match the corpus (" +
+                    std::to_string(checkpoint.assignments.size()) + " vs " +
+                    std::to_string(corpus.num_tokens()) + ")");
+  }
+  sampler.Init(corpus, checkpoint.config);
+  sampler.SetAssignments(checkpoint.assignments);
+  return true;
+}
+
+}  // namespace warplda

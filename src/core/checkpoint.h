@@ -1,0 +1,35 @@
+#ifndef WARPLDA_CORE_CHECKPOINT_H_
+#define WARPLDA_CORE_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/sampler.h"
+#include "corpus/corpus.h"
+
+namespace warplda {
+
+/// Training checkpoint: everything needed to resume a run — the sampler
+/// configuration, the iteration counter, and the full topic-assignment
+/// state (document-major). Counts are derived, not stored.
+struct TrainingCheckpoint {
+  LdaConfig config;
+  uint32_t iteration = 0;
+  std::vector<TopicId> assignments;
+};
+
+/// Binary serialization. Returns false and fills *error on failure.
+bool SaveCheckpoint(const TrainingCheckpoint& checkpoint,
+                    const std::string& path, std::string* error);
+bool LoadCheckpoint(const std::string& path, TrainingCheckpoint* checkpoint,
+                    std::string* error);
+
+/// Restores a sampler from a checkpoint: Init() with the stored config,
+/// then SetAssignments. The corpus must be the one the checkpoint was
+/// trained on (token count is validated).
+bool RestoreSampler(Sampler& sampler, const Corpus& corpus,
+                    const TrainingCheckpoint& checkpoint, std::string* error);
+
+}  // namespace warplda
+
+#endif  // WARPLDA_CORE_CHECKPOINT_H_

@@ -1,0 +1,60 @@
+#ifndef WARPLDA_CORE_INFERENCE_H_
+#define WARPLDA_CORE_INFERENCE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "eval/topic_model.h"
+#include "util/alias_table.h"
+#include "util/rng.h"
+
+namespace warplda {
+
+/// Options for unseen-document inference.
+struct InferenceOptions {
+  uint32_t iterations = 30;  ///< MH sweeps over the document
+  uint32_t mh_steps = 2;     ///< proposals per token per sweep
+  uint64_t seed = 99;
+};
+
+/// Folds unseen documents into a trained model using WarpLDA's O(1)
+/// Metropolis-Hastings machinery with the topics held fixed: proposals come
+/// from q_word ∝ C_wk+β (a per-word alias table, built lazily and cached)
+/// and q_doc ∝ C_dk+α (random positioning), and acceptance targets
+/// p(z=k) ∝ (C_dk+α)·φ̂_wk.
+///
+/// This is the "fast sampler for topic assignments" application the paper's
+/// conclusion points at: serving-time inference without touching the model.
+class Inferencer {
+ public:
+  explicit Inferencer(const TopicModel& model,
+                      const InferenceOptions& options = {});
+
+  /// Returns the document's topic proportions θ̂ (length K, sums to 1).
+  /// Words with id >= model.num_words() are ignored.
+  std::vector<double> InferTheta(std::span<const WordId> words);
+  std::vector<double> InferTheta(const std::vector<WordId>& words) {
+    return InferTheta(std::span<const WordId>(words));
+  }
+
+  /// Most probable topic for the document (argmax of InferTheta).
+  TopicId MostLikelyTopic(std::span<const WordId> words);
+
+ private:
+  const AliasTable& WordAlias(WordId w);
+  double Phi(WordId w, TopicId k) const;
+
+  const TopicModel& model_;
+  InferenceOptions options_;
+  Rng rng_;
+  double beta_bar_ = 0.0;
+  std::vector<AliasTable> word_alias_;    // lazy, one per seen word
+  std::vector<double> word_count_prob_;   // P(alias branch) per word
+  std::vector<std::vector<double>> phi_;  // lazy dense φ̂ rows
+};
+
+}  // namespace warplda
+
+#endif  // WARPLDA_CORE_INFERENCE_H_

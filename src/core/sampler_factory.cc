@@ -1,0 +1,29 @@
+#include <memory>
+
+#include "baselines/alias_lda.h"
+#include "baselines/cgs.h"
+#include "baselines/fplus_lda.h"
+#include "baselines/light_lda.h"
+#include "baselines/sampler.h"
+#include "baselines/sparse_lda.h"
+#include "core/warp_lda.h"
+
+namespace warplda {
+
+std::unique_ptr<Sampler> CreateSampler(const std::string& name) {
+  if (name == "cgs") return std::make_unique<CgsSampler>();
+  if (name == "sparselda") return std::make_unique<SparseLdaSampler>();
+  if (name == "aliaslda") return std::make_unique<AliasLdaSampler>();
+  if (name == "f+lda" || name == "flda") {
+    return std::make_unique<FPlusLdaSampler>();
+  }
+  if (name == "lightlda") return std::make_unique<LightLdaSampler>();
+  if (name == "warplda") return std::make_unique<WarpLdaSampler>();
+  return nullptr;
+}
+
+std::vector<std::string> SamplerNames() {
+  return {"cgs", "sparselda", "aliaslda", "f+lda", "lightlda", "warplda"};
+}
+
+}  // namespace warplda

@@ -1,0 +1,95 @@
+#ifndef WARPLDA_CORE_STREAMING_H_
+#define WARPLDA_CORE_STREAMING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "eval/topic_model.h"
+#include "util/alias_table.h"
+#include "util/rng.h"
+
+namespace warplda {
+
+/// Options for the streaming trainer.
+struct StreamingOptions {
+  uint32_t num_topics = 100;
+  double alpha = 0.1;
+  double beta = 0.01;
+  uint32_t batch_size = 256;       ///< documents per mini-batch
+  uint32_t inner_iterations = 4;   ///< MH sweeps per batch (E-step)
+  uint32_t mh_steps = 2;           ///< proposals per token per sweep
+  double kappa = 0.7;              ///< step-size decay exponent in (0.5, 1]
+  double tau = 10.0;               ///< step-size delay
+  uint64_t seed = 7;
+};
+
+/// Streaming WarpLDA: the paper's §7 "stochastic learning" extension.
+///
+/// Online EM over document mini-batches: the E-step runs WarpLDA's O(1)
+/// MH machinery (positioning doc proposals, alias word proposals) on the
+/// batch with the global topic-word statistics held fixed; the M-step blends
+/// the batch's rescaled sufficient statistics into the running estimate with
+/// a Robbins-Monro step size ρ_t = (τ + t)^(−κ) — the SCVB/SVI-style update
+/// applied to WarpLDA's sampler. One pass over a corpus touches each
+/// document once, so corpora need not fit in memory.
+class StreamingWarpLda {
+ public:
+  explicit StreamingWarpLda(WordId vocab_size,
+                            const StreamingOptions& options = {});
+
+  /// Processes one mini-batch of documents (each a word-id sequence).
+  /// Word ids must be < vocab_size. Returns the step size ρ_t used.
+  double ProcessBatch(const std::vector<std::vector<WordId>>& batch);
+
+  /// Convenience: streams an in-memory corpus in batch_size chunks for
+  /// `epochs` passes.
+  void ProcessCorpus(const Corpus& corpus, uint32_t epochs = 1);
+
+  /// Smoothed topic-word probability from the running statistics.
+  double Phi(WordId w, TopicId k) const;
+
+  /// Top words of topic k by running statistic.
+  std::vector<std::pair<WordId, double>> TopWords(TopicId k,
+                                                  uint32_t n) const;
+
+  /// Exports a TopicModel (statistics rounded to counts) compatible with
+  /// HeldOutPerplexity and Inferencer.
+  TopicModel ExportModel() const;
+
+  /// Number of batches processed so far.
+  uint64_t batches_seen() const { return batches_seen_; }
+
+  uint32_t num_topics() const { return options_.num_topics; }
+  WordId vocab_size() const { return vocab_size_; }
+
+ private:
+  /// Runs the MH E-step for one document; accumulates counts into
+  /// batch_counts_ (and batch_ck_).
+  void FoldDocument(const std::vector<WordId>& doc);
+
+  /// Rebuilds the per-word proposal alias for w if stale.
+  const AliasTable& WordProposal(WordId w);
+
+  WordId vocab_size_;
+  StreamingOptions options_;
+  Rng rng_;
+  double beta_bar_;
+
+  std::vector<double> lambda_;     // V×K running topic-word statistics
+  std::vector<double> lambda_k_;   // K running topic totals
+  std::vector<double> batch_counts_;  // V×K scratch (batch sufficient stats)
+  std::vector<double> batch_ck_;
+  std::vector<WordId> batch_words_;   // distinct words touched this batch
+
+  std::vector<AliasTable> word_alias_;
+  std::vector<uint64_t> alias_epoch_;  // batch index the alias was built at
+  std::vector<double> alias_count_prob_;
+  uint64_t batches_seen_ = 0;
+  uint64_t docs_seen_ = 0;
+};
+
+}  // namespace warplda
+
+#endif  // WARPLDA_CORE_STREAMING_H_

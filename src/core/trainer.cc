@@ -1,0 +1,82 @@
+#include "core/trainer.h"
+
+#include <cstdio>
+
+#include "eval/hyperparams.h"
+#include "eval/log_likelihood.h"
+#include "util/stopwatch.h"
+
+namespace warplda {
+
+TrainResult Train(Sampler& sampler, const Corpus& corpus,
+                  const LdaConfig& config, const TrainOptions& options,
+                  const TrainCallback& callback) {
+  TrainResult result;
+  sampler.Init(corpus, config);
+  double alpha = config.alpha;
+  double beta = config.beta;
+
+  double sampling_seconds = 0.0;
+  double block_seconds = 0.0;
+  uint32_t block_iterations = 0;
+
+  auto evaluate = [&](uint32_t iteration) {
+    IterationStat stat;
+    stat.iteration = iteration;
+    stat.seconds = sampling_seconds;
+    stat.log_likelihood = JointLogLikelihood(
+        corpus, sampler.Assignments(), config.num_topics, alpha, beta);
+    stat.tokens_per_second =
+        block_seconds > 0.0
+            ? static_cast<double>(corpus.num_tokens()) * block_iterations /
+                  block_seconds
+            : 0.0;
+    block_seconds = 0.0;
+    block_iterations = 0;
+    result.history.push_back(stat);
+    if (options.verbose) {
+      std::printf("[%s] iter %4u  time %8.2fs  ll %.6e  %.2fM tok/s\n",
+                  sampler.name().c_str(), stat.iteration, stat.seconds,
+                  stat.log_likelihood, stat.tokens_per_second / 1e6);
+      std::fflush(stdout);
+    }
+    if (callback) callback(stat);
+  };
+
+  for (uint32_t iter = 1; iter <= options.iterations; ++iter) {
+    Stopwatch watch;
+    sampler.Iterate();
+    double elapsed = watch.Seconds();
+    sampling_seconds += elapsed;
+    block_seconds += elapsed;
+    ++block_iterations;
+    if (options.optimize_hyper_every != 0 &&
+        iter % options.optimize_hyper_every == 0 &&
+        iter != options.iterations) {
+      auto assignments = sampler.Assignments();
+      alpha = EstimateSymmetricAlpha(corpus, assignments, config.num_topics,
+                                     alpha);
+      beta = EstimateSymmetricBeta(corpus, assignments, config.num_topics,
+                                   beta);
+      sampler.SetPriors(alpha, beta);
+      if (options.verbose) {
+        std::printf("[%s] iter %4u  optimized priors: alpha=%.4g beta=%.4g\n",
+                    sampler.name().c_str(), iter, alpha, beta);
+      }
+    }
+    bool last = iter == options.iterations;
+    if (last || (options.eval_every != 0 && iter % options.eval_every == 0)) {
+      evaluate(iter);
+    }
+  }
+
+  result.final_alpha = alpha;
+  result.final_beta = beta;
+  result.assignments = sampler.Assignments();
+  result.final_log_likelihood =
+      result.history.empty() ? 0.0 : result.history.back().log_likelihood;
+  result.total_seconds = sampling_seconds;
+  return result;
+}
+
+}  // namespace warplda

@@ -1,0 +1,259 @@
+#include "core/warp_lda.h"
+
+#include <algorithm>
+
+namespace warplda {
+
+void WarpLdaSampler::Init(const Corpus& corpus, const LdaConfig& config) {
+  corpus_ = &corpus;
+  config_ = config;
+  alpha_bar_ = config.alpha_bar();
+  beta_bar_ = config.beta * corpus.num_words();
+  if (!config_.alpha_vector.empty()) {
+    prior_alias_.Build(config_.alpha_vector);
+  }
+  const uint32_t k = config_.num_topics;
+  const uint32_t m = std::max(1u, config_.mh_steps);
+
+  matrix_.Reset(corpus.num_docs(), corpus.num_words());
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    for (WordId w : corpus.doc_tokens(d)) matrix_.AddEntry(d, w);
+  }
+  matrix_.Finalize();
+  proposals_.assign(matrix_.num_entries() * m, 0);
+
+  scratch_.assign(std::max(1u, options_.num_threads), ThreadScratch());
+  for (size_t tid = 0; tid < scratch_.size(); ++tid) {
+    scratch_[tid].rng.Seed(config.seed + 0x9E37ULL * (tid + 1));
+    scratch_[tid].ck_delta.assign(k, 0);
+  }
+
+  // Random initial assignments.
+  ck_live_.assign(k, 0);
+  Rng init_rng(config.seed);
+  for (uint64_t e = 0; e < matrix_.num_entries(); ++e) {
+    TopicId topic = init_rng.NextInt(k);
+    matrix_.entry_data(e) = topic;
+    ++ck_live_[topic];
+  }
+  ck_fixed_ = ck_live_;
+
+  // Alg. 2 enters the word phase expecting pending doc proposals, so draw
+  // the first batch now from the initial assignments.
+  matrix_.VisitByRow(
+      [&](int tid, uint32_t, SparseMatrix<TopicId>::RowView row) {
+        DrawDocProposals(scratch_[tid], row);
+      },
+      options_.num_threads);
+}
+
+void WarpLdaSampler::SetPriors(double alpha, double beta) {
+  config_.alpha = alpha;
+  config_.beta = beta;
+  alpha_bar_ = alpha * config_.num_topics;
+  beta_bar_ = beta * corpus_->num_words();
+}
+
+void WarpLdaSampler::SetAssignments(const std::vector<TopicId>& assignments) {
+  std::fill(ck_live_.begin(), ck_live_.end(), 0);
+  for (uint64_t t = 0; t < assignments.size(); ++t) {
+    matrix_.entry_data(matrix_.csc_position(t)) = assignments[t];
+    ++ck_live_[assignments[t]];
+  }
+  ck_fixed_ = ck_live_;
+  // Refresh the pending proposals so the next word phase consumes proposals
+  // drawn from the restored state (mirrors the tail of Init()).
+  matrix_.VisitByRow(
+      [&](int tid, uint32_t, SparseMatrix<TopicId>::RowView row) {
+        DrawDocProposals(scratch_[tid], row);
+      },
+      options_.num_threads);
+}
+
+std::vector<TopicId> WarpLdaSampler::Assignments() const {
+  std::vector<TopicId> out(matrix_.num_entries());
+  for (uint64_t t = 0; t < out.size(); ++t) {
+    out[t] = matrix_.entry_data(matrix_.csc_position(t));
+  }
+  return out;
+}
+
+void WarpLdaSampler::BeginPhase() {
+  ck_fixed_ = ck_live_;
+  for (auto& s : scratch_) {
+    std::fill(s.ck_delta.begin(), s.ck_delta.end(), 0);
+  }
+}
+
+void WarpLdaSampler::EndPhase() {
+  for (auto& s : scratch_) {
+    for (uint32_t k = 0; k < config_.num_topics; ++k) {
+      ck_live_[k] += s.ck_delta[k];
+    }
+  }
+}
+
+void WarpLdaSampler::DrawDocProposals(ThreadScratch& scratch,
+                                      SparseMatrix<TopicId>::RowView row) {
+  const uint32_t m = std::max(1u, config_.mh_steps);
+  const uint32_t k_topics = config_.num_topics;
+  const uint32_t len = row.size();
+  if (len == 0) return;
+  // q_doc ∝ C_dk + α_k as the mixture of §4.3: with probability L_d/(L_d+ᾱ)
+  // random positioning into z_d, otherwise a draw from the prior (uniform
+  // for symmetric α, alias table over α_k otherwise).
+  const double position_prob =
+      static_cast<double>(len) / (static_cast<double>(len) + alpha_bar_);
+  const bool asymmetric = !config_.alpha_vector.empty();
+  for (uint32_t i = 0; i < len; ++i) {
+    TopicId* slot = &proposals_[row.entry_index(i) * m];
+    for (uint32_t j = 0; j < m; ++j) {
+      if (scratch.rng.NextBernoulli(position_prob)) {
+        slot[j] = row[scratch.rng.NextInt(len)];
+      } else {
+        slot[j] = asymmetric ? prior_alias_.Sample(scratch.rng)
+                             : scratch.rng.NextInt(k_topics);
+      }
+    }
+  }
+}
+
+void WarpLdaSampler::WordPhase() {
+  const uint32_t k_topics = config_.num_topics;
+  const uint32_t m = std::max(1u, config_.mh_steps);
+  const double beta = config_.beta;
+  BeginPhase();
+
+  matrix_.VisitByColumn(
+      [&](int tid, uint32_t w, std::span<TopicId> z) {
+        if (z.empty()) return;
+        ThreadScratch& s = scratch_[tid];
+        const uint32_t lw = static_cast<uint32_t>(z.size());
+        const uint64_t base = matrix_.col_offset(w);
+
+        // c_w on the fly (delayed snapshot for this word's acceptances).
+        s.counts.Init(std::min<uint32_t>(k_topics, 2 * lw));
+        for (TopicId topic : z) s.counts.Inc(topic);
+        Trace(reinterpret_cast<const void*>(s.counts.slots().data()),
+              s.counts.capacity() *
+                  static_cast<uint32_t>(sizeof(HashCount::Entry)),
+              /*random=*/true, /*write=*/true);
+
+        // Accept the pending doc proposals (Eq. 7, π^doc) against the
+        // snapshot; collect accepted moves and apply them afterwards so all
+        // acceptances in this word see the same delayed counts (Alg. 2).
+        s.moves.clear();
+        for (uint32_t i = 0; i < lw; ++i) {
+          TopicId current = z[i];
+          const TopicId* props = &proposals_[(base + i) * m];
+          for (uint32_t j = 0; j < m; ++j) {
+            TopicId t = props[j];
+            if (t == current) continue;
+            Trace(reinterpret_cast<const void*>(s.counts.SlotAddr(t)),
+                  sizeof(HashCount::Entry), /*random=*/true, /*write=*/false);
+            double accept =
+                (s.counts.Get(t) + beta) * (ck_fixed_[current] + beta_bar_) /
+                ((s.counts.Get(current) + beta) * (ck_fixed_[t] + beta_bar_));
+            if (accept >= 1.0 || s.rng.NextBernoulli(accept)) {
+              s.moves.emplace_back(current, t);
+              current = t;
+            }
+          }
+          z[i] = current;
+        }
+        for (const auto& [from, to] : s.moves) {
+          s.counts.Dec(from);
+          s.counts.Inc(to);
+          --s.ck_delta[from];
+          ++s.ck_delta[to];
+        }
+
+        // Fresh word proposals from the *updated* c_w (Alg. 2 recomputes C_wk
+        // before building the alias table): q_word ∝ C_wk + β as the mixture
+        // of a count-weighted alias table and the uniform β branch.
+        s.alias_entries.clear();
+        s.counts.ForEachNonZero([&](uint32_t k, int32_t c) {
+          s.alias_entries.emplace_back(k, static_cast<double>(c));
+        });
+        s.alias.BuildSparse(s.alias_entries);
+        const double count_prob =
+            static_cast<double>(lw) /
+            (static_cast<double>(lw) + beta * k_topics);
+        for (uint32_t i = 0; i < lw; ++i) {
+          TopicId* slot = &proposals_[(base + i) * m];
+          for (uint32_t j = 0; j < m; ++j) {
+            slot[j] = s.rng.NextBernoulli(count_prob)
+                          ? s.alias.Sample(s.rng)
+                          : s.rng.NextInt(k_topics);
+          }
+        }
+        TraceScopeEnd();
+      },
+      options_.num_threads);
+
+  EndPhase();
+}
+
+void WarpLdaSampler::DocPhase() {
+  const uint32_t k_topics = config_.num_topics;
+  const uint32_t m = std::max(1u, config_.mh_steps);
+  const std::vector<double>* alpha_vec =
+      config_.alpha_vector.empty() ? nullptr : &config_.alpha_vector;
+  const double alpha = config_.alpha;
+  BeginPhase();
+
+  matrix_.VisitByRow(
+      [&](int tid, uint32_t, SparseMatrix<TopicId>::RowView row) {
+        const uint32_t len = row.size();
+        if (len == 0) return;
+        ThreadScratch& s = scratch_[tid];
+
+        // c_d on the fly (delayed snapshot for this document).
+        s.counts.Init(std::min<uint32_t>(k_topics, 2 * len));
+        for (uint32_t i = 0; i < len; ++i) s.counts.Inc(row[i]);
+        Trace(reinterpret_cast<const void*>(s.counts.slots().data()),
+              s.counts.capacity() *
+                  static_cast<uint32_t>(sizeof(HashCount::Entry)),
+              /*random=*/true, /*write=*/true);
+
+        // Accept the pending word proposals (Eq. 7, π^word).
+        for (uint32_t i = 0; i < len; ++i) {
+          TopicId current = row[i];
+          const TopicId* props = &proposals_[row.entry_index(i) * m];
+          for (uint32_t j = 0; j < m; ++j) {
+            TopicId t = props[j];
+            if (t == current) continue;
+            Trace(reinterpret_cast<const void*>(s.counts.SlotAddr(t)),
+                  sizeof(HashCount::Entry), /*random=*/true, /*write=*/false);
+            const double alpha_t = alpha_vec ? (*alpha_vec)[t] : alpha;
+            const double alpha_s =
+                alpha_vec ? (*alpha_vec)[current] : alpha;
+            double accept =
+                (s.counts.Get(t) + alpha_t) *
+                (ck_fixed_[current] + beta_bar_) /
+                ((s.counts.Get(current) + alpha_s) *
+                 (ck_fixed_[t] + beta_bar_));
+            if (accept >= 1.0 || s.rng.NextBernoulli(accept)) {
+              --s.ck_delta[current];
+              ++s.ck_delta[t];
+              current = t;
+            }
+          }
+          row[i] = current;
+        }
+
+        // Fresh doc proposals from the updated z_d.
+        DrawDocProposals(s, row);
+        TraceScopeEnd();
+      },
+      options_.num_threads);
+
+  EndPhase();
+}
+
+void WarpLdaSampler::Iterate() {
+  WordPhase();
+  DocPhase();
+}
+
+}  // namespace warplda

@@ -1,0 +1,96 @@
+#ifndef WARPLDA_CORE_WARP_LDA_H_
+#define WARPLDA_CORE_WARP_LDA_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/sampler.h"
+#include "core/sparse_matrix.h"
+#include "util/alias_table.h"
+#include "util/hash_count.h"
+
+namespace warplda {
+
+/// Runtime options for WarpLDA beyond the shared LdaConfig.
+struct WarpLdaOptions {
+  /// Worker threads for the row/column visits (§5.3.1). Tracing requires 1.
+  uint32_t num_threads = 1;
+};
+
+/// WarpLDA (paper §4): Monte-Carlo EM training of LDA with O(1) per-token
+/// sampling and O(K)-sized randomly accessed memory per document/word.
+///
+/// Per-token state is the paper's y_dn = (z_dn, z⁽¹⁾…z⁽ᴹ⁾): the current
+/// assignment plus M pending topic proposals, stored in a SparseMatrix in
+/// CSC (word-major) order with row pointers for the document sweep (§5.2).
+///
+/// Each Iterate() runs the compressed two-pass schedule of §4.4:
+///  * word phase (VisitByColumn): build c_w on the fly, accept the pending
+///    *doc* proposals with π = min{1, (C_wt+β)(C_s+β̄)/((C_ws+β)(C_t+β̄))},
+///    update c_w, then draw M fresh *word* proposals from an alias table
+///    over q_word ∝ C_wk+β;
+///  * doc phase (VisitByRow): build c_d on the fly, accept the pending
+///    *word* proposals with π = min{1, (C_dt+α)(C_s+β̄)/((C_ds+α)(C_t+β̄))},
+///    then draw M fresh *doc* proposals by random positioning into z_d
+///    (q_doc ∝ C_dk+α).
+///
+/// Counts are delayed (MCEM, §4.2): acceptance uses the per-phase snapshot
+/// of the global counts c_k and the per-scope snapshot of c_d/c_w, which is
+/// what decouples the two count matrices and shrinks the random-access
+/// footprint to one cache-resident vector (§3.3, Table 2's last row).
+class WarpLdaSampler : public Sampler {
+ public:
+  explicit WarpLdaSampler(const WarpLdaOptions& options = {})
+      : options_(options) {}
+
+  void Init(const Corpus& corpus, const LdaConfig& config) override;
+  void Iterate() override;
+  std::vector<TopicId> Assignments() const override;
+  void SetAssignments(const std::vector<TopicId>& assignments) override;
+  void SetPriors(double alpha, double beta) override;
+  std::string name() const override { return "WarpLDA"; }
+
+  const WarpLdaOptions& options() const { return options_; }
+
+  /// Individual phases, exposed so benches can time them separately.
+  void WordPhase();
+  void DocPhase();
+
+ private:
+  struct ThreadScratch {
+    Rng rng;
+    HashCount counts;
+    AliasTable alias;
+    std::vector<int64_t> ck_delta;
+    std::vector<std::pair<TopicId, TopicId>> moves;  // accepted (from, to)
+    std::vector<std::pair<uint32_t, double>> alias_entries;
+  };
+
+  /// Copies live global counts into the per-phase snapshot and clears the
+  /// per-thread deltas.
+  void BeginPhase();
+  /// Folds per-thread deltas into the live global counts.
+  void EndPhase();
+
+  /// Draws M doc proposals for every token of row `row` from the updated
+  /// assignments (random positioning + uniform α branch).
+  void DrawDocProposals(ThreadScratch& scratch,
+                        SparseMatrix<TopicId>::RowView row);
+
+  WarpLdaOptions options_;
+  const Corpus* corpus_ = nullptr;
+  LdaConfig config_;
+  double alpha_bar_ = 0.0;
+  double beta_bar_ = 0.0;
+
+  SparseMatrix<TopicId> matrix_;    // z, CSC order
+  std::vector<TopicId> proposals_;  // M per token, CSC order
+  AliasTable prior_alias_;          // over α_k (asymmetric prior only)
+  std::vector<int64_t> ck_fixed_;   // snapshot used in acceptance
+  std::vector<int64_t> ck_live_;    // maintained across phases
+  std::vector<ThreadScratch> scratch_;
+};
+
+}  // namespace warplda
+
+#endif  // WARPLDA_CORE_WARP_LDA_H_

@@ -1,0 +1,54 @@
+#include "corpus/corpus.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace warplda {
+
+DocId Corpus::token_doc(TokenIdx t) const {
+  auto it = std::upper_bound(doc_offsets_.begin(), doc_offsets_.end(), t);
+  return static_cast<DocId>(it - doc_offsets_.begin() - 1);
+}
+
+void CorpusBuilder::AddDocument(std::span<const WordId> words) {
+  for (WordId w : words) {
+    tokens_.push_back(w);
+    if (w >= num_words_) num_words_ = w + 1;
+  }
+  doc_offsets_.push_back(tokens_.size());
+}
+
+Corpus CorpusBuilder::Build() {
+  Corpus c;
+  c.num_words_ = num_words_;
+  c.doc_offsets_ = std::move(doc_offsets_);
+  c.tokens_ = std::move(tokens_);
+
+  const TokenIdx t_count = c.tokens_.size();
+  const WordId v = c.num_words_;
+
+  // Counting sort of token positions by word id. Because we scan positions in
+  // ascending (document-major) order, each word's bucket comes out sorted by
+  // document id, which is exactly the CSC ordering the paper requires.
+  c.word_offsets_.assign(v + 1, 0);
+  for (WordId w : c.tokens_) ++c.word_offsets_[w + 1];
+  for (WordId w = 0; w < v; ++w) c.word_offsets_[w + 1] += c.word_offsets_[w];
+
+  c.word_index_.resize(t_count);
+  c.word_major_rank_.resize(t_count);
+  std::vector<TokenIdx> cursor(c.word_offsets_.begin(),
+                               c.word_offsets_.end() - 1);
+  for (TokenIdx t = 0; t < t_count; ++t) {
+    TokenIdx rank = cursor[c.tokens_[t]]++;
+    c.word_index_[rank] = t;
+    c.word_major_rank_[t] = rank;
+  }
+
+  // Reset the builder for reuse.
+  num_words_ = 0;
+  doc_offsets_ = {0};
+  tokens_.clear();
+  return c;
+}
+
+}  // namespace warplda

@@ -1,0 +1,120 @@
+#ifndef WARPLDA_CORPUS_CORPUS_H_
+#define WARPLDA_CORPUS_CORPUS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace warplda {
+
+using DocId = uint32_t;
+using WordId = uint32_t;
+using TopicId = uint32_t;
+using TokenIdx = uint64_t;
+
+/// Immutable bag-of-words corpus with both orientations precomputed.
+///
+/// Tokens are stored document-major (CSR: all tokens of doc 0, then doc 1, …).
+/// A word-major index (CSC view) maps every word to the document-major
+/// positions of its occurrences, sorted by document id — the layout WarpLDA's
+/// word phase requires (paper §5.2: column entries sorted by row id so
+/// indirect accesses fully utilize cache lines).
+///
+/// Construct via CorpusBuilder, the UCI reader, or the synthetic generators.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Number of documents D.
+  DocId num_docs() const { return static_cast<DocId>(doc_offsets_.size() - 1); }
+
+  /// Vocabulary size V (max word id + 1 as declared at build time).
+  WordId num_words() const { return num_words_; }
+
+  /// Total token count T.
+  TokenIdx num_tokens() const { return tokens_.size(); }
+
+  /// Length L_d of document d.
+  uint32_t doc_length(DocId d) const {
+    return static_cast<uint32_t>(doc_offsets_[d + 1] - doc_offsets_[d]);
+  }
+
+  /// Term frequency L_w of word w (total occurrences in the corpus).
+  uint32_t word_frequency(WordId w) const {
+    return static_cast<uint32_t>(word_offsets_[w + 1] - word_offsets_[w]);
+  }
+
+  /// Word ids of document d's tokens, in document-major order.
+  std::span<const WordId> doc_tokens(DocId d) const {
+    return {tokens_.data() + doc_offsets_[d], doc_length(d)};
+  }
+
+  /// Document-major global positions of all occurrences of word w,
+  /// sorted ascending (hence sorted by document id).
+  std::span<const TokenIdx> word_tokens(WordId w) const {
+    return {word_index_.data() + word_offsets_[w], word_frequency(w)};
+  }
+
+  /// Word id of the token at document-major position t.
+  WordId token_word(TokenIdx t) const { return tokens_[t]; }
+
+  /// Document id owning document-major position t (O(log D) binary search;
+  /// use doc-major iteration on hot paths instead).
+  DocId token_doc(TokenIdx t) const;
+
+  /// Rank of document-major position t within the word-major ordering, i.e.
+  /// the inverse permutation of word_tokens concatenation. WarpLDA keeps its
+  /// per-token state word-major and uses this to walk it document-by-document.
+  TokenIdx word_major_rank(TokenIdx t) const { return word_major_rank_[t]; }
+
+  /// Offset of word w's block within the word-major ordering.
+  TokenIdx word_major_offset(WordId w) const { return word_offsets_[w]; }
+
+  /// First document-major token position of document d.
+  TokenIdx doc_offset(DocId d) const { return doc_offsets_[d]; }
+
+  /// Mean document length T/D.
+  double mean_doc_length() const {
+    return num_docs() == 0
+               ? 0.0
+               : static_cast<double>(num_tokens()) / num_docs();
+  }
+
+ private:
+  friend class CorpusBuilder;
+
+  WordId num_words_ = 0;
+  std::vector<TokenIdx> doc_offsets_{0};  // D+1
+  std::vector<WordId> tokens_;            // T, document-major
+  std::vector<TokenIdx> word_offsets_;    // V+1
+  std::vector<TokenIdx> word_index_;      // T, word-major -> doc-major pos
+  std::vector<TokenIdx> word_major_rank_;  // T, doc-major pos -> word-major rank
+};
+
+/// Incremental builder: feed documents as word-id sequences, then Build().
+class CorpusBuilder {
+ public:
+  /// Declares the vocabulary size. Word ids in documents must be < V.
+  /// If never called, V = max word id + 1 observed.
+  void set_num_words(WordId v) { num_words_ = v; }
+
+  /// Appends one document. Empty documents are allowed (they hold no tokens
+  /// but keep document ids aligned with external metadata).
+  void AddDocument(std::span<const WordId> words);
+  void AddDocument(const std::vector<WordId>& words) {
+    AddDocument(std::span<const WordId>(words));
+  }
+
+  /// Finalizes the corpus: builds the word-major index and inverse ranks.
+  /// The builder is left empty and reusable.
+  Corpus Build();
+
+ private:
+  WordId num_words_ = 0;
+  std::vector<TokenIdx> doc_offsets_{0};
+  std::vector<WordId> tokens_;
+};
+
+}  // namespace warplda
+
+#endif  // WARPLDA_CORPUS_CORPUS_H_

@@ -1,0 +1,115 @@
+#include "corpus/split.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace warplda {
+
+CorpusSplit SplitByDocument(const Corpus& corpus, double heldout_fraction,
+                            uint64_t seed) {
+  Rng rng(seed);
+  CorpusSplit split;
+  CorpusBuilder train_builder;
+  CorpusBuilder heldout_builder;
+  train_builder.set_num_words(corpus.num_words());
+  heldout_builder.set_num_words(corpus.num_words());
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    auto words = corpus.doc_tokens(d);
+    std::vector<WordId> doc(words.begin(), words.end());
+    if (rng.NextBernoulli(heldout_fraction)) {
+      heldout_builder.AddDocument(doc);
+      split.heldout_doc_ids.push_back(d);
+    } else {
+      train_builder.AddDocument(doc);
+      split.train_doc_ids.push_back(d);
+    }
+  }
+  split.train = train_builder.Build();
+  split.heldout = heldout_builder.Build();
+  return split;
+}
+
+CorpusSplit SplitWithinDocuments(const Corpus& corpus,
+                                 double heldout_fraction, uint64_t seed) {
+  Rng rng(seed);
+  CorpusSplit split;
+  CorpusBuilder train_builder;
+  CorpusBuilder heldout_builder;
+  train_builder.set_num_words(corpus.num_words());
+  heldout_builder.set_num_words(corpus.num_words());
+  std::vector<WordId> train_doc;
+  std::vector<WordId> heldout_doc;
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    auto words = corpus.doc_tokens(d);
+    train_doc.clear();
+    heldout_doc.clear();
+    for (WordId w : words) {
+      (rng.NextBernoulli(heldout_fraction) ? heldout_doc : train_doc)
+          .push_back(w);
+    }
+    // Guarantee at least one held-out token for docs with >= 2 tokens, and
+    // never strip a document entirely of training tokens.
+    if (words.size() >= 2 && heldout_doc.empty()) {
+      heldout_doc.push_back(train_doc.back());
+      train_doc.pop_back();
+    }
+    if (train_doc.empty() && !heldout_doc.empty()) {
+      train_doc.push_back(heldout_doc.back());
+      heldout_doc.pop_back();
+    }
+    train_builder.AddDocument(train_doc);
+    heldout_builder.AddDocument(heldout_doc);
+    split.train_doc_ids.push_back(d);
+    split.heldout_doc_ids.push_back(d);
+  }
+  split.train = train_builder.Build();
+  split.heldout = heldout_builder.Build();
+  return split;
+}
+
+FilteredCorpus FilterVocabulary(const Corpus& corpus,
+                                const VocabFilter& filter) {
+  // Document frequency per word: count each word once per document via the
+  // sorted word-major index (occurrences of a word are sorted by position,
+  // hence by document).
+  std::vector<uint32_t> doc_freq(corpus.num_words(), 0);
+  for (WordId w = 0; w < corpus.num_words(); ++w) {
+    DocId prev = 0;
+    bool first = true;
+    for (TokenIdx t : corpus.word_tokens(w)) {
+      DocId d = corpus.token_doc(t);
+      if (first || d != prev) ++doc_freq[w];
+      prev = d;
+      first = false;
+    }
+  }
+
+  FilteredCorpus result;
+  result.old_to_new.assign(corpus.num_words(), FilteredCorpus::kDroppedWord);
+  const double max_docs =
+      filter.max_document_fraction * corpus.num_docs();
+  for (WordId w = 0; w < corpus.num_words(); ++w) {
+    if (doc_freq[w] >= filter.min_document_frequency &&
+        static_cast<double>(doc_freq[w]) <= max_docs) {
+      result.old_to_new[w] = static_cast<WordId>(result.new_to_old.size());
+      result.new_to_old.push_back(w);
+    }
+  }
+
+  CorpusBuilder builder;
+  builder.set_num_words(static_cast<WordId>(result.new_to_old.size()));
+  std::vector<WordId> doc;
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    doc.clear();
+    for (WordId w : corpus.doc_tokens(d)) {
+      WordId remapped = result.old_to_new[w];
+      if (remapped != FilteredCorpus::kDroppedWord) doc.push_back(remapped);
+    }
+    builder.AddDocument(doc);
+  }
+  result.corpus = builder.Build();
+  return result;
+}
+
+}  // namespace warplda

@@ -1,0 +1,61 @@
+#ifndef WARPLDA_CORPUS_SPLIT_H_
+#define WARPLDA_CORPUS_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace warplda {
+
+/// A train/held-out division of a corpus. Both halves share the original
+/// word-id space (num_words is preserved) so a model trained on `train`
+/// evaluates directly on `heldout`.
+struct CorpusSplit {
+  Corpus train;
+  Corpus heldout;
+  /// Original document ids of each half, in output order.
+  std::vector<DocId> train_doc_ids;
+  std::vector<DocId> heldout_doc_ids;
+};
+
+/// Randomly assigns each document to the held-out set with probability
+/// `heldout_fraction` (deterministic for a given seed).
+CorpusSplit SplitByDocument(const Corpus& corpus, double heldout_fraction,
+                            uint64_t seed = 1);
+
+/// Document-completion split: for every document, `heldout_fraction` of its
+/// tokens (at least one if the doc has >= 2 tokens) go to the held-out half
+/// and the rest to train. Both halves have the same number of documents with
+/// aligned ids — the standard setup for estimating θ on one half and scoring
+/// the other.
+CorpusSplit SplitWithinDocuments(const Corpus& corpus,
+                                 double heldout_fraction, uint64_t seed = 1);
+
+/// Options for vocabulary pruning (classic preprocessing: drop stop-like
+/// ultra-frequent words and ultra-rare noise words before training).
+struct VocabFilter {
+  uint32_t min_document_frequency = 1;  ///< drop words in fewer docs
+  double max_document_fraction = 1.0;   ///< drop words in more than this
+                                        ///< fraction of documents
+};
+
+/// Result of FilterVocabulary: the pruned corpus plus the id remapping.
+struct FilteredCorpus {
+  Corpus corpus;
+  /// old word id -> new word id, or kDroppedWord.
+  std::vector<WordId> old_to_new;
+  /// new word id -> old word id.
+  std::vector<WordId> new_to_old;
+  static constexpr WordId kDroppedWord = 0xFFFFFFFFu;
+};
+
+/// Rebuilds the corpus keeping only words that pass `filter`. Word ids are
+/// compacted; documents that become empty stay (as empty documents) so
+/// external per-document metadata remains aligned.
+FilteredCorpus FilterVocabulary(const Corpus& corpus,
+                                const VocabFilter& filter);
+
+}  // namespace warplda
+
+#endif  // WARPLDA_CORPUS_SPLIT_H_

@@ -1,0 +1,214 @@
+#include "corpus/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace warplda {
+
+namespace {
+
+// Marsaglia-Tsang gamma sampler; handles shape < 1 by boosting.
+double SampleGamma(double shape, Rng& rng) {
+  if (shape < 1.0) {
+    double u = rng.NextDouble();
+    if (u <= 0.0) u = 1e-300;
+    return SampleGamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    // Box-Muller normal draw.
+    double u1 = rng.NextDouble();
+    double u2 = rng.NextDouble();
+    if (u1 <= 0.0) u1 = 1e-300;
+    double x =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = rng.NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+// Approximate Poisson draw: exact (Knuth) for small means, normal
+// approximation for large means where exp(-mean) underflows.
+uint32_t SamplePoisson(double mean, Rng& rng) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    double l = std::exp(-mean);
+    uint32_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng.NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  double u1 = rng.NextDouble();
+  double u2 = rng.NextDouble();
+  if (u1 <= 0.0) u1 = 1e-300;
+  double n = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  double v = mean + std::sqrt(mean) * n;
+  return v < 1.0 ? 1u : static_cast<uint32_t>(std::lround(v));
+}
+
+// Returns a multiplier coprime to v, for building bijective affine maps
+// r -> (a*r + b) mod v used as cheap per-topic vocabulary permutations.
+uint64_t CoprimeMultiplier(uint32_t v, Rng& rng) {
+  for (;;) {
+    uint64_t a = rng.NextInt(v - 1) + 1;
+    if (std::gcd(a, static_cast<uint64_t>(v)) == 1) return a;
+  }
+}
+
+}  // namespace
+
+SyntheticCorpus GenerateLdaCorpus(const SyntheticConfig& config) {
+  Rng rng(config.seed);
+  const uint32_t k_topics = config.num_topics;
+  const uint32_t v = config.vocab_size;
+
+  // Topic-word distributions: shared Zipf rank distribution, per-topic
+  // bijective affine permutation of the vocabulary. This yields K distinct
+  // topics each with a Zipfian word profile without storing K×V doubles.
+  ZipfSampler rank_sampler(v, config.word_zipf_skew);
+  std::vector<uint64_t> perm_a(k_topics);
+  std::vector<uint64_t> perm_b(k_topics);
+  for (uint32_t k = 0; k < k_topics; ++k) {
+    perm_a[k] = CoprimeMultiplier(v, rng);
+    perm_b[k] = rng.NextInt(v);
+  }
+  auto topic_word = [&](uint32_t k, uint32_t rank) -> WordId {
+    return static_cast<WordId>((perm_a[k] * rank + perm_b[k]) % v);
+  };
+
+  SyntheticCorpus out;
+  out.topic_top_words.resize(k_topics);
+  for (uint32_t k = 0; k < k_topics; ++k) {
+    uint32_t top_n = std::min<uint32_t>(32, v);
+    out.topic_top_words[k].reserve(top_n);
+    for (uint32_t r = 0; r < top_n; ++r) {
+      out.topic_top_words[k].push_back(topic_word(k, r));
+    }
+  }
+
+  CorpusBuilder builder;
+  builder.set_num_words(v);
+  std::vector<double> theta(k_topics);
+  std::vector<WordId> doc;
+  for (uint32_t d = 0; d < config.num_docs; ++d) {
+    // θ_d ~ Dir(α) via normalized gammas.
+    double total = 0.0;
+    for (uint32_t k = 0; k < k_topics; ++k) {
+      theta[k] = SampleGamma(config.alpha, rng);
+      total += theta[k];
+    }
+    if (total <= 0.0) {
+      std::fill(theta.begin(), theta.end(), 1.0);
+      total = k_topics;
+    }
+
+    uint32_t len = std::max<uint32_t>(1, SamplePoisson(config.mean_doc_length,
+                                                       rng));
+    doc.clear();
+    doc.reserve(len);
+    for (uint32_t n = 0; n < len; ++n) {
+      // z ~ Mult(θ_d) by inverse CDF (K is small for generation).
+      double target = rng.NextDouble() * total;
+      uint32_t z = 0;
+      double acc = theta[0];
+      while (acc < target && z + 1 < k_topics) acc += theta[++z];
+      uint32_t rank = rank_sampler.Sample(rng);
+      doc.push_back(topic_word(z, rank));
+      out.true_topics.push_back(z);
+    }
+    builder.AddDocument(doc);
+  }
+  out.corpus = builder.Build();
+  return out;
+}
+
+std::vector<std::vector<WordId>> SyntheticCorpus::TopWordsPerTopic(
+    uint32_t top_n) const {
+  std::vector<std::vector<WordId>> result(topic_top_words.size());
+  for (size_t k = 0; k < topic_top_words.size(); ++k) {
+    uint32_t n = std::min<uint32_t>(top_n,
+                                    static_cast<uint32_t>(
+                                        topic_top_words[k].size()));
+    result[k].assign(topic_top_words[k].begin(),
+                     topic_top_words[k].begin() + n);
+  }
+  return result;
+}
+
+Corpus GenerateZipfCorpus(uint32_t num_docs, uint32_t vocab_size,
+                          double mean_doc_length, double skew, uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(vocab_size, skew);
+  CorpusBuilder builder;
+  builder.set_num_words(vocab_size);
+  std::vector<WordId> doc;
+  for (uint32_t d = 0; d < num_docs; ++d) {
+    uint32_t len = std::max<uint32_t>(1, SamplePoisson(mean_doc_length, rng));
+    doc.clear();
+    doc.reserve(len);
+    for (uint32_t n = 0; n < len; ++n) doc.push_back(zipf.Sample(rng));
+    builder.AddDocument(doc);
+  }
+  return builder.Build();
+}
+
+// Table 3 shapes. Scale multiplies D; V scales as sqrt(scale) to keep a
+// realistic type/token ratio; T/D is held at the paper's value.
+SyntheticConfig NYTimesShape(double scale) {
+  SyntheticConfig c;
+  c.num_docs = std::max<uint32_t>(50, static_cast<uint32_t>(300000 * scale));
+  c.vocab_size =
+      std::max<uint32_t>(200, static_cast<uint32_t>(102000 * std::sqrt(scale)));
+  c.mean_doc_length = 332;
+  c.num_topics = 50;
+  c.seed = 1001;
+  return c;
+}
+
+SyntheticConfig PubMedShape(double scale) {
+  SyntheticConfig c;
+  c.num_docs = std::max<uint32_t>(50, static_cast<uint32_t>(8200000 * scale));
+  c.vocab_size =
+      std::max<uint32_t>(200, static_cast<uint32_t>(141000 * std::sqrt(scale)));
+  c.mean_doc_length = 90;
+  c.num_topics = 80;
+  c.seed = 1002;
+  return c;
+}
+
+SyntheticConfig ClueWebShape(double scale) {
+  SyntheticConfig c;
+  c.num_docs = std::max<uint32_t>(50, static_cast<uint32_t>(38000000 * scale));
+  c.vocab_size = std::max<uint32_t>(
+      200, static_cast<uint32_t>(1000000 * std::sqrt(scale)));
+  c.mean_doc_length = 367;
+  c.num_topics = 100;
+  c.seed = 1003;
+  return c;
+}
+
+std::string DescribeCorpus(const Corpus& corpus) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "D=%u T=%llu V=%u T/D=%.1f",
+                corpus.num_docs(),
+                static_cast<unsigned long long>(corpus.num_tokens()),
+                corpus.num_words(), corpus.mean_doc_length());
+  return buf;
+}
+
+}  // namespace warplda

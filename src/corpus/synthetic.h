@@ -1,0 +1,61 @@
+#ifndef WARPLDA_CORPUS_SYNTHETIC_H_
+#define WARPLDA_CORPUS_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace warplda {
+
+/// Parameters for generating a corpus from the LDA generative process
+/// (paper §2.1) with Zipfian topic-word distributions.
+///
+/// The defaults produce a small corpus suitable for unit tests; the dataset
+/// shape factories below mimic the paper's Table 3 datasets at reduced scale.
+struct SyntheticConfig {
+  uint32_t num_docs = 1000;
+  uint32_t vocab_size = 2000;
+  uint32_t num_topics = 20;      ///< true topics used by the generator
+  double mean_doc_length = 64;   ///< documents get ~Poisson(mean) tokens
+  double alpha = 0.1;            ///< Dirichlet prior on doc-topic mixtures
+  double word_zipf_skew = 1.05;  ///< skew of each topic's word distribution
+  uint64_t seed = 42;
+};
+
+/// A generated corpus plus its ground truth, used by recovery tests.
+struct SyntheticCorpus {
+  Corpus corpus;
+  /// Topic that generated each token, document-major (parallel to corpus).
+  std::vector<TopicId> true_topics;
+  /// Per-topic word ranking: topic_words[k][r] is topic k's r-th most
+  /// probable word (Zipf rank r).
+  std::vector<std::vector<WordId>> TopWordsPerTopic(uint32_t top_n) const;
+  std::vector<std::vector<WordId>> topic_top_words;
+};
+
+/// Draws a corpus from the LDA generative process: θ_d ~ Dir(α),
+/// z ~ Mult(θ_d), w ~ Mult(φ_z) where φ_k is a Zipf distribution over a
+/// topic-specific permutation of the vocabulary.
+SyntheticCorpus GenerateLdaCorpus(const SyntheticConfig& config);
+
+/// Draws a topic-free corpus whose word frequencies follow a Zipf law with
+/// exponent `skew`. Used by the partitioning (Fig 4) and cache studies where
+/// only the frequency profile matters.
+Corpus GenerateZipfCorpus(uint32_t num_docs, uint32_t vocab_size,
+                          double mean_doc_length, double skew, uint64_t seed);
+
+/// Dataset-shape factories: the paper's Table 3 corpora with all dimensions
+/// multiplied by `scale` in [0,1] (vocabulary shrinks with sqrt(scale) so
+/// documents do not become degenerate at tiny scales).
+SyntheticConfig NYTimesShape(double scale);
+SyntheticConfig PubMedShape(double scale);
+SyntheticConfig ClueWebShape(double scale);
+
+/// Human-readable Table 3 style row: "D=… T=… V=… T/D=…".
+std::string DescribeCorpus(const Corpus& corpus);
+
+}  // namespace warplda
+
+#endif  // WARPLDA_CORPUS_SYNTHETIC_H_

@@ -1,0 +1,70 @@
+#include "corpus/tokenizer.h"
+
+#include <cctype>
+
+namespace warplda {
+
+namespace {
+// A compact English stop-word list (the most frequent function words); the
+// paper removes stop words from ClueWeb before training.
+constexpr const char* kDefaultStopWords[] = {
+    "a",    "an",   "and",  "are",  "as",    "at",   "be",    "but",  "by",
+    "for",  "from", "had",  "has",  "have",  "he",   "her",   "his",  "i",
+    "if",   "in",   "is",   "it",   "its",   "me",   "my",    "no",   "not",
+    "of",   "on",   "or",   "our",  "she",   "so",   "that",  "the",  "their",
+    "them", "then", "they", "this", "those", "to",   "was",   "we",   "were",
+    "what", "when", "which", "who", "will",  "with", "would", "you",  "your"};
+}  // namespace
+
+Tokenizer::Tokenizer() {
+  for (const char* w : kDefaultStopWords) stop_words_.insert(w);
+}
+
+void Tokenizer::set_stop_words(const std::vector<std::string>& words) {
+  stop_words_.clear();
+  stop_words_.insert(words.begin(), words.end());
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&] {
+    if (current.size() >= min_token_length_ && !IsStopWord(current)) {
+      out.push_back(current);
+    }
+    current.clear();
+  };
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<WordId> Tokenizer::TokenizeToIds(std::string_view text,
+                                             Vocabulary& vocab) const {
+  std::vector<WordId> ids;
+  for (const auto& term : Tokenize(text)) {
+    ids.push_back(vocab.GetOrAdd(term));
+  }
+  return ids;
+}
+
+TokenizedCorpus BuildCorpusFromTexts(const std::vector<std::string>& texts,
+                                     const Tokenizer& tokenizer) {
+  TokenizedCorpus result;
+  CorpusBuilder builder;
+  for (const auto& text : texts) {
+    builder.AddDocument(tokenizer.TokenizeToIds(text, result.vocabulary));
+  }
+  builder.set_num_words(result.vocabulary.size());
+  result.corpus = builder.Build();
+  return result;
+}
+
+}  // namespace warplda

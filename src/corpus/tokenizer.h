@@ -1,0 +1,54 @@
+#ifndef WARPLDA_CORPUS_TOKENIZER_H_
+#define WARPLDA_CORPUS_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/vocabulary.h"
+
+namespace warplda {
+
+/// Text preprocessing pipeline matching the paper's ClueWeb treatment (§6.1):
+/// strip everything except alphanumerics, lowercase, split on whitespace,
+/// drop stop words, and optionally drop tokens shorter than a minimum length.
+class Tokenizer {
+ public:
+  Tokenizer();
+
+  /// Replaces the default English stop-word list.
+  void set_stop_words(const std::vector<std::string>& words);
+
+  /// Minimum token length to keep (default 2).
+  void set_min_token_length(size_t n) { min_token_length_ = n; }
+
+  /// Tokenizes one document: returns normalized, stop-word-filtered terms.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// Tokenizes and interns: appends the document's word ids (growing `vocab`)
+  /// and returns them.
+  std::vector<WordId> TokenizeToIds(std::string_view text,
+                                    Vocabulary& vocab) const;
+
+ private:
+  bool IsStopWord(const std::string& token) const {
+    return stop_words_.count(token) > 0;
+  }
+
+  std::unordered_set<std::string> stop_words_;
+  size_t min_token_length_ = 2;
+};
+
+/// Builds a corpus and vocabulary from raw document texts in one call.
+struct TokenizedCorpus {
+  Corpus corpus;
+  Vocabulary vocabulary;
+};
+TokenizedCorpus BuildCorpusFromTexts(const std::vector<std::string>& texts,
+                                     const Tokenizer& tokenizer = Tokenizer());
+
+}  // namespace warplda
+
+#endif  // WARPLDA_CORPUS_TOKENIZER_H_

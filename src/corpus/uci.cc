@@ -1,0 +1,106 @@
+#include "corpus/uci.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace warplda {
+namespace uci {
+
+namespace {
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+}  // namespace
+
+bool ReadDocword(const std::string& path, Corpus* corpus, std::string* error) {
+  std::ifstream in(path);
+  if (!in) return Fail(error, "cannot open " + path);
+
+  uint64_t d_count = 0;
+  uint64_t w_count = 0;
+  uint64_t nnz = 0;
+  if (!(in >> d_count >> w_count >> nnz)) {
+    return Fail(error, path + ": malformed header");
+  }
+
+  // Documents may appear out of order in the file; bucket tokens by doc.
+  std::vector<std::vector<WordId>> docs(d_count);
+  for (uint64_t i = 0; i < nnz; ++i) {
+    uint64_t doc_id = 0;
+    uint64_t word_id = 0;
+    int64_t count = 0;
+    if (!(in >> doc_id >> word_id >> count)) {
+      return Fail(error, path + ": truncated entry list");
+    }
+    if (doc_id < 1 || doc_id > d_count) {
+      return Fail(error, path + ": doc id out of range");
+    }
+    if (word_id < 1 || word_id > w_count) {
+      return Fail(error, path + ": word id out of range");
+    }
+    if (count <= 0) return Fail(error, path + ": non-positive count");
+    auto& doc = docs[doc_id - 1];
+    doc.insert(doc.end(), static_cast<size_t>(count),
+               static_cast<WordId>(word_id - 1));
+  }
+
+  CorpusBuilder builder;
+  builder.set_num_words(static_cast<WordId>(w_count));
+  for (auto& doc : docs) builder.AddDocument(doc);
+  *corpus = builder.Build();
+  return true;
+}
+
+bool ReadVocab(const std::string& path, Vocabulary* vocab,
+               std::string* error) {
+  std::ifstream in(path);
+  if (!in) return Fail(error, "cannot open " + path);
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+      line.pop_back();
+    }
+    if (!line.empty()) vocab->GetOrAdd(line);
+  }
+  return true;
+}
+
+bool WriteDocword(const Corpus& corpus, const std::string& path,
+                  std::string* error) {
+  std::ofstream out(path);
+  if (!out) return Fail(error, "cannot open " + path + " for writing");
+
+  // First pass: collapse per-document tokens into (word, count) pairs.
+  uint64_t nnz = 0;
+  std::vector<std::map<WordId, uint32_t>> bags(corpus.num_docs());
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    for (WordId w : corpus.doc_tokens(d)) ++bags[d][w];
+    nnz += bags[d].size();
+  }
+
+  out << corpus.num_docs() << "\n"
+      << corpus.num_words() << "\n"
+      << nnz << "\n";
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    for (const auto& [w, count] : bags[d]) {
+      out << (d + 1) << ' ' << (w + 1) << ' ' << count << "\n";
+    }
+  }
+  return out.good() || Fail(error, "write error on " + path);
+}
+
+bool WriteVocab(const Vocabulary& vocab, const std::string& path,
+                std::string* error) {
+  std::ofstream out(path);
+  if (!out) return Fail(error, "cannot open " + path + " for writing");
+  for (WordId i = 0; i < vocab.size(); ++i) out << vocab.word(i) << "\n";
+  return out.good() || Fail(error, "write error on " + path);
+}
+
+}  // namespace uci
+}  // namespace warplda

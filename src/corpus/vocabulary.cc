@@ -1,0 +1,19 @@
+#include "corpus/vocabulary.h"
+
+namespace warplda {
+
+WordId Vocabulary::GetOrAdd(std::string_view word) {
+  auto it = index_.find(std::string(word));
+  if (it != index_.end()) return it->second;
+  WordId id = static_cast<WordId>(words_.size());
+  words_.emplace_back(word);
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+WordId Vocabulary::Find(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+}  // namespace warplda

@@ -1,0 +1,39 @@
+#ifndef WARPLDA_CORPUS_VOCABULARY_H_
+#define WARPLDA_CORPUS_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace warplda {
+
+/// Bidirectional word <-> id mapping.
+///
+/// Ids are assigned densely in insertion order, so a Vocabulary built while
+/// tokenizing matches the word ids of the corpus produced alongside it.
+class Vocabulary {
+ public:
+  /// Returns the id of `word`, inserting it if new.
+  WordId GetOrAdd(std::string_view word);
+
+  /// Returns the id of `word`, or kNotFound if absent.
+  static constexpr WordId kNotFound = 0xFFFFFFFFu;
+  WordId Find(std::string_view word) const;
+
+  /// Returns the word with the given id. Requires id < size().
+  const std::string& word(WordId id) const { return words_[id]; }
+
+  /// Number of distinct words.
+  WordId size() const { return static_cast<WordId>(words_.size()); }
+
+ private:
+  std::unordered_map<std::string, WordId> index_;
+  std::vector<std::string> words_;
+};
+
+}  // namespace warplda
+
+#endif  // WARPLDA_CORPUS_VOCABULARY_H_

@@ -1,0 +1,78 @@
+#include "eval/coherence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace warplda {
+
+namespace {
+
+// Sorted vector of distinct documents containing word w.
+std::vector<DocId> DocumentsOf(const Corpus& corpus, WordId w) {
+  std::vector<DocId> docs;
+  DocId prev = 0;
+  bool first = true;
+  for (TokenIdx t : corpus.word_tokens(w)) {
+    DocId d = corpus.token_doc(t);
+    if (first || d != prev) docs.push_back(d);
+    prev = d;
+    first = false;
+  }
+  return docs;
+}
+
+size_t IntersectionSize(const std::vector<DocId>& a,
+                        const std::vector<DocId>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+CoherenceResult UMassCoherence(const TopicModel& model, const Corpus& corpus,
+                               uint32_t top_n) {
+  CoherenceResult result;
+  result.per_topic.assign(model.num_topics(), 0.0);
+
+  for (TopicId k = 0; k < model.num_topics(); ++k) {
+    auto top = model.TopWords(k, top_n);
+    if (top.size() < 2) continue;
+    std::vector<std::vector<DocId>> docs(top.size());
+    for (size_t i = 0; i < top.size(); ++i) {
+      docs[i] = DocumentsOf(corpus, top[i].first);
+    }
+    double coherence = 0.0;
+    // UMass convention: word lists are ordered by frequency; the conditioning
+    // word w_j is the more frequent (earlier) one.
+    for (size_t i = 1; i < top.size(); ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        double co = static_cast<double>(IntersectionSize(docs[i], docs[j]));
+        double denom = static_cast<double>(docs[j].size());
+        if (denom > 0.0) coherence += std::log((co + 1.0) / denom);
+      }
+    }
+    result.per_topic[k] = coherence;
+  }
+
+  double total = 0.0;
+  for (double c : result.per_topic) total += c;
+  result.mean =
+      model.num_topics() == 0 ? 0.0 : total / model.num_topics();
+  return result;
+}
+
+}  // namespace warplda

@@ -1,0 +1,34 @@
+#ifndef WARPLDA_EVAL_COHERENCE_H_
+#define WARPLDA_EVAL_COHERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "eval/topic_model.h"
+
+namespace warplda {
+
+/// UMass topic coherence (Mimno et al., EMNLP 2011):
+///
+///   C(k) = Σ_{i<j over top-N words} log [ (D(w_i, w_j) + 1) / D(w_j) ]
+///
+/// where D(w) is the number of documents containing w and D(w_i, w_j) the
+/// number containing both, with the top-N list ordered by in-topic count.
+/// Higher (closer to zero) is better; values are intrinsically negative.
+/// Complements the joint log likelihood with a human-interpretable quality
+/// signal when comparing samplers.
+struct CoherenceResult {
+  std::vector<double> per_topic;  ///< C(k) for each topic
+  double mean = 0.0;
+};
+
+/// Computes UMass coherence of `model`'s topics over `corpus` using the top
+/// `top_n` words per topic. Topics whose support has fewer than two words
+/// get coherence 0.
+CoherenceResult UMassCoherence(const TopicModel& model, const Corpus& corpus,
+                               uint32_t top_n = 10);
+
+}  // namespace warplda
+
+#endif  // WARPLDA_EVAL_COHERENCE_H_

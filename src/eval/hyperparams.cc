@@ -1,0 +1,113 @@
+#include "eval/hyperparams.h"
+
+#include <algorithm>
+
+#include "util/hash_count.h"
+#include "util/special.h"
+
+namespace warplda {
+
+namespace {
+constexpr double kMinPrior = 1e-6;
+constexpr double kMaxPrior = 1e3;
+}  // namespace
+
+double EstimateSymmetricAlpha(const Corpus& corpus,
+                              const std::vector<TopicId>& assignments,
+                              uint32_t num_topics, double alpha,
+                              uint32_t fixed_point_iterations) {
+  // Gather the count histograms once: how often each C_dk value occurs and
+  // how often each document length occurs. The fixed point then iterates
+  // over histograms instead of rescanning the corpus.
+  std::vector<uint64_t> count_hist;  // count_hist[c] = #(d,k) with C_dk == c
+  std::vector<uint64_t> length_hist;
+  HashCount cd;
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    uint32_t len = corpus.doc_length(d);
+    if (len == 0) continue;
+    if (len >= length_hist.size()) length_hist.resize(len + 1, 0);
+    ++length_hist[len];
+    cd.Init(std::min<uint32_t>(num_topics, 2 * len));
+    TokenIdx base = corpus.doc_offset(d);
+    for (uint32_t n = 0; n < len; ++n) cd.Inc(assignments[base + n]);
+    cd.ForEachNonZero([&](uint32_t, int32_t c) {
+      if (static_cast<size_t>(c) >= count_hist.size()) {
+        count_hist.resize(c + 1, 0);
+      }
+      ++count_hist[c];
+    });
+  }
+
+  for (uint32_t iter = 0; iter < fixed_point_iterations; ++iter) {
+    double numerator = 0.0;
+    const double psi_alpha = Digamma(alpha);
+    for (size_t c = 1; c < count_hist.size(); ++c) {
+      if (count_hist[c] != 0) {
+        numerator += count_hist[c] * (Digamma(alpha + c) - psi_alpha);
+      }
+    }
+    double denominator = 0.0;
+    const double alpha_bar = alpha * num_topics;
+    const double psi_alpha_bar = Digamma(alpha_bar);
+    for (size_t len = 1; len < length_hist.size(); ++len) {
+      if (length_hist[len] != 0) {
+        denominator +=
+            length_hist[len] * (Digamma(alpha_bar + len) - psi_alpha_bar);
+      }
+    }
+    if (denominator <= 0.0 || numerator <= 0.0) break;
+    alpha = std::clamp(alpha * numerator / (num_topics * denominator),
+                       kMinPrior, kMaxPrior);
+  }
+  return alpha;
+}
+
+double EstimateSymmetricBeta(const Corpus& corpus,
+                             const std::vector<TopicId>& assignments,
+                             uint32_t num_topics, double beta,
+                             uint32_t fixed_point_iterations) {
+  const WordId v = corpus.num_words();
+  std::vector<uint64_t> count_hist;  // over C_wk values
+  std::vector<int64_t> ck(num_topics, 0);
+  HashCount cw;
+  for (WordId w = 0; w < v; ++w) {
+    auto occurrences = corpus.word_tokens(w);
+    if (occurrences.empty()) continue;
+    cw.Init(std::min<uint32_t>(num_topics,
+                               2 * static_cast<uint32_t>(occurrences.size())));
+    for (TokenIdx t : occurrences) {
+      cw.Inc(assignments[t]);
+      ++ck[assignments[t]];
+    }
+    cw.ForEachNonZero([&](uint32_t, int32_t c) {
+      if (static_cast<size_t>(c) >= count_hist.size()) {
+        count_hist.resize(c + 1, 0);
+      }
+      ++count_hist[c];
+    });
+  }
+
+  for (uint32_t iter = 0; iter < fixed_point_iterations; ++iter) {
+    double numerator = 0.0;
+    const double psi_beta = Digamma(beta);
+    for (size_t c = 1; c < count_hist.size(); ++c) {
+      if (count_hist[c] != 0) {
+        numerator += count_hist[c] * (Digamma(beta + c) - psi_beta);
+      }
+    }
+    double denominator = 0.0;
+    const double beta_bar = beta * v;
+    const double psi_beta_bar = Digamma(beta_bar);
+    for (uint32_t k = 0; k < num_topics; ++k) {
+      if (ck[k] > 0) {
+        denominator += Digamma(beta_bar + ck[k]) - psi_beta_bar;
+      }
+    }
+    if (denominator <= 0.0 || numerator <= 0.0) break;
+    beta = std::clamp(beta * numerator / (v * denominator), kMinPrior,
+                      kMaxPrior);
+  }
+  return beta;
+}
+
+}  // namespace warplda

@@ -1,0 +1,36 @@
+#ifndef WARPLDA_EVAL_HYPERPARAMS_H_
+#define WARPLDA_EVAL_HYPERPARAMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace warplda {
+
+/// Minka fixed-point estimation of the symmetric Dirichlet hyper-parameters
+/// from the current topic assignments (Minka 2000, "Estimating a Dirichlet
+/// distribution"; the update used by MALLET's hyper-parameter optimization):
+///
+///   α ← α · Σ_d Σ_k [ψ(C_dk+α) − ψ(α)] / (K · Σ_d [ψ(L_d+Kα) − ψ(Kα)])
+///
+/// and symmetrically for β over the topic-word counts. A few iterations of
+/// Train() interleaved with these updates typically improve held-out
+/// perplexity noticeably versus fixed 50/K priors.
+
+/// One fixed-point pass for the document-topic prior. Returns the updated
+/// symmetric α (clamped to [1e-6, 1e3]).
+double EstimateSymmetricAlpha(const Corpus& corpus,
+                              const std::vector<TopicId>& assignments,
+                              uint32_t num_topics, double alpha,
+                              uint32_t fixed_point_iterations = 5);
+
+/// One fixed-point pass for the topic-word prior β.
+double EstimateSymmetricBeta(const Corpus& corpus,
+                             const std::vector<TopicId>& assignments,
+                             uint32_t num_topics, double beta,
+                             uint32_t fixed_point_iterations = 5);
+
+}  // namespace warplda
+
+#endif  // WARPLDA_EVAL_HYPERPARAMS_H_

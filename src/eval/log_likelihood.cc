@@ -1,0 +1,139 @@
+#include "eval/log_likelihood.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash_count.h"
+
+namespace warplda {
+
+namespace {
+
+// Shared implementation: `alpha_of(k)` supplies α_k, `lg_alpha_of(k)` its
+// precomputed log-gamma.
+template <typename AlphaFn, typename LgAlphaFn>
+double JointLlImpl(const Corpus& corpus,
+                   const std::vector<TopicId>& assignments,
+                   uint32_t num_topics, double alpha_bar, AlphaFn alpha_of,
+                   LgAlphaFn lg_alpha_of, double beta);
+
+}  // namespace
+
+double JointLogLikelihood(const Corpus& corpus,
+                          const std::vector<TopicId>& assignments,
+                          uint32_t num_topics, double alpha, double beta) {
+  const double lg_alpha = std::lgamma(alpha);
+  return JointLlImpl(
+      corpus, assignments, num_topics, alpha * num_topics,
+      [alpha](uint32_t) { return alpha; },
+      [lg_alpha](uint32_t) { return lg_alpha; }, beta);
+}
+
+double JointLogLikelihood(const Corpus& corpus,
+                          const std::vector<TopicId>& assignments,
+                          uint32_t num_topics,
+                          const std::vector<double>& alpha_vector,
+                          double beta) {
+  double alpha_bar = 0.0;
+  std::vector<double> lg_alpha(num_topics);
+  for (uint32_t k = 0; k < num_topics; ++k) {
+    alpha_bar += alpha_vector[k];
+    lg_alpha[k] = std::lgamma(alpha_vector[k]);
+  }
+  return JointLlImpl(
+      corpus, assignments, num_topics, alpha_bar,
+      [&alpha_vector](uint32_t k) { return alpha_vector[k]; },
+      [&lg_alpha](uint32_t k) { return lg_alpha[k]; }, beta);
+}
+
+namespace {
+
+template <typename AlphaFn, typename LgAlphaFn>
+double JointLlImpl(const Corpus& corpus,
+                   const std::vector<TopicId>& assignments,
+                   uint32_t num_topics, double alpha_bar, AlphaFn alpha_of,
+                   LgAlphaFn lg_alpha_of, double beta) {
+  const double beta_bar = beta * corpus.num_words();
+  const double lg_beta = std::lgamma(beta);
+
+  double ll = 0.0;
+  std::vector<int64_t> ck(num_topics, 0);
+
+  // Document side: one hash-count pass per document.
+  HashCount cd;
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    uint32_t len = corpus.doc_length(d);
+    if (len == 0) continue;
+    cd.Init(std::min<uint32_t>(num_topics, 2 * len));
+    TokenIdx base = corpus.doc_offset(d);
+    for (uint32_t n = 0; n < len; ++n) {
+      TopicId z = assignments[base + n];
+      cd.Inc(z);
+      ++ck[z];
+    }
+    ll += std::lgamma(alpha_bar) - std::lgamma(alpha_bar + len);
+    cd.ForEachNonZero([&](uint32_t k, int32_t count) {
+      ll += std::lgamma(alpha_of(k) + count) - lg_alpha_of(k);
+    });
+  }
+
+  // Word side: one hash-count pass per word using the word-major index.
+  HashCount cw;
+  for (WordId w = 0; w < corpus.num_words(); ++w) {
+    auto occurrences = corpus.word_tokens(w);
+    if (occurrences.empty()) continue;
+    cw.Init(std::min<uint32_t>(num_topics,
+                               2 * static_cast<uint32_t>(occurrences.size())));
+    for (TokenIdx t : occurrences) cw.Inc(assignments[t]);
+    cw.ForEachNonZero([&](uint32_t, int32_t count) {
+      ll += std::lgamma(beta + count) - lg_beta;
+    });
+  }
+
+  for (uint32_t k = 0; k < num_topics; ++k) {
+    ll += std::lgamma(beta_bar) - std::lgamma(beta_bar + ck[k]);
+  }
+  return ll;
+}
+
+}  // namespace
+
+SparsityStats ComputeSparsity(const Corpus& corpus,
+                              const std::vector<TopicId>& assignments) {
+  SparsityStats stats{0.0, 0.0, 0, 0};
+  uint64_t doc_total = 0;
+  HashCount counts;
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    uint32_t len = corpus.doc_length(d);
+    counts.Init(2 * std::max<uint32_t>(1, len));
+    TokenIdx base = corpus.doc_offset(d);
+    for (uint32_t n = 0; n < len; ++n) counts.Inc(assignments[base + n]);
+    uint32_t kd = 0;
+    counts.ForEachNonZero([&](uint32_t, int32_t) { ++kd; });
+    doc_total += kd;
+    stats.max_topics_per_doc = std::max(stats.max_topics_per_doc, kd);
+  }
+  stats.mean_topics_per_doc =
+      corpus.num_docs() == 0
+          ? 0.0
+          : static_cast<double>(doc_total) / corpus.num_docs();
+
+  uint64_t word_total = 0;
+  uint32_t words_seen = 0;
+  for (WordId w = 0; w < corpus.num_words(); ++w) {
+    auto occurrences = corpus.word_tokens(w);
+    if (occurrences.empty()) continue;
+    ++words_seen;
+    counts.Init(2 * static_cast<uint32_t>(occurrences.size()));
+    for (TokenIdx t : occurrences) counts.Inc(assignments[t]);
+    uint32_t kw = 0;
+    counts.ForEachNonZero([&](uint32_t, int32_t) { ++kw; });
+    word_total += kw;
+    stats.max_topics_per_word = std::max(stats.max_topics_per_word, kw);
+  }
+  stats.mean_topics_per_word =
+      words_seen == 0 ? 0.0 : static_cast<double>(word_total) / words_seen;
+  return stats;
+}
+
+}  // namespace warplda

@@ -1,0 +1,44 @@
+#ifndef WARPLDA_EVAL_LOG_LIKELIHOOD_H_
+#define WARPLDA_EVAL_LOG_LIKELIHOOD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace warplda {
+
+/// Computes the joint log likelihood log p(W, Z | α, β) used throughout the
+/// paper's evaluation (§6.1):
+///
+///   L = Σ_d [ logΓ(ᾱ) − logΓ(ᾱ+L_d) + Σ_k (logΓ(α+C_dk) − logΓ(α)) ]
+///     + Σ_k [ logΓ(β̄) − logΓ(β̄+C_k) + Σ_w (logΓ(β+C_wk) − logΓ(β)) ]
+///
+/// with symmetric priors (α_k = α, β_w = β, ᾱ = Kα, β̄ = Vβ).
+///
+/// `assignments` is document-major and parallel to the corpus token stream.
+/// Runs in O(T + nnz) time and O(K + max L) memory.
+double JointLogLikelihood(const Corpus& corpus,
+                          const std::vector<TopicId>& assignments,
+                          uint32_t num_topics, double alpha, double beta);
+
+/// Asymmetric-α variant: α_k per topic (size num_topics), symmetric β.
+double JointLogLikelihood(const Corpus& corpus,
+                          const std::vector<TopicId>& assignments,
+                          uint32_t num_topics,
+                          const std::vector<double>& alpha_vector,
+                          double beta);
+
+/// Per-document/word topic sparsity statistics (Table 2's K_d and K_w).
+struct SparsityStats {
+  double mean_topics_per_doc;   ///< average K_d over documents
+  double mean_topics_per_word;  ///< average K_w over words with L_w > 0
+  uint32_t max_topics_per_doc;
+  uint32_t max_topics_per_word;
+};
+SparsityStats ComputeSparsity(const Corpus& corpus,
+                              const std::vector<TopicId>& assignments);
+
+}  // namespace warplda
+
+#endif  // WARPLDA_EVAL_LOG_LIKELIHOOD_H_

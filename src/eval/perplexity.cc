@@ -1,0 +1,83 @@
+#include "eval/perplexity.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace warplda {
+
+double HeldOutPerplexity(const TopicModel& model, const Corpus& heldout,
+                         const PerplexityOptions& options) {
+  const uint32_t k_topics = model.num_topics();
+  const double beta_bar = model.beta() * model.num_words();
+  Rng rng(options.seed);
+
+  // Precompute dense φ̂ columns lazily per word would be O(T*K); instead
+  // cache φ̂ rows for the words that actually occur in the held-out set.
+  std::vector<std::vector<double>> phi(heldout.num_words());
+  auto phi_row = [&](WordId w) -> const std::vector<double>& {
+    auto& row = phi[w];
+    if (row.empty()) {
+      row.assign(k_topics, 0.0);
+      for (uint32_t k = 0; k < k_topics; ++k) {
+        row[k] = model.beta() / (model.topic_counts()[k] + beta_bar);
+      }
+      for (const auto& [k, c] : model.word_topics(w)) {
+        row[k] = (c + model.beta()) / (model.topic_counts()[k] + beta_bar);
+      }
+    }
+    return row;
+  };
+
+  double log_sum = 0.0;
+  uint64_t token_count = 0;
+  std::vector<uint32_t> cd(k_topics);
+  std::vector<TopicId> z;
+  std::vector<double> dist(k_topics);
+
+  for (DocId d = 0; d < heldout.num_docs(); ++d) {
+    auto words = heldout.doc_tokens(d);
+    if (words.empty()) continue;
+    std::fill(cd.begin(), cd.end(), 0);
+    z.resize(words.size());
+    for (size_t n = 0; n < words.size(); ++n) {
+      z[n] = rng.NextInt(k_topics);
+      ++cd[z[n]];
+    }
+    // Fold-in sweeps: sample z ∝ (C_dk + α) φ̂_wk with φ̂ fixed.
+    for (uint32_t iter = 0; iter < options.burn_in_iterations; ++iter) {
+      for (size_t n = 0; n < words.size(); ++n) {
+        --cd[z[n]];
+        const auto& row = phi_row(words[n]);
+        double total = 0.0;
+        for (uint32_t k = 0; k < k_topics; ++k) {
+          dist[k] = (cd[k] + model.alpha()) * row[k];
+          total += dist[k];
+        }
+        double target = rng.NextDouble() * total;
+        uint32_t k = 0;
+        double acc = dist[0];
+        while (acc < target && k + 1 < k_topics) acc += dist[++k];
+        z[n] = k;
+        ++cd[k];
+      }
+    }
+    // Predictive likelihood with θ̂ from the folded-in counts.
+    const double denom = words.size() + model.alpha() * k_topics;
+    for (size_t n = 0; n < words.size(); ++n) {
+      const auto& row = phi_row(words[n]);
+      double p = 0.0;
+      for (uint32_t k = 0; k < k_topics; ++k) {
+        p += (cd[k] + model.alpha()) / denom * row[k];
+      }
+      log_sum += std::log(p);
+      ++token_count;
+    }
+  }
+  return token_count == 0 ? 0.0
+                          : std::exp(-log_sum / static_cast<double>(
+                                                    token_count));
+}
+
+}  // namespace warplda

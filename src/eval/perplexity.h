@@ -1,0 +1,27 @@
+#ifndef WARPLDA_EVAL_PERPLEXITY_H_
+#define WARPLDA_EVAL_PERPLEXITY_H_
+
+#include <cstdint>
+
+#include "corpus/corpus.h"
+#include "eval/topic_model.h"
+
+namespace warplda {
+
+/// Options for held-out evaluation by fold-in Gibbs sampling.
+struct PerplexityOptions {
+  uint32_t burn_in_iterations = 20;  ///< Gibbs sweeps before estimating θ
+  uint64_t seed = 7;
+};
+
+/// Held-out perplexity of `heldout` under a trained model:
+/// topics φ̂ are fixed from the model; each held-out document is folded in
+/// with collapsed Gibbs sweeps to estimate θ̂_d, then
+///   perplexity = exp( − Σ_tokens log Σ_k θ̂_dk φ̂_w k / T ).
+/// Lower is better. Word ids in `heldout` must be < model.num_words().
+double HeldOutPerplexity(const TopicModel& model, const Corpus& heldout,
+                         const PerplexityOptions& options = {});
+
+}  // namespace warplda
+
+#endif  // WARPLDA_EVAL_PERPLEXITY_H_

@@ -1,0 +1,77 @@
+#include "util/alias_table.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace warplda {
+
+void AliasTable::Build(const double* weights, uint32_t n) {
+  outcomes_.clear();
+  prob_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  if (n == 0) {
+    total_weight_ = 0.0;
+    return;
+  }
+
+  double total = 0.0;
+  for (uint32_t i = 0; i < n; ++i) total += weights[i];
+  total_weight_ = total;
+  if (!(total > 0.0)) {
+    // Degenerate: uniform over bins. prob_=1 means the bin always wins.
+    for (uint32_t i = 0; i < n; ++i) alias_[i] = i;
+    return;
+  }
+
+  // Vose's algorithm: split bins into "small" (scaled weight < 1) and "large"
+  // groups, then repeatedly pair one of each so every bin holds exactly two
+  // outcomes whose probabilities sum to 1/n.
+  std::vector<double> scaled(n);
+  const double scale = static_cast<double>(n) / total;
+  for (uint32_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining bins have scaled weight numerically equal to 1.
+  for (uint32_t s : small) {
+    prob_[s] = 1.0;
+    alias_[s] = s;
+  }
+  for (uint32_t l : large) {
+    prob_[l] = 1.0;
+    alias_[l] = l;
+  }
+}
+
+void AliasTable::BuildSparse(
+    const std::vector<std::pair<uint32_t, double>>& entries) {
+  std::vector<double> weights(entries.size());
+  std::vector<uint32_t> outcomes(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    outcomes[i] = entries[i].first;
+    weights[i] = entries[i].second;
+  }
+  Build(weights.data(), static_cast<uint32_t>(weights.size()));
+  // alias_ currently holds bin ids; remap both alias targets and identity
+  // outcomes through the outcome table.
+  outcomes_ = std::move(outcomes);
+  for (auto& a : alias_) a = outcomes_.empty() ? a : outcomes_[a];
+}
+
+}  // namespace warplda

@@ -1,0 +1,132 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace warplda {
+
+namespace {
+std::string Repr(int64_t v) { return std::to_string(v); }
+std::string Repr(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+}  // namespace
+
+FlagSet& FlagSet::Int(const std::string& name, int64_t* ptr,
+                      const std::string& help) {
+  flags_.push_back({name, Type::kInt, ptr, help, Repr(*ptr)});
+  return *this;
+}
+
+FlagSet& FlagSet::Double(const std::string& name, double* ptr,
+                         const std::string& help) {
+  flags_.push_back({name, Type::kDouble, ptr, help, Repr(*ptr)});
+  return *this;
+}
+
+FlagSet& FlagSet::String(const std::string& name, std::string* ptr,
+                         const std::string& help) {
+  flags_.push_back({name, Type::kString, ptr, help, *ptr});
+  return *this;
+}
+
+FlagSet& FlagSet::Bool(const std::string& name, bool* ptr,
+                       const std::string& help) {
+  flags_.push_back({name, Type::kBool, ptr, help, *ptr ? "true" : "false"});
+  return *this;
+}
+
+FlagSet::Flag* FlagSet::Find(const std::string& name) {
+  for (auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool FlagSet::SetValue(const Flag& flag, const std::string& value) {
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kInt: {
+      int64_t v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') return false;
+      *static_cast<int64_t*>(flag.ptr) = v;
+      return true;
+    }
+    case Type::kDouble: {
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') return false;
+      *static_cast<double*>(flag.ptr) = v;
+      return true;
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.ptr) = value;
+      return true;
+    case Type::kBool:
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.ptr) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.ptr) = false;
+      } else {
+        return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      return false;
+    }
+    std::string body = arg.substr(2);
+    std::string name = body;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    Flag* flag = Find(name);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag: --%s (see --help)\n", name.c_str());
+      return false;
+    }
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+        return false;
+      }
+    }
+    if (!SetValue(*flag, value)) {
+      std::fprintf(stderr, "bad value for --%s: '%s'\n", name.c_str(),
+                   value.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void FlagSet::PrintHelp(const std::string& program) const {
+  std::printf("usage: %s [flags]\n", program.c_str());
+  for (const auto& f : flags_) {
+    std::printf("  --%-20s %s (default: %s)\n", f.name.c_str(), f.help.c_str(),
+                f.default_repr.c_str());
+  }
+}
+
+}  // namespace warplda

@@ -1,0 +1,50 @@
+#ifndef WARPLDA_UTIL_FLAGS_H_
+#define WARPLDA_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warplda {
+
+/// Minimal command-line flag parser for benchmark and example binaries.
+///
+/// Supports `--name=value`, `--name value`, and bare `--name` for booleans.
+/// Unknown flags are reported and cause Parse() to return false so binaries
+/// fail fast on typos. Registration order drives --help output.
+class FlagSet {
+ public:
+  /// Registers flags. `ptr` must outlive Parse(). Returns *this for chaining.
+  FlagSet& Int(const std::string& name, int64_t* ptr, const std::string& help);
+  FlagSet& Double(const std::string& name, double* ptr,
+                  const std::string& help);
+  FlagSet& String(const std::string& name, std::string* ptr,
+                  const std::string& help);
+  FlagSet& Bool(const std::string& name, bool* ptr, const std::string& help);
+
+  /// Parses argv. Returns false (after printing a message) on unknown flags,
+  /// malformed values, or `--help`.
+  bool Parse(int argc, char** argv);
+
+  /// Prints registered flags with defaults and help strings to stdout.
+  void PrintHelp(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* ptr;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Flag* Find(const std::string& name);
+  static bool SetValue(const Flag& flag, const std::string& value);
+
+  std::vector<Flag> flags_;
+};
+
+}  // namespace warplda
+
+#endif  // WARPLDA_UTIL_FLAGS_H_

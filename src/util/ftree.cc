@@ -1,0 +1,53 @@
+#include "util/ftree.h"
+
+#include <algorithm>
+
+namespace warplda {
+
+namespace {
+uint32_t NextPow2(uint32_t x) {
+  uint32_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+}  // namespace
+
+void FTree::Reset(uint32_t n) {
+  n_ = n;
+  cap_ = n == 0 ? 0 : NextPow2(n);
+  tree_.assign(cap_ == 0 ? 0 : 2 * cap_, 0.0);
+}
+
+void FTree::Build(const std::vector<double>& weights) {
+  Reset(static_cast<uint32_t>(weights.size()));
+  if (n_ == 0) return;
+  std::copy(weights.begin(), weights.end(), tree_.begin() + cap_);
+  for (uint32_t i = cap_ - 1; i >= 1; --i) {
+    tree_[i] = tree_[2 * i] + tree_[2 * i + 1];
+  }
+}
+
+void FTree::Update(uint32_t i, double w) {
+  uint32_t node = cap_ + i;
+  tree_[node] = w;
+  for (node >>= 1; node >= 1; node >>= 1) {
+    tree_[node] = tree_[2 * node] + tree_[2 * node + 1];
+  }
+}
+
+uint32_t FTree::SampleWith(double u) const {
+  double target = u * tree_[1];
+  uint32_t node = 1;
+  while (node < cap_) {
+    node <<= 1;
+    if (target >= tree_[node]) {
+      target -= tree_[node];
+      ++node;
+    }
+  }
+  uint32_t idx = node - cap_;
+  // Guard against floating-point drift pushing us past the last weight.
+  return idx < n_ ? idx : n_ - 1;
+}
+
+}  // namespace warplda

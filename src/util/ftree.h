@@ -1,0 +1,59 @@
+#ifndef WARPLDA_UTIL_FTREE_H_
+#define WARPLDA_UTIL_FTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace warplda {
+
+/// F+ tree (Yu et al., WWW 2015): a complete binary tree over n non-negative
+/// weights supporting O(log n) point update and O(log n) sampling from the
+/// induced discrete distribution, with O(n) bulk build.
+///
+/// This is the structure F+LDA uses for the dense term α_k(C_wk+β)/(C_k+β̄)
+/// so that exact CGS sampling stays cheap while counts change token-to-token.
+/// Internal nodes store the sum of their subtree; sampling descends from the
+/// root consuming a uniform variate.
+class FTree {
+ public:
+  FTree() = default;
+
+  /// Initializes the tree with `n` weights, all zero.
+  explicit FTree(uint32_t n) { Reset(n); }
+
+  /// Re-initializes with `n` zero weights.
+  void Reset(uint32_t n);
+
+  /// Bulk-builds from the given weights in O(n).
+  void Build(const std::vector<double>& weights);
+
+  /// Sets weight i to w in O(log n).
+  void Update(uint32_t i, double w);
+
+  /// Returns weight i.
+  double Get(uint32_t i) const { return tree_[cap_ + i]; }
+
+  /// Returns the sum of all weights.
+  double Total() const { return cap_ == 0 ? 0.0 : tree_[1]; }
+
+  /// Samples index i with probability weight[i]/Total() in O(log n).
+  /// Requires Total() > 0.
+  uint32_t Sample(Rng& rng) const { return SampleWith(rng.NextDouble()); }
+
+  /// Deterministic variant: consumes u in [0,1). Exposed for testing.
+  uint32_t SampleWith(double u) const;
+
+  /// Number of weights.
+  uint32_t size() const { return n_; }
+
+ private:
+  uint32_t n_ = 0;    // logical number of leaves
+  uint32_t cap_ = 0;  // leaf capacity (power of two >= n_)
+  std::vector<double> tree_;  // 1-based heap layout; leaves at [cap_, 2*cap_)
+};
+
+}  // namespace warplda
+
+#endif  // WARPLDA_UTIL_FTREE_H_

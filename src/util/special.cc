@@ -1,0 +1,27 @@
+#include "util/special.h"
+
+#include <cmath>
+#include <limits>
+
+namespace warplda {
+
+double Digamma(double x) {
+  if (!(x > 0.0)) return std::numeric_limits<double>::quiet_NaN();
+  double result = 0.0;
+  while (x < 8.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  // Asymptotic expansion: ψ(x) ≈ ln x − 1/(2x) − Σ B_2n / (2n x^2n).
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result +=
+      std::log(x) - 0.5 * inv -
+      inv2 * (1.0 / 12.0 -
+              inv2 * (1.0 / 120.0 -
+                      inv2 * (1.0 / 252.0 -
+                              inv2 * (1.0 / 240.0 - inv2 / 132.0))));
+  return result;
+}
+
+}  // namespace warplda

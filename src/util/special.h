@@ -1,0 +1,15 @@
+#ifndef WARPLDA_UTIL_SPECIAL_H_
+#define WARPLDA_UTIL_SPECIAL_H_
+
+namespace warplda {
+
+/// Digamma function ψ(x) = d/dx log Γ(x) for x > 0.
+///
+/// Recurrence ψ(x) = ψ(x+1) − 1/x lifts the argument above 6, then the
+/// standard asymptotic series applies (absolute error < 1e-12 for x ≥ 6).
+/// Needed by the Minka fixed-point hyper-parameter updates (eval/hyperparams).
+double Digamma(double x);
+
+}  // namespace warplda
+
+#endif  // WARPLDA_UTIL_SPECIAL_H_

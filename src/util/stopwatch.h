@@ -1,0 +1,31 @@
+#ifndef WARPLDA_UTIL_STOPWATCH_H_
+#define WARPLDA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace warplda {
+
+/// Monotonic wall-clock stopwatch used by trainers and benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace warplda
+
+#endif  // WARPLDA_UTIL_STOPWATCH_H_

@@ -1,0 +1,18 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+namespace warplda {
+
+ZipfSampler::ZipfSampler(uint32_t n, double s) {
+  pmf_.resize(n);
+  double total = 0.0;
+  for (uint32_t r = 0; r < n; ++r) {
+    pmf_[r] = std::pow(static_cast<double>(r + 1), -s);
+    total += pmf_[r];
+  }
+  for (auto& p : pmf_) p /= total;
+  table_.Build(pmf_);
+}
+
+}  // namespace warplda

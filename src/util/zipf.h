@@ -1,0 +1,39 @@
+#ifndef WARPLDA_UTIL_ZIPF_H_
+#define WARPLDA_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/alias_table.h"
+#include "util/rng.h"
+
+namespace warplda {
+
+/// Samples ranks from a Zipf distribution P(r) ∝ 1/(r+1)^s over {0,...,n-1}.
+///
+/// Natural-language word frequencies follow a power law (paper §5.2 cites
+/// Zipf 1932); the synthetic corpora and the Fig. 4 partitioning study both
+/// need Zipfian draws. Exact sampling via a precomputed alias table: O(n)
+/// build, O(1) per sample.
+class ZipfSampler {
+ public:
+  /// Builds the sampler for `n` ranks with exponent `s` (s >= 0; s = 0 is
+  /// uniform, s ≈ 1 is classic Zipf).
+  ZipfSampler(uint32_t n, double s);
+
+  /// Draws a rank in [0, n).
+  uint32_t Sample(Rng& rng) const { return table_.Sample(rng); }
+
+  /// Probability mass of rank r.
+  double Pmf(uint32_t r) const { return pmf_[r]; }
+
+  uint32_t size() const { return static_cast<uint32_t>(pmf_.size()); }
+
+ private:
+  AliasTable table_;
+  std::vector<double> pmf_;
+};
+
+}  // namespace warplda
+
+#endif  // WARPLDA_UTIL_ZIPF_H_

@@ -1,0 +1,65 @@
+#include "cachesim/access_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace warplda {
+namespace {
+
+TEST(AccessStatsTest, CountsByKind) {
+  AccessStats stats;
+  stats.OnAccess(0x1000, 4, /*random=*/true, /*write=*/false);
+  stats.OnAccess(0x2000, 4, /*random=*/false, /*write=*/false);
+  stats.OnAccess(0x3000, 4, /*random=*/true, /*write=*/true);
+  EXPECT_EQ(stats.random_accesses(), 2u);
+  EXPECT_EQ(stats.sequential_accesses(), 1u);
+}
+
+TEST(AccessStatsTest, ScopeFootprintCountsDistinctLines) {
+  AccessStats stats;
+  stats.OnAccess(0x1000, 4, true, false);
+  stats.OnAccess(0x1010, 4, true, false);  // same 64B line
+  stats.OnAccess(0x2000, 4, true, false);  // second line
+  stats.OnScopeEnd();
+  EXPECT_EQ(stats.scopes(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_random_bytes_per_scope(), 128.0);
+  EXPECT_EQ(stats.max_random_bytes_per_scope(), 128u);
+}
+
+TEST(AccessStatsTest, ScopesResetFootprint) {
+  AccessStats stats;
+  stats.OnAccess(0x1000, 4, true, false);
+  stats.OnScopeEnd();
+  stats.OnAccess(0x1000, 4, true, false);
+  stats.OnAccess(0x5000, 4, true, false);
+  stats.OnScopeEnd();
+  EXPECT_EQ(stats.scopes(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_random_bytes_per_scope(), (64.0 + 128.0) / 2);
+  EXPECT_EQ(stats.max_random_bytes_per_scope(), 128u);
+}
+
+TEST(AccessStatsTest, SequentialAccessesDontAffectFootprint) {
+  AccessStats stats;
+  stats.OnAccess(0x1000, 4096, false, false);
+  stats.OnScopeEnd();
+  EXPECT_DOUBLE_EQ(stats.mean_random_bytes_per_scope(), 0.0);
+}
+
+TEST(AccessStatsTest, MultiLineRandomAccessCountsAllLines) {
+  AccessStats stats;
+  stats.OnAccess(0x1000, 256, true, false);  // 4 lines
+  stats.OnScopeEnd();
+  EXPECT_DOUBLE_EQ(stats.mean_random_bytes_per_scope(), 256.0);
+}
+
+TEST(AccessStatsTest, ResetClearsEverything) {
+  AccessStats stats;
+  stats.OnAccess(0x1000, 4, true, false);
+  stats.OnScopeEnd();
+  stats.Reset();
+  EXPECT_EQ(stats.random_accesses(), 0u);
+  EXPECT_EQ(stats.scopes(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_random_bytes_per_scope(), 0.0);
+}
+
+}  // namespace
+}  // namespace warplda

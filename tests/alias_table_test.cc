@@ -1,0 +1,124 @@
+#include "util/alias_table.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warplda {
+namespace {
+
+std::vector<double> EmpiricalFrequencies(const AliasTable& table, uint32_t n,
+                                         int samples, uint64_t seed,
+                                         uint32_t outcome_space = 0) {
+  Rng rng(seed);
+  std::vector<double> freq(outcome_space == 0 ? n : outcome_space, 0.0);
+  for (int i = 0; i < samples; ++i) freq[table.Sample(rng)] += 1.0;
+  for (auto& f : freq) f /= samples;
+  return freq;
+}
+
+TEST(AliasTableTest, SingleOutcome) {
+  AliasTable table;
+  table.Build({5.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, UniformWeights) {
+  AliasTable table;
+  table.Build({1.0, 1.0, 1.0, 1.0});
+  auto freq = EmpiricalFrequencies(table, 4, 100000, 2);
+  for (double f : freq) EXPECT_NEAR(f, 0.25, 0.01);
+}
+
+TEST(AliasTableTest, SkewedWeights) {
+  AliasTable table;
+  table.Build({8.0, 1.0, 1.0});
+  auto freq = EmpiricalFrequencies(table, 3, 200000, 3);
+  EXPECT_NEAR(freq[0], 0.8, 0.01);
+  EXPECT_NEAR(freq[1], 0.1, 0.01);
+  EXPECT_NEAR(freq[2], 0.1, 0.01);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table;
+  table.Build({1.0, 0.0, 1.0});
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(table.Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, TotalWeightPreserved) {
+  AliasTable table;
+  table.Build({1.5, 2.5, 6.0});
+  EXPECT_DOUBLE_EQ(table.total_weight(), 10.0);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(AliasTableTest, UnnormalizedWeightsEquivalent) {
+  AliasTable small;
+  AliasTable large;
+  small.Build({0.2, 0.3, 0.5});
+  large.Build({20.0, 30.0, 50.0});
+  auto f1 = EmpiricalFrequencies(small, 3, 100000, 5);
+  auto f2 = EmpiricalFrequencies(large, 3, 100000, 5);
+  for (int k = 0; k < 3; ++k) EXPECT_NEAR(f1[k], f2[k], 0.01);
+}
+
+TEST(AliasTableTest, SparseBuildReturnsOutcomeIds) {
+  AliasTable table;
+  table.BuildSparse({{7, 1.0}, {42, 3.0}});
+  Rng rng(6);
+  int count42 = 0;
+  for (int i = 0; i < 40000; ++i) {
+    uint32_t s = table.Sample(rng);
+    EXPECT_TRUE(s == 7 || s == 42);
+    count42 += s == 42;
+  }
+  EXPECT_NEAR(count42 / 40000.0, 0.75, 0.01);
+}
+
+TEST(AliasTableTest, SparseSingleOutcome) {
+  AliasTable table;
+  table.BuildSparse({{123, 2.0}});
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 123u);
+}
+
+TEST(AliasTableTest, LargeDistributionMatches) {
+  const uint32_t n = 1000;
+  std::vector<double> weights(n);
+  double total = 0.0;
+  Rng wrng(8);
+  for (auto& w : weights) {
+    w = wrng.NextDouble() + 0.01;
+    total += w;
+  }
+  AliasTable table;
+  table.Build(weights);
+  auto freq = EmpiricalFrequencies(table, n, 2000000, 9);
+  // Spot-check a few outcomes with generous tolerance.
+  for (uint32_t k : {0u, 137u, 500u, 999u}) {
+    EXPECT_NEAR(freq[k], weights[k] / total, 0.002);
+  }
+}
+
+TEST(AliasTableTest, RebuildReplacesDistribution) {
+  AliasTable table;
+  table.Build({1.0, 0.0});
+  table.Build({0.0, 1.0});
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, EmptyIsReportedUntilBuild) {
+  AliasTable table;
+  EXPECT_TRUE(table.empty());
+  table.Build({1.0});
+  EXPECT_FALSE(table.empty());
+}
+
+}  // namespace
+}  // namespace warplda

@@ -1,0 +1,131 @@
+// Asymmetric document-topic prior α_k (the paper's general Eq. 1/6/7 form),
+// supported by CGS and WarpLDA.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/cgs.h"
+#include "core/warp_lda.h"
+#include "corpus/synthetic.h"
+#include "eval/log_likelihood.h"
+
+namespace warplda {
+namespace {
+
+Corpus FlatCorpus() {
+  // Structure-free corpus: every topic preference must come from the prior.
+  return GenerateZipfCorpus(150, 50, 40, 0.3, 7);
+}
+
+LdaConfig AsymmetricConfig() {
+  LdaConfig config;
+  config.num_topics = 4;
+  config.alpha_vector = {8.0, 1.0, 1.0, 1.0};  // strong pull toward topic 0
+  config.beta = 0.1;
+  config.seed = 33;
+  return config;
+}
+
+double TopicShare(const std::vector<TopicId>& z, TopicId k) {
+  uint64_t hits = 0;
+  for (TopicId topic : z) hits += topic == k;
+  return static_cast<double>(hits) / z.size();
+}
+
+TEST(AsymmetricAlphaTest, ConfigHelpers) {
+  LdaConfig config = AsymmetricConfig();
+  EXPECT_DOUBLE_EQ(config.alpha_k(0), 8.0);
+  EXPECT_DOUBLE_EQ(config.alpha_k(3), 1.0);
+  EXPECT_DOUBLE_EQ(config.alpha_bar(), 11.0);
+  LdaConfig symmetric;
+  symmetric.num_topics = 4;
+  symmetric.alpha = 0.5;
+  EXPECT_DOUBLE_EQ(symmetric.alpha_k(2), 0.5);
+  EXPECT_DOUBLE_EQ(symmetric.alpha_bar(), 2.0);
+}
+
+TEST(AsymmetricAlphaTest, CgsFollowsPriorOnFlatCorpus) {
+  Corpus corpus = FlatCorpus();
+  CgsSampler sampler;
+  sampler.Init(corpus, AsymmetricConfig());
+  for (int i = 0; i < 30; ++i) sampler.Iterate();
+  auto z = sampler.Assignments();
+  // Prior mass on topic 0 is 8/11 ≈ 0.73; structure-free data should track
+  // it (clustering pressure leaves slack, so just require dominance).
+  EXPECT_GT(TopicShare(z, 0), 0.45);
+  for (TopicId k = 1; k < 4; ++k) {
+    EXPECT_LT(TopicShare(z, k), TopicShare(z, 0)) << "topic " << k;
+  }
+}
+
+TEST(AsymmetricAlphaTest, WarpLdaFollowsPriorOnFlatCorpus) {
+  Corpus corpus = FlatCorpus();
+  WarpLdaSampler sampler;
+  sampler.Init(corpus, AsymmetricConfig());
+  for (int i = 0; i < 60; ++i) sampler.Iterate();
+  auto z = sampler.Assignments();
+  EXPECT_GT(TopicShare(z, 0), 0.45);
+  for (TopicId k = 1; k < 4; ++k) {
+    EXPECT_LT(TopicShare(z, k), TopicShare(z, 0)) << "topic " << k;
+  }
+}
+
+TEST(AsymmetricAlphaTest, WarpLdaMatchesCgsShareApproximately) {
+  Corpus corpus = FlatCorpus();
+  CgsSampler cgs;
+  cgs.Init(corpus, AsymmetricConfig());
+  WarpLdaSampler warp;
+  warp.Init(corpus, AsymmetricConfig());
+  for (int i = 0; i < 40; ++i) cgs.Iterate();
+  for (int i = 0; i < 80; ++i) warp.Iterate();
+  double cgs_share = TopicShare(cgs.Assignments(), 0);
+  double warp_share = TopicShare(warp.Assignments(), 0);
+  EXPECT_NEAR(warp_share, cgs_share, 0.25);
+}
+
+TEST(AsymmetricAlphaTest, AsymmetricLikelihoodMatchesSymmetricWhenEqual) {
+  Corpus corpus = FlatCorpus();
+  Rng rng(4);
+  std::vector<TopicId> z(corpus.num_tokens());
+  for (auto& zi : z) zi = rng.NextInt(4);
+  std::vector<double> flat(4, 0.3);
+  double sym = JointLogLikelihood(corpus, z, 4, 0.3, 0.05);
+  double asym = JointLogLikelihood(corpus, z, 4, flat, 0.05);
+  EXPECT_NEAR(sym, asym, 1e-8 * std::abs(sym));
+}
+
+TEST(AsymmetricAlphaTest, LikelihoodPrefersPriorAlignedAssignments) {
+  Corpus corpus = FlatCorpus();
+  std::vector<double> skewed = {8.0, 1.0, 1.0, 1.0};
+  std::vector<TopicId> mostly_zero(corpus.num_tokens(), 0);
+  Rng rng(5);
+  for (auto& zi : mostly_zero) {
+    if (rng.NextBernoulli(0.27)) zi = 1 + rng.NextInt(3);
+  }
+  std::vector<TopicId> uniform(corpus.num_tokens());
+  for (auto& zi : uniform) zi = rng.NextInt(4);
+  EXPECT_GT(JointLogLikelihood(corpus, mostly_zero, 4, skewed, 0.05),
+            JointLogLikelihood(corpus, uniform, 4, skewed, 0.05));
+}
+
+TEST(AsymmetricAlphaTest, ConvergesOnStructuredCorpus) {
+  SyntheticConfig sc;
+  sc.num_docs = 120;
+  sc.vocab_size = 200;
+  sc.num_topics = 4;
+  sc.seed = 41;
+  Corpus corpus = GenerateLdaCorpus(sc).corpus;
+  LdaConfig config = AsymmetricConfig();
+  WarpLdaSampler sampler;
+  sampler.Init(corpus, config);
+  double initial = JointLogLikelihood(corpus, sampler.Assignments(), 4,
+                                      config.alpha_vector, config.beta);
+  for (int i = 0; i < 30; ++i) sampler.Iterate();
+  double trained = JointLogLikelihood(corpus, sampler.Assignments(), 4,
+                                      config.alpha_vector, config.beta);
+  EXPECT_GT(trained, initial);
+}
+
+}  // namespace
+}  // namespace warplda

@@ -1,0 +1,118 @@
+// Property tests of the cache simulator against first principles: a
+// fully-associative reference implementation (exact LRU over a set) must
+// agree with the set-associative simulator configured with one set, and
+// structural invariants must hold across random traces.
+#include <list>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "cachesim/cache_sim.h"
+#include "util/rng.h"
+
+namespace warplda {
+namespace {
+
+// Exact fully-associative LRU cache over line addresses.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(size_t capacity) : capacity_(capacity) {}
+
+  bool Touch(uint64_t line) {
+    auto it = index_.find(line);
+    if (it != index_.end()) {
+      order_.erase(it->second);
+      order_.push_front(line);
+      index_[line] = order_.begin();
+      return true;
+    }
+    if (order_.size() == capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(line);
+    index_[line] = order_.begin();
+    return false;
+  }
+
+ private:
+  size_t capacity_;
+  std::list<uint64_t> order_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+};
+
+TEST(CacheSimPropertyTest, SingleSetMatchesFullyAssociativeReference) {
+  CacheConfig config;
+  config.line_bytes = 64;
+  config.associativity = 16;
+  config.size_bytes = 64 * 16;  // exactly one set
+  CacheSim sim(config);
+  ASSERT_EQ(sim.num_sets(), 1u);
+  ReferenceLru reference(16);
+
+  Rng rng(17);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t line = rng.NextInt(64);  // 4x capacity working set
+    uint64_t before_hits = sim.hits();
+    sim.Touch(line * 64);
+    bool sim_hit = sim.hits() > before_hits;
+    EXPECT_EQ(sim_hit, reference.Touch(line)) << "access " << i;
+  }
+}
+
+TEST(CacheSimPropertyTest, HitsPlusMissesEqualsAccesses) {
+  CacheSim sim;
+  Rng rng(18);
+  for (int i = 0; i < 10000; ++i) {
+    sim.OnAccess(rng.Next() % (1 << 26), 1 + rng.NextInt(256), true, false);
+  }
+  EXPECT_EQ(sim.hits() + sim.misses(), sim.accesses());
+  EXPECT_GE(sim.miss_rate(), 0.0);
+  EXPECT_LE(sim.miss_rate(), 1.0);
+}
+
+TEST(CacheSimPropertyTest, MissCountBoundedByDistinctLines) {
+  // A working set that fits entirely: misses == distinct lines, regardless
+  // of access order.
+  CacheConfig config;
+  config.size_bytes = 1 << 20;
+  CacheSim sim(config);
+  Rng rng(19);
+  const uint32_t lines = 1024;  // 64KB
+  for (int i = 0; i < 100000; ++i) {
+    sim.Touch(static_cast<uint64_t>(rng.NextInt(lines)) * 64);
+  }
+  EXPECT_LE(sim.misses(), lines);
+}
+
+TEST(CacheSimPropertyTest, LargerCacheNeverMissesMore) {
+  // Inclusion-style property on a shared random trace (holds for LRU).
+  Rng rng(20);
+  std::vector<uint64_t> trace(30000);
+  for (auto& a : trace) a = (rng.Next() % (8 << 20)) & ~63ull;
+
+  uint64_t prev_misses = ~0ull;
+  for (uint64_t kb : {64ull, 256ull, 1024ull, 4096ull}) {
+    CacheConfig config;
+    config.size_bytes = kb * 1024;
+    config.associativity = 16;
+    CacheSim sim(config);
+    for (uint64_t a : trace) sim.Touch(a);
+    EXPECT_LE(sim.misses(), prev_misses) << kb << "KB";
+    prev_misses = sim.misses();
+  }
+}
+
+TEST(CacheSimPropertyTest, SequentialStreamMissesOncePerLine) {
+  CacheConfig config;
+  config.size_bytes = 1 << 20;
+  CacheSim sim(config);
+  // 256KB sequential stream in 4-byte accesses: one miss per 64B line.
+  for (uint64_t addr = 0; addr < (256 << 10); addr += 4) {
+    sim.OnAccess(addr, 4, false, false);
+  }
+  EXPECT_EQ(sim.misses(), (256u << 10) / 64);
+}
+
+}  // namespace
+}  // namespace warplda

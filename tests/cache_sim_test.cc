@@ -1,0 +1,121 @@
+#include "cachesim/cache_sim.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warplda {
+namespace {
+
+CacheConfig SmallCache(uint64_t size, uint32_t ways = 4) {
+  CacheConfig config;
+  config.size_bytes = size;
+  config.line_bytes = 64;
+  config.associativity = ways;
+  return config;
+}
+
+TEST(CacheSimTest, FirstTouchMissesSecondHits) {
+  CacheSim sim(SmallCache(4096));
+  sim.Touch(0x1000);
+  EXPECT_EQ(sim.misses(), 1u);
+  EXPECT_EQ(sim.hits(), 0u);
+  sim.Touch(0x1000);
+  EXPECT_EQ(sim.hits(), 1u);
+}
+
+TEST(CacheSimTest, SameLineSharesEntry) {
+  CacheSim sim(SmallCache(4096));
+  sim.Touch(0x1000);
+  sim.Touch(0x1004);
+  sim.Touch(0x103F);
+  EXPECT_EQ(sim.misses(), 1u);
+  EXPECT_EQ(sim.hits(), 2u);
+}
+
+TEST(CacheSimTest, WorkingSetWithinCapacityAllHits) {
+  CacheConfig config = SmallCache(64 * 1024, 16);
+  CacheSim sim(config);
+  const uint32_t lines = 512;  // 32KB working set in a 64KB cache
+  for (uint32_t pass = 0; pass < 4; ++pass) {
+    for (uint32_t i = 0; i < lines; ++i) sim.Touch(i * 64);
+  }
+  // Only the first pass misses.
+  EXPECT_EQ(sim.misses(), lines);
+  EXPECT_EQ(sim.hits(), 3u * lines);
+}
+
+TEST(CacheSimTest, WorkingSetBeyondCapacityThrashesLru) {
+  CacheConfig config = SmallCache(4096, 4);  // 64 lines
+  CacheSim sim(config);
+  const uint32_t lines = 256;  // 4x capacity, sequential sweep
+  for (uint32_t pass = 0; pass < 4; ++pass) {
+    for (uint32_t i = 0; i < lines; ++i) sim.Touch(i * 64);
+  }
+  // Cyclic sweep over 4x capacity with LRU: every access misses.
+  EXPECT_EQ(sim.hits(), 0u);
+  EXPECT_EQ(sim.misses(), 4u * lines);
+}
+
+TEST(CacheSimTest, OnAccessSpanningLinesTouchesEach) {
+  CacheSim sim(SmallCache(4096));
+  sim.OnAccess(0x1000, 200, false, false);  // 200 bytes -> 4 lines
+  EXPECT_EQ(sim.accesses(), 4u);
+  EXPECT_EQ(sim.misses(), 4u);
+}
+
+TEST(CacheSimTest, ZeroByteAccessTouchesOneLine) {
+  CacheSim sim(SmallCache(4096));
+  sim.OnAccess(0x2000, 0, true, false);
+  EXPECT_EQ(sim.accesses(), 1u);
+}
+
+TEST(CacheSimTest, ResetClearsContentsAndCounters) {
+  CacheSim sim(SmallCache(4096));
+  sim.Touch(0x1000);
+  sim.Touch(0x1000);
+  sim.Reset();
+  EXPECT_EQ(sim.accesses(), 0u);
+  sim.Touch(0x1000);
+  EXPECT_EQ(sim.misses(), 1u);  // cold again after reset
+}
+
+TEST(CacheSimTest, MissRateComputation) {
+  CacheSim sim(SmallCache(4096));
+  sim.Touch(0);
+  sim.Touch(0);
+  sim.Touch(0);
+  sim.Touch(64);
+  EXPECT_DOUBLE_EQ(sim.miss_rate(), 0.5);
+}
+
+TEST(CacheSimTest, RandomAccessOverLargeRegionMostlyMisses) {
+  CacheSim sim(SmallCache(32 * 1024, 8));  // 32KB
+  Rng rng(7);
+  const uint64_t region = 64ull << 20;  // 64MB
+  for (int i = 0; i < 20000; ++i) {
+    sim.Touch(rng.NextInt(static_cast<uint32_t>(region / 64)) * 64ull);
+  }
+  EXPECT_GT(sim.miss_rate(), 0.95);
+}
+
+TEST(CacheSimTest, RandomAccessOverSmallRegionMostlyHits) {
+  CacheSim sim(SmallCache(1 << 20, 16));  // 1MB cache
+  Rng rng(8);
+  const uint32_t region_lines = 1024;  // 64KB region
+  for (int i = 0; i < 50000; ++i) {
+    sim.Touch(rng.NextInt(region_lines) * 64ull);
+  }
+  EXPECT_LT(sim.miss_rate(), 0.05);
+}
+
+TEST(CacheSimTest, DefaultConfigIsPaperL3) {
+  CacheSim sim;
+  // 30MB / 64B / 16 ways = 30720 sets
+  EXPECT_EQ(sim.num_sets(), 30720u);
+}
+
+}  // namespace
+}  // namespace warplda

@@ -1,0 +1,111 @@
+#include "dist/cluster_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/synthetic.h"
+
+namespace warplda {
+namespace {
+
+Corpus SimCorpus() {
+  return GenerateZipfCorpus(2000, 3000, 60, 1.05, 11);
+}
+
+ClusterConfig MakeConfig(uint32_t workers) {
+  ClusterConfig config;
+  config.num_workers = workers;
+  return config;
+}
+
+TEST(ClusterSimTest, GridTokensSumToCorpus) {
+  Corpus corpus = SimCorpus();
+  ClusterSim sim(corpus, MakeConfig(4));
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = 0; j < 4; ++j) total += sim.PartitionTokens(i, j);
+  }
+  EXPECT_EQ(total, corpus.num_tokens());
+}
+
+TEST(ClusterSimTest, SingleWorkerMatchesSerialModel) {
+  Corpus corpus = SimCorpus();
+  ClusterConfig config = MakeConfig(1);
+  ClusterSim sim(corpus, config);
+  IterationTiming timing = sim.SimulateIteration();
+  double expected =
+      2.0 * corpus.num_tokens() * config.per_token_ns * 1e-9;
+  EXPECT_NEAR(timing.wall_seconds, expected, expected * 1e-9);
+  EXPECT_NEAR(sim.SimulatedSpeedup(), 1.0, 1e-9);
+}
+
+TEST(ClusterSimTest, SpeedupGrowsWithWorkers) {
+  Corpus corpus = SimCorpus();
+  double prev = 0.0;
+  for (uint32_t p : {1u, 2u, 4u, 8u}) {
+    double speedup = ClusterSim(corpus, MakeConfig(p)).SimulatedSpeedup();
+    EXPECT_GT(speedup, prev);
+    prev = speedup;
+  }
+}
+
+TEST(ClusterSimTest, SpeedupBoundedByWorkerCount) {
+  Corpus corpus = SimCorpus();
+  for (uint32_t p : {2u, 4u, 8u}) {
+    EXPECT_LE(ClusterSim(corpus, MakeConfig(p)).SimulatedSpeedup(),
+              static_cast<double>(p));
+  }
+}
+
+TEST(ClusterSimTest, ImbalanceSmallWithGreedyPartitioning) {
+  Corpus corpus = SimCorpus();
+  ClusterSim sim(corpus, MakeConfig(8));
+  EXPECT_LT(sim.DocImbalance(), 0.05);
+  // Words are bounded by the inherent limit: the most frequent word cannot
+  // be split across partitions (the paper notes the same effect in Fig 4 at
+  // large P), so allow max(5%, that bound) with a little slack.
+  uint64_t top = 0;
+  for (WordId w = 0; w < corpus.num_words(); ++w) {
+    top = std::max<uint64_t>(top, corpus.word_frequency(w));
+  }
+  double inherent =
+      8.0 * static_cast<double>(top) / corpus.num_tokens() - 1.0;
+  EXPECT_LT(sim.WordImbalance(), std::max(0.05, inherent + 0.05));
+}
+
+TEST(ClusterSimTest, CommunicationSlowsIteration) {
+  Corpus corpus = SimCorpus();
+  ClusterConfig fast = MakeConfig(4);
+  fast.bandwidth_gbytes_per_s = 1000.0;
+  fast.latency_us = 0.0;
+  ClusterConfig slow = MakeConfig(4);
+  slow.bandwidth_gbytes_per_s = 0.01;
+  EXPECT_LT(ClusterSim(corpus, fast).SimulateIteration().wall_seconds,
+            ClusterSim(corpus, slow).SimulateIteration().wall_seconds);
+}
+
+TEST(ClusterSimTest, OverlapHidesCommunication) {
+  Corpus corpus = SimCorpus();
+  ClusterConfig no_overlap = MakeConfig(8);
+  no_overlap.overlap_blocks = 1;
+  no_overlap.bandwidth_gbytes_per_s = 0.05;
+  ClusterConfig overlap = no_overlap;
+  overlap.overlap_blocks = 8;
+  EXPECT_LT(ClusterSim(corpus, overlap).SimulateIteration().wall_seconds,
+            ClusterSim(corpus, no_overlap).SimulateIteration().wall_seconds);
+}
+
+TEST(ClusterSimTest, PhaseBreakdownConsistent) {
+  Corpus corpus = SimCorpus();
+  ClusterSim sim(corpus, MakeConfig(4));
+  IterationTiming timing = sim.SimulateIteration();
+  EXPECT_GT(timing.word_phase.compute_seconds, 0.0);
+  EXPECT_GT(timing.doc_phase.compute_seconds, 0.0);
+  EXPECT_NEAR(timing.wall_seconds,
+              timing.word_phase.wall_seconds + timing.doc_phase.wall_seconds,
+              1e-12);
+  EXPECT_GE(timing.word_phase.wall_seconds,
+            timing.word_phase.compute_seconds);
+}
+
+}  // namespace
+}  // namespace warplda

@@ -1,0 +1,89 @@
+#include "eval/coherence.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace warplda {
+namespace {
+
+// Two disjoint themes: words {0,1} always co-occur, words {2,3} always
+// co-occur, and the pairs never mix.
+Corpus CooccurrenceCorpus() {
+  CorpusBuilder builder;
+  builder.set_num_words(4);
+  for (int i = 0; i < 10; ++i) {
+    builder.AddDocument(std::vector<WordId>{0, 1});
+    builder.AddDocument(std::vector<WordId>{2, 3});
+  }
+  return builder.Build();
+}
+
+TopicModel ModelWithTopics(const Corpus& corpus, bool aligned) {
+  std::vector<TopicId> z(corpus.num_tokens());
+  for (TokenIdx t = 0; t < corpus.num_tokens(); ++t) {
+    WordId w = corpus.token_word(t);
+    if (aligned) {
+      z[t] = w < 2 ? 0 : 1;  // topics match co-occurrence structure
+    } else {
+      z[t] = (w == 0 || w == 2) ? 0 : 1;  // topics mix the themes
+    }
+  }
+  return TopicModel(corpus, z, 2, 0.1, 0.01);
+}
+
+TEST(CoherenceTest, AlignedTopicsAreMoreCoherent) {
+  Corpus corpus = CooccurrenceCorpus();
+  TopicModel aligned = ModelWithTopics(corpus, true);
+  TopicModel mixed = ModelWithTopics(corpus, false);
+  double c_aligned = UMassCoherence(aligned, corpus, 2).mean;
+  double c_mixed = UMassCoherence(mixed, corpus, 2).mean;
+  EXPECT_GT(c_aligned, c_mixed);
+}
+
+TEST(CoherenceTest, PerfectCooccurrenceScoresNearZero) {
+  Corpus corpus = CooccurrenceCorpus();
+  TopicModel aligned = ModelWithTopics(corpus, true);
+  CoherenceResult result = UMassCoherence(aligned, corpus, 2);
+  // D(w_i, w_j) == D(w_j) -> log((D+1)/D) slightly above 0 per pair.
+  for (double c : result.per_topic) {
+    EXPECT_GT(c, 0.0);
+    EXPECT_LT(c, 0.2);
+  }
+}
+
+TEST(CoherenceTest, DisjointWordsScoreVeryNegative) {
+  Corpus corpus = CooccurrenceCorpus();
+  TopicModel mixed = ModelWithTopics(corpus, false);
+  CoherenceResult result = UMassCoherence(mixed, corpus, 2);
+  for (double c : result.per_topic) {
+    EXPECT_LT(c, std::log(1.0 / 10.0) + 0.01);  // co-occurrence is zero
+  }
+}
+
+TEST(CoherenceTest, MeanIsAverageOfTopics) {
+  Corpus corpus = CooccurrenceCorpus();
+  TopicModel aligned = ModelWithTopics(corpus, true);
+  CoherenceResult result = UMassCoherence(aligned, corpus, 2);
+  double total = 0.0;
+  for (double c : result.per_topic) total += c;
+  EXPECT_NEAR(result.mean, total / result.per_topic.size(), 1e-12);
+}
+
+TEST(CoherenceTest, EmptyTopicGetsZero) {
+  Corpus corpus = CooccurrenceCorpus();
+  std::vector<TopicId> z(corpus.num_tokens(), 0);  // topic 1 unused
+  TopicModel model(corpus, z, 2, 0.1, 0.01);
+  CoherenceResult result = UMassCoherence(model, corpus, 5);
+  EXPECT_DOUBLE_EQ(result.per_topic[1], 0.0);
+}
+
+TEST(CoherenceTest, TopNOneIsZero) {
+  Corpus corpus = CooccurrenceCorpus();
+  TopicModel aligned = ModelWithTopics(corpus, true);
+  CoherenceResult result = UMassCoherence(aligned, corpus, 1);
+  for (double c : result.per_topic) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+}  // namespace
+}  // namespace warplda

@@ -1,0 +1,152 @@
+// Property-based convergence tests: every sampler, run long enough on a
+// corpus with strong planted structure, must approach the quality of the
+// exact CGS reference. This is the correctness backbone for the MH-based
+// algorithms whose per-step behaviour is stochastic.
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/sampler.h"
+#include "corpus/synthetic.h"
+#include "eval/log_likelihood.h"
+#include "eval/topic_model.h"
+
+namespace warplda {
+namespace {
+
+struct ConvergenceCase {
+  std::string sampler;
+  uint32_t iterations;
+};
+
+Corpus PlantedCorpus() {
+  SyntheticConfig config;
+  config.num_docs = 250;
+  config.vocab_size = 300;
+  config.num_topics = 5;
+  config.mean_doc_length = 50;
+  config.alpha = 0.04;
+  config.word_zipf_skew = 0.7;
+  config.seed = 101;
+  return GenerateLdaCorpus(config).corpus;
+}
+
+// The CGS likelihood plateau, computed once and shared.
+double CgsReferenceLl(const Corpus& corpus, const LdaConfig& config) {
+  static double cached = 0.0;
+  static bool ready = false;
+  if (!ready) {
+    auto cgs = CreateSampler("cgs");
+    cgs->Init(corpus, config);
+    for (int i = 0; i < 80; ++i) cgs->Iterate();
+    cached = JointLogLikelihood(corpus, cgs->Assignments(),
+                                config.num_topics, config.alpha, config.beta);
+    ready = true;
+  }
+  return cached;
+}
+
+class ConvergenceTest : public ::testing::TestWithParam<ConvergenceCase> {};
+
+TEST_P(ConvergenceTest, ReachesCgsQualityBand) {
+  Corpus corpus = PlantedCorpus();
+  LdaConfig config = LdaConfig::PaperDefaults(5);
+  config.mh_steps = 2;
+  double reference = CgsReferenceLl(corpus, config);
+
+  auto sampler = CreateSampler(GetParam().sampler);
+  ASSERT_NE(sampler, nullptr);
+  sampler->Init(corpus, config);
+  for (uint32_t i = 0; i < GetParam().iterations; ++i) sampler->Iterate();
+  double ll = JointLogLikelihood(corpus, sampler->Assignments(),
+                                 config.num_topics, config.alpha, config.beta);
+
+  // Likelihoods are negative; accept within 2% of the CGS plateau.
+  EXPECT_GT(ll, reference + 0.02 * reference)
+      << sampler->name() << " ll=" << ll << " ref=" << reference;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSamplers, ConvergenceTest,
+    ::testing::Values(ConvergenceCase{"cgs", 60},
+                      ConvergenceCase{"sparselda", 60},
+                      ConvergenceCase{"aliaslda", 80},
+                      ConvergenceCase{"f+lda", 60},
+                      ConvergenceCase{"lightlda", 120},
+                      ConvergenceCase{"warplda", 120}),
+    [](const auto& info) {
+      std::string name = info.param.sampler;
+      for (auto& c : name) {
+        if (c == '+') c = 'p';
+      }
+      return name;
+    });
+
+// Sweeping K: WarpLDA must converge for a range of topic counts, including
+// K larger than the planted structure.
+class WarpKSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WarpKSweepTest, ImprovesSubstantiallyOverRandomInit) {
+  Corpus corpus = PlantedCorpus();
+  LdaConfig config = LdaConfig::PaperDefaults(GetParam());
+  auto sampler = CreateSampler("warplda");
+  sampler->Init(corpus, config);
+  double initial = JointLogLikelihood(corpus, sampler->Assignments(),
+                                      config.num_topics, config.alpha,
+                                      config.beta);
+  for (int i = 0; i < 60; ++i) sampler->Iterate();
+  double trained = JointLogLikelihood(corpus, sampler->Assignments(),
+                                      config.num_topics, config.alpha,
+                                      config.beta);
+  // Recovers a large share of the gap between random init and the CGS
+  // plateau at K=5 (a lower bound for all K on this corpus).
+  LdaConfig ref_config = LdaConfig::PaperDefaults(5);
+  double reference = CgsReferenceLl(corpus, ref_config);
+  EXPECT_GT(trained, initial + 0.6 * (reference - initial)) << "K=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(TopicCounts, WarpKSweepTest,
+                         ::testing::Values(2u, 5u, 10u, 25u, 50u));
+
+// Document-topic purity: with near-disjoint planted topics, most documents
+// should end up dominated by a single learned topic.
+TEST(ConvergencePropertyTest, DocumentsBecomePure) {
+  // Concentrated topics (higher Zipf skew) so the planted structure is
+  // actually separable; at skew 0.7 even exact CGS plateaus near 0.5 purity.
+  SyntheticConfig generator;
+  generator.num_docs = 250;
+  generator.vocab_size = 300;
+  generator.num_topics = 5;
+  generator.mean_doc_length = 50;
+  generator.alpha = 0.04;
+  generator.word_zipf_skew = 1.3;
+  generator.seed = 101;
+  Corpus corpus = GenerateLdaCorpus(generator).corpus;
+  LdaConfig config = LdaConfig::PaperDefaults(5);
+  config.alpha = 0.1;  // 50/K is meant for K in the thousands
+  auto sampler = CreateSampler("warplda");
+  sampler->Init(corpus, config);
+  for (int i = 0; i < 100; ++i) sampler->Iterate();
+  auto z = sampler->Assignments();
+
+  double purity_sum = 0.0;
+  uint32_t docs = 0;
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    uint32_t len = corpus.doc_length(d);
+    if (len < 10) continue;
+    std::vector<int> counts(config.num_topics, 0);
+    TokenIdx base = corpus.doc_offset(d);
+    for (uint32_t n = 0; n < len; ++n) ++counts[z[base + n]];
+    purity_sum += static_cast<double>(
+                      *std::max_element(counts.begin(), counts.end())) /
+                  len;
+    ++docs;
+  }
+  ASSERT_GT(docs, 0u);
+  EXPECT_GT(purity_sum / docs, 0.6);
+}
+
+}  // namespace
+}  // namespace warplda

@@ -1,0 +1,114 @@
+// Property tests over randomly generated corpora: the two orientations of a
+// Corpus (document-major CSR, word-major CSC index) must always describe the
+// same token multiset, and the inverse-rank permutation must be consistent.
+// These invariants underpin WarpLDA's reordering correctness.
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "util/rng.h"
+
+namespace warplda {
+namespace {
+
+struct CorpusShape {
+  uint32_t docs;
+  uint32_t vocab;
+  uint32_t max_len;
+  uint64_t seed;
+};
+
+Corpus RandomCorpus(const CorpusShape& shape) {
+  Rng rng(shape.seed);
+  CorpusBuilder builder;
+  builder.set_num_words(shape.vocab);
+  std::vector<WordId> doc;
+  for (uint32_t d = 0; d < shape.docs; ++d) {
+    uint32_t len = rng.NextInt(shape.max_len + 1);  // empty docs included
+    doc.clear();
+    for (uint32_t n = 0; n < len; ++n) doc.push_back(rng.NextInt(shape.vocab));
+    builder.AddDocument(doc);
+  }
+  return builder.Build();
+}
+
+class CorpusPropertyTest : public ::testing::TestWithParam<CorpusShape> {};
+
+TEST_P(CorpusPropertyTest, DocLengthsSumToTokenCount) {
+  Corpus c = RandomCorpus(GetParam());
+  uint64_t total = 0;
+  for (DocId d = 0; d < c.num_docs(); ++d) total += c.doc_length(d);
+  EXPECT_EQ(total, c.num_tokens());
+}
+
+TEST_P(CorpusPropertyTest, WordFrequenciesSumToTokenCount) {
+  Corpus c = RandomCorpus(GetParam());
+  uint64_t total = 0;
+  for (WordId w = 0; w < c.num_words(); ++w) total += c.word_frequency(w);
+  EXPECT_EQ(total, c.num_tokens());
+}
+
+TEST_P(CorpusPropertyTest, WordTokensPartitionAllPositions) {
+  Corpus c = RandomCorpus(GetParam());
+  std::vector<int> seen(c.num_tokens(), 0);
+  for (WordId w = 0; w < c.num_words(); ++w) {
+    TokenIdx prev = 0;
+    bool first = true;
+    for (TokenIdx t : c.word_tokens(w)) {
+      ASSERT_LT(t, c.num_tokens());
+      EXPECT_EQ(c.token_word(t), w);
+      if (!first) EXPECT_GT(t, prev);  // sorted ascending
+      prev = t;
+      first = false;
+      ++seen[t];
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST_P(CorpusPropertyTest, WordMajorRankIsBijective) {
+  Corpus c = RandomCorpus(GetParam());
+  std::vector<int> hits(c.num_tokens(), 0);
+  for (TokenIdx t = 0; t < c.num_tokens(); ++t) {
+    ++hits[c.word_major_rank(t)];
+  }
+  for (int count : hits) EXPECT_EQ(count, 1);
+}
+
+TEST_P(CorpusPropertyTest, RankRoundTripsThroughWordIndex) {
+  Corpus c = RandomCorpus(GetParam());
+  for (WordId w = 0; w < c.num_words(); ++w) {
+    auto tokens = c.word_tokens(w);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      EXPECT_EQ(c.word_major_rank(tokens[i]), c.word_major_offset(w) + i);
+    }
+  }
+}
+
+TEST_P(CorpusPropertyTest, TokenDocMatchesDocOffsets) {
+  Corpus c = RandomCorpus(GetParam());
+  for (DocId d = 0; d < c.num_docs(); ++d) {
+    TokenIdx base = c.doc_offset(d);
+    for (uint32_t n = 0; n < c.doc_length(d); ++n) {
+      EXPECT_EQ(c.token_doc(base + n), d);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CorpusPropertyTest,
+    ::testing::Values(CorpusShape{1, 1, 1, 1}, CorpusShape{10, 5, 8, 2},
+                      CorpusShape{100, 50, 20, 3},
+                      CorpusShape{500, 1000, 3, 4},   // sparse: V >> tokens
+                      CorpusShape{50, 2, 100, 5},     // tiny vocab
+                      CorpusShape{200, 300, 40, 6}),
+    [](const auto& info) {
+      const auto& s = info.param;
+      return "d" + std::to_string(s.docs) + "v" + std::to_string(s.vocab) +
+             "l" + std::to_string(s.max_len);
+    });
+
+}  // namespace
+}  // namespace warplda

@@ -1,0 +1,136 @@
+#include "corpus/corpus.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace warplda {
+namespace {
+
+Corpus SmallCorpus() {
+  // doc0: [2, 0, 2]   doc1: [1]   doc2: [0, 1, 2, 2]
+  CorpusBuilder builder;
+  builder.AddDocument(std::vector<WordId>{2, 0, 2});
+  builder.AddDocument(std::vector<WordId>{1});
+  builder.AddDocument(std::vector<WordId>{0, 1, 2, 2});
+  return builder.Build();
+}
+
+TEST(CorpusTest, BasicDimensions) {
+  Corpus c = SmallCorpus();
+  EXPECT_EQ(c.num_docs(), 3u);
+  EXPECT_EQ(c.num_words(), 3u);
+  EXPECT_EQ(c.num_tokens(), 8u);
+  EXPECT_DOUBLE_EQ(c.mean_doc_length(), 8.0 / 3.0);
+}
+
+TEST(CorpusTest, DocLengthsAndTokens) {
+  Corpus c = SmallCorpus();
+  EXPECT_EQ(c.doc_length(0), 3u);
+  EXPECT_EQ(c.doc_length(1), 1u);
+  EXPECT_EQ(c.doc_length(2), 4u);
+  auto d0 = c.doc_tokens(0);
+  ASSERT_EQ(d0.size(), 3u);
+  EXPECT_EQ(d0[0], 2u);
+  EXPECT_EQ(d0[1], 0u);
+  EXPECT_EQ(d0[2], 2u);
+}
+
+TEST(CorpusTest, WordFrequencies) {
+  Corpus c = SmallCorpus();
+  EXPECT_EQ(c.word_frequency(0), 2u);
+  EXPECT_EQ(c.word_frequency(1), 2u);
+  EXPECT_EQ(c.word_frequency(2), 4u);
+}
+
+TEST(CorpusTest, WordTokensSortedByPosition) {
+  Corpus c = SmallCorpus();
+  auto w2 = c.word_tokens(2);
+  ASSERT_EQ(w2.size(), 4u);
+  // Occurrences of word 2 at doc-major positions 0, 2, 6, 7.
+  EXPECT_EQ(w2[0], 0u);
+  EXPECT_EQ(w2[1], 2u);
+  EXPECT_EQ(w2[2], 6u);
+  EXPECT_EQ(w2[3], 7u);
+  // Sorted by position implies sorted by document id (paper §5.2).
+  for (size_t i = 1; i < w2.size(); ++i) EXPECT_LT(w2[i - 1], w2[i]);
+}
+
+TEST(CorpusTest, TokenWordConsistent) {
+  Corpus c = SmallCorpus();
+  for (WordId w = 0; w < c.num_words(); ++w) {
+    for (TokenIdx t : c.word_tokens(w)) EXPECT_EQ(c.token_word(t), w);
+  }
+}
+
+TEST(CorpusTest, TokenDocBinarySearch) {
+  Corpus c = SmallCorpus();
+  EXPECT_EQ(c.token_doc(0), 0u);
+  EXPECT_EQ(c.token_doc(2), 0u);
+  EXPECT_EQ(c.token_doc(3), 1u);
+  EXPECT_EQ(c.token_doc(4), 2u);
+  EXPECT_EQ(c.token_doc(7), 2u);
+}
+
+TEST(CorpusTest, WordMajorRankIsInversePermutation) {
+  Corpus c = SmallCorpus();
+  std::vector<bool> seen(c.num_tokens(), false);
+  for (TokenIdx t = 0; t < c.num_tokens(); ++t) {
+    TokenIdx rank = c.word_major_rank(t);
+    ASSERT_LT(rank, c.num_tokens());
+    EXPECT_FALSE(seen[rank]);
+    seen[rank] = true;
+  }
+  // rank of token t must fall inside its word's block.
+  for (TokenIdx t = 0; t < c.num_tokens(); ++t) {
+    WordId w = c.token_word(t);
+    TokenIdx rank = c.word_major_rank(t);
+    EXPECT_GE(rank, c.word_major_offset(w));
+    EXPECT_LT(rank, c.word_major_offset(w) + c.word_frequency(w));
+  }
+}
+
+TEST(CorpusTest, EmptyDocumentsAllowed) {
+  CorpusBuilder builder;
+  builder.AddDocument(std::vector<WordId>{});
+  builder.AddDocument(std::vector<WordId>{0});
+  builder.AddDocument(std::vector<WordId>{});
+  Corpus c = builder.Build();
+  EXPECT_EQ(c.num_docs(), 3u);
+  EXPECT_EQ(c.doc_length(0), 0u);
+  EXPECT_EQ(c.doc_length(1), 1u);
+  EXPECT_EQ(c.doc_length(2), 0u);
+  EXPECT_EQ(c.num_tokens(), 1u);
+}
+
+TEST(CorpusTest, ExplicitVocabLargerThanObserved) {
+  CorpusBuilder builder;
+  builder.set_num_words(10);
+  builder.AddDocument(std::vector<WordId>{1, 2});
+  Corpus c = builder.Build();
+  EXPECT_EQ(c.num_words(), 10u);
+  EXPECT_EQ(c.word_frequency(9), 0u);
+  EXPECT_TRUE(c.word_tokens(9).empty());
+}
+
+TEST(CorpusTest, BuilderReusableAfterBuild) {
+  CorpusBuilder builder;
+  builder.AddDocument(std::vector<WordId>{0, 1});
+  Corpus first = builder.Build();
+  builder.AddDocument(std::vector<WordId>{0});
+  Corpus second = builder.Build();
+  EXPECT_EQ(first.num_tokens(), 2u);
+  EXPECT_EQ(second.num_tokens(), 1u);
+  EXPECT_EQ(second.num_docs(), 1u);
+}
+
+TEST(CorpusTest, EmptyCorpus) {
+  CorpusBuilder builder;
+  Corpus c = builder.Build();
+  EXPECT_EQ(c.num_docs(), 0u);
+  EXPECT_EQ(c.num_tokens(), 0u);
+  EXPECT_DOUBLE_EQ(c.mean_doc_length(), 0.0);
+}
+
+}  // namespace
+}  // namespace warplda

@@ -1,0 +1,167 @@
+// Statistical goodness-of-fit property tests for the sampling primitives:
+// chi-square tests of alias tables and F+ trees against their target
+// distributions across a parameter sweep, and a fuzz comparison of the F+
+// tree against a linear-scan reference under random updates. These guard the
+// distributional correctness every sampler in the library leans on.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/alias_table.h"
+#include "util/ftree.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace warplda {
+namespace {
+
+// Chi-square statistic of observed counts vs expected probabilities.
+double ChiSquare(const std::vector<int64_t>& observed,
+                 const std::vector<double>& probabilities, int64_t samples) {
+  double stat = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    double expected = probabilities[i] * samples;
+    if (expected < 1e-9) continue;
+    double diff = observed[i] - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+// Loose upper quantile for chi-square with df degrees of freedom: the 99.9%
+// quantile is below df + 4*sqrt(2*df) + 20 for the df used here (Wilson-
+// Hilferty bound with slack). Failures indicate real bias, not bad luck.
+double ChiSquareBound(size_t df) {
+  return static_cast<double>(df) + 4.0 * std::sqrt(2.0 * df) + 20.0;
+}
+
+struct DistCase {
+  uint32_t n;
+  double skew;  // weights ∝ (i+1)^-skew
+  uint64_t seed;
+};
+
+class AliasGofTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(AliasGofTest, SampleDistributionMatchesWeights) {
+  const auto& param = GetParam();
+  std::vector<double> weights(param.n);
+  double total = 0.0;
+  for (uint32_t i = 0; i < param.n; ++i) {
+    weights[i] = std::pow(i + 1.0, -param.skew);
+    total += weights[i];
+  }
+  AliasTable table;
+  table.Build(weights);
+
+  Rng rng(param.seed);
+  const int64_t samples = 200000;
+  std::vector<int64_t> observed(param.n, 0);
+  for (int64_t s = 0; s < samples; ++s) ++observed[table.Sample(rng)];
+
+  std::vector<double> probabilities(param.n);
+  for (uint32_t i = 0; i < param.n; ++i) probabilities[i] = weights[i] / total;
+  EXPECT_LT(ChiSquare(observed, probabilities, samples),
+            ChiSquareBound(param.n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AliasGofTest,
+    ::testing::Values(DistCase{2, 0.0, 1}, DistCase{3, 1.0, 2},
+                      DistCase{16, 0.5, 3}, DistCase{64, 1.0, 4},
+                      DistCase{256, 1.5, 5}, DistCase{1000, 2.0, 6}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "s" +
+             std::to_string(static_cast<int>(info.param.skew * 10));
+    });
+
+class FTreeGofTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(FTreeGofTest, SampleDistributionMatchesWeights) {
+  const auto& param = GetParam();
+  std::vector<double> weights(param.n);
+  double total = 0.0;
+  for (uint32_t i = 0; i < param.n; ++i) {
+    weights[i] = std::pow(i + 1.0, -param.skew);
+    total += weights[i];
+  }
+  FTree tree;
+  tree.Build(weights);
+
+  Rng rng(param.seed + 100);
+  const int64_t samples = 200000;
+  std::vector<int64_t> observed(param.n, 0);
+  for (int64_t s = 0; s < samples; ++s) ++observed[tree.Sample(rng)];
+
+  std::vector<double> probabilities(param.n);
+  for (uint32_t i = 0; i < param.n; ++i) probabilities[i] = weights[i] / total;
+  EXPECT_LT(ChiSquare(observed, probabilities, samples),
+            ChiSquareBound(param.n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FTreeGofTest,
+    ::testing::Values(DistCase{2, 0.0, 1}, DistCase{5, 1.0, 2},
+                      DistCase{33, 0.5, 3}, DistCase{128, 1.2, 4},
+                      DistCase{777, 1.8, 5}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "s" +
+             std::to_string(static_cast<int>(info.param.skew * 10));
+    });
+
+TEST(FTreeFuzzTest, MatchesLinearScanReferenceUnderRandomUpdates) {
+  Rng rng(999);
+  const uint32_t n = 97;
+  std::vector<double> reference(n, 0.0);
+  FTree tree(n);
+  for (int round = 0; round < 5000; ++round) {
+    uint32_t i = rng.NextInt(n);
+    double w = rng.NextBernoulli(0.2) ? 0.0 : rng.NextDouble() * 10.0;
+    reference[i] = w;
+    tree.Update(i, w);
+
+    double total = 0.0;
+    for (double v : reference) total += v;
+    ASSERT_NEAR(tree.Total(), total, 1e-9 * (1.0 + total));
+
+    if (total > 0.0) {
+      double u = rng.NextDouble();
+      uint32_t sampled = tree.SampleWith(u);
+      // Reference inverse-CDF.
+      double target = u * total;
+      uint32_t expected = n - 1;
+      double acc = 0.0;
+      for (uint32_t j = 0; j < n; ++j) {
+        acc += reference[j];
+        if (target < acc) {
+          expected = j;
+          break;
+        }
+      }
+      // Floating-point association differences may pick an adjacent nonzero
+      // index at bin boundaries; accept exact match or boundary slip.
+      if (sampled != expected) {
+        double cdf_before = 0.0;
+        for (uint32_t j = 0; j < sampled; ++j) cdf_before += reference[j];
+        EXPECT_NEAR(cdf_before, target, 1e-6 * (1.0 + total))
+            << "sampled " << sampled << " expected " << expected;
+      }
+    }
+  }
+}
+
+TEST(ZipfGofTest, MatchesAnalyticPmf) {
+  const uint32_t n = 50;
+  ZipfSampler zipf(n, 1.0);
+  Rng rng(31);
+  const int64_t samples = 300000;
+  std::vector<int64_t> observed(n, 0);
+  for (int64_t s = 0; s < samples; ++s) ++observed[zipf.Sample(rng)];
+  std::vector<double> probabilities(n);
+  for (uint32_t i = 0; i < n; ++i) probabilities[i] = zipf.Pmf(i);
+  EXPECT_LT(ChiSquare(observed, probabilities, samples), ChiSquareBound(n - 1));
+}
+
+}  // namespace
+}  // namespace warplda

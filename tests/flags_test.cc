@@ -1,0 +1,116 @@
+#include "util/flags.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace warplda {
+namespace {
+
+// Builds a mutable argv from string literals.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args) : storage_(std::move(args)) {
+    ptrs_.push_back(const_cast<char*>("prog"));
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(FlagsTest, ParsesEqualsSyntax) {
+  int64_t k = 0;
+  double alpha = 0.0;
+  std::string name;
+  bool verbose = false;
+  FlagSet flags;
+  flags.Int("k", &k, "").Double("alpha", &alpha, "").String("name", &name, "")
+      .Bool("verbose", &verbose, "");
+  ArgvBuilder args({"--k=42", "--alpha=0.5", "--name=warp", "--verbose=true"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(k, 42);
+  EXPECT_DOUBLE_EQ(alpha, 0.5);
+  EXPECT_EQ(name, "warp");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagsTest, ParsesSpaceSyntax) {
+  int64_t k = 0;
+  FlagSet flags;
+  flags.Int("k", &k, "");
+  ArgvBuilder args({"--k", "7"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(k, 7);
+}
+
+TEST(FlagsTest, BareBoolIsTrue) {
+  bool on = false;
+  FlagSet flags;
+  flags.Bool("on", &on, "");
+  ArgvBuilder args({"--on"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_TRUE(on);
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagSet flags;
+  ArgvBuilder args({"--mystery=1"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagsTest, BadIntFails) {
+  int64_t k = 0;
+  FlagSet flags;
+  flags.Int("k", &k, "");
+  ArgvBuilder args({"--k=notanumber"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  int64_t k = 0;
+  FlagSet flags;
+  flags.Int("k", &k, "");
+  ArgvBuilder args({"--k"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagsTest, HelpReturnsFalse) {
+  FlagSet flags;
+  ArgvBuilder args({"--help"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagsTest, DefaultsSurviveWhenUnset) {
+  int64_t k = 99;
+  double alpha = 1.5;
+  FlagSet flags;
+  flags.Int("k", &k, "").Double("alpha", &alpha, "");
+  ArgvBuilder args({"--alpha=2.0"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(k, 99);
+  EXPECT_DOUBLE_EQ(alpha, 2.0);
+}
+
+TEST(FlagsTest, NegativeNumbersParse) {
+  int64_t k = 0;
+  double x = 0.0;
+  FlagSet flags;
+  flags.Int("k", &k, "").Double("x", &x, "");
+  ArgvBuilder args({"--k=-5", "--x=-1.25"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(k, -5);
+  EXPECT_DOUBLE_EQ(x, -1.25);
+}
+
+TEST(FlagsTest, PositionalArgumentFails) {
+  FlagSet flags;
+  ArgvBuilder args({"stray"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+}  // namespace
+}  // namespace warplda

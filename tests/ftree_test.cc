@@ -1,0 +1,107 @@
+#include "util/ftree.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warplda {
+namespace {
+
+TEST(FTreeTest, BuildComputesTotal) {
+  FTree tree;
+  tree.Build({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(tree.Total(), 10.0);
+  EXPECT_EQ(tree.size(), 4u);
+}
+
+TEST(FTreeTest, NonPowerOfTwoSize) {
+  FTree tree;
+  tree.Build({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(tree.Total(), 6.0);
+  EXPECT_DOUBLE_EQ(tree.Get(2), 3.0);
+}
+
+TEST(FTreeTest, UpdatePropagatesToTotal) {
+  FTree tree;
+  tree.Build({1.0, 1.0, 1.0, 1.0});
+  tree.Update(2, 5.0);
+  EXPECT_DOUBLE_EQ(tree.Total(), 8.0);
+  EXPECT_DOUBLE_EQ(tree.Get(2), 5.0);
+}
+
+TEST(FTreeTest, DeterministicSampleBoundaries) {
+  FTree tree;
+  tree.Build({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(tree.SampleWith(0.0), 0u);
+  EXPECT_EQ(tree.SampleWith(0.05), 0u);   // cdf: .1 .3 .6 1.0
+  EXPECT_EQ(tree.SampleWith(0.15), 1u);
+  EXPECT_EQ(tree.SampleWith(0.45), 2u);
+  EXPECT_EQ(tree.SampleWith(0.75), 3u);
+  EXPECT_EQ(tree.SampleWith(0.999999), 3u);
+}
+
+TEST(FTreeTest, ZeroWeightNeverSampled) {
+  FTree tree;
+  tree.Build({1.0, 0.0, 1.0});
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(tree.Sample(rng), 1u);
+}
+
+TEST(FTreeTest, EmpiricalFrequenciesMatch) {
+  FTree tree;
+  tree.Build({2.0, 3.0, 5.0});
+  Rng rng(4);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[tree.Sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.5, 0.01);
+}
+
+TEST(FTreeTest, SampleAfterUpdateFollowsNewWeights) {
+  FTree tree;
+  tree.Build({1.0, 1.0});
+  tree.Update(0, 0.0);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(tree.Sample(rng), 1u);
+}
+
+TEST(FTreeTest, ResetZeroesEverything) {
+  FTree tree;
+  tree.Build({1.0, 2.0});
+  tree.Reset(8);
+  EXPECT_EQ(tree.size(), 8u);
+  EXPECT_DOUBLE_EQ(tree.Total(), 0.0);
+  for (uint32_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(tree.Get(i), 0.0);
+}
+
+TEST(FTreeTest, SizeOne) {
+  FTree tree;
+  tree.Build({3.0});
+  EXPECT_EQ(tree.SampleWith(0.5), 0u);
+  tree.Update(0, 7.0);
+  EXPECT_DOUBLE_EQ(tree.Total(), 7.0);
+}
+
+TEST(FTreeTest, IncrementalUpdatesMatchBulkBuild) {
+  const uint32_t n = 37;
+  Rng rng(6);
+  std::vector<double> weights(n);
+  FTree incremental(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    weights[i] = rng.NextDouble() * 10.0;
+    incremental.Update(i, weights[i]);
+  }
+  FTree bulk;
+  bulk.Build(weights);
+  EXPECT_NEAR(incremental.Total(), bulk.Total(), 1e-9);
+  for (double u : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_EQ(incremental.SampleWith(u), bulk.SampleWith(u));
+  }
+}
+
+}  // namespace
+}  // namespace warplda

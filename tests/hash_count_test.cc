@@ -1,0 +1,124 @@
+#include "util/hash_count.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace warplda {
+namespace {
+
+TEST(HashCountTest, MissingKeyIsZero) {
+  HashCount counts(8);
+  EXPECT_EQ(counts.Get(5), 0);
+  EXPECT_EQ(counts.Get(12345), 0);
+}
+
+TEST(HashCountTest, IncDecRoundTrip) {
+  HashCount counts(8);
+  EXPECT_EQ(counts.Inc(3), 1);
+  EXPECT_EQ(counts.Inc(3), 2);
+  EXPECT_EQ(counts.Dec(3), 1);
+  EXPECT_EQ(counts.Dec(3), 0);
+  EXPECT_EQ(counts.Get(3), 0);
+}
+
+TEST(HashCountTest, AddArbitraryDeltas) {
+  HashCount counts(8);
+  EXPECT_EQ(counts.Add(7, 10), 10);
+  EXPECT_EQ(counts.Add(7, -4), 6);
+  EXPECT_EQ(counts.Get(7), 6);
+}
+
+TEST(HashCountTest, CapacityIsPowerOfTwoAboveHint) {
+  HashCount counts(10);
+  EXPECT_EQ(counts.capacity(), 16u);
+  HashCount counts2(16);
+  EXPECT_EQ(counts2.capacity(), 32u);
+  HashCount counts3(0);
+  EXPECT_EQ(counts3.capacity(), 4u);
+}
+
+TEST(HashCountTest, GrowsBeyondInitialCapacity) {
+  HashCount counts(4);
+  for (uint32_t k = 0; k < 100; ++k) counts.Inc(k);
+  for (uint32_t k = 0; k < 100; ++k) EXPECT_EQ(counts.Get(k), 1);
+  EXPECT_EQ(counts.size(), 100u);
+}
+
+TEST(HashCountTest, ClearKeepsCapacity) {
+  HashCount counts(32);
+  for (uint32_t k = 0; k < 20; ++k) counts.Inc(k);
+  uint32_t cap = counts.capacity();
+  counts.Clear();
+  EXPECT_EQ(counts.capacity(), cap);
+  EXPECT_EQ(counts.size(), 0u);
+  for (uint32_t k = 0; k < 20; ++k) EXPECT_EQ(counts.Get(k), 0);
+}
+
+TEST(HashCountTest, ForEachNonZeroSkipsZeroedEntries) {
+  HashCount counts(16);
+  counts.Inc(1);
+  counts.Inc(2);
+  counts.Inc(2);
+  counts.Inc(3);
+  counts.Dec(3);  // decremented to zero: key stays, value 0
+  std::map<uint32_t, int32_t> seen;
+  counts.ForEachNonZero([&](uint32_t k, int32_t v) { seen[k] = v; });
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1], 1);
+  EXPECT_EQ(seen[2], 2);
+}
+
+TEST(HashCountTest, CollidingKeysProbeCorrectly) {
+  // Keys differing by capacity multiples hash near each other often; force a
+  // tiny table so probing is exercised heavily.
+  HashCount counts(2);  // capacity 4
+  counts.Add(0, 1);
+  counts.Add(4, 2);
+  counts.Add(8, 3);
+  EXPECT_EQ(counts.Get(0), 1);
+  EXPECT_EQ(counts.Get(4), 2);
+  EXPECT_EQ(counts.Get(8), 3);
+}
+
+TEST(HashCountTest, MatchesReferenceMapUnderRandomOps) {
+  HashCount counts(8);
+  std::map<uint32_t, int32_t> reference;
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    uint32_t key = rng.NextInt(64);
+    if (rng.NextBernoulli(0.6) || reference[key] == 0) {
+      counts.Inc(key);
+      ++reference[key];
+    } else {
+      counts.Dec(key);
+      --reference[key];
+    }
+  }
+  for (const auto& [key, value] : reference) {
+    EXPECT_EQ(counts.Get(key), value) << "key " << key;
+  }
+}
+
+TEST(HashCountTest, InitResetsContents) {
+  HashCount counts(8);
+  counts.Inc(1);
+  counts.Init(64);
+  EXPECT_EQ(counts.Get(1), 0);
+  EXPECT_EQ(counts.capacity(), 128u);
+}
+
+TEST(HashCountTest, SlotAddrWithinSlotArray) {
+  HashCount counts(16);
+  counts.Inc(5);
+  uintptr_t base = reinterpret_cast<uintptr_t>(counts.slots().data());
+  uintptr_t end = base + counts.capacity() * sizeof(HashCount::Entry);
+  uintptr_t addr = counts.SlotAddr(5);
+  EXPECT_GE(addr, base);
+  EXPECT_LT(addr, end);
+}
+
+}  // namespace
+}  // namespace warplda

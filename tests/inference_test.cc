@@ -1,0 +1,96 @@
+#include "core/inference.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace warplda {
+namespace {
+
+// Train-free fixture: a hand-built model with two disjoint topics.
+// Topic 0 owns words 0-4, topic 1 owns words 5-9.
+TopicModel DisjointModel() {
+  CorpusBuilder builder;
+  builder.set_num_words(10);
+  std::vector<WordId> doc0;
+  std::vector<WordId> doc1;
+  for (int rep = 0; rep < 40; ++rep) {
+    doc0.push_back(rep % 5);
+    doc1.push_back(5 + rep % 5);
+  }
+  builder.AddDocument(doc0);
+  builder.AddDocument(doc1);
+  Corpus corpus = builder.Build();
+  std::vector<TopicId> z(corpus.num_tokens());
+  for (TokenIdx t = 0; t < corpus.num_tokens(); ++t) {
+    z[t] = corpus.token_word(t) < 5 ? 0 : 1;
+  }
+  return TopicModel(corpus, z, 2, 0.5, 0.01);
+}
+
+TEST(InferenceTest, ThetaSumsToOne) {
+  TopicModel model = DisjointModel();
+  Inferencer inferencer(model);
+  std::vector<WordId> doc = {0, 1, 2, 3};
+  auto theta = inferencer.InferTheta(doc);
+  ASSERT_EQ(theta.size(), 2u);
+  EXPECT_NEAR(theta[0] + theta[1], 1.0, 1e-9);
+}
+
+TEST(InferenceTest, RecognizesTopicZeroDocument) {
+  TopicModel model = DisjointModel();
+  Inferencer inferencer(model);
+  std::vector<WordId> doc = {0, 1, 2, 0, 1, 2, 3, 4};
+  auto theta = inferencer.InferTheta(doc);
+  EXPECT_GT(theta[0], 0.8);
+  EXPECT_EQ(inferencer.MostLikelyTopic(doc), 0u);
+}
+
+TEST(InferenceTest, RecognizesTopicOneDocument) {
+  TopicModel model = DisjointModel();
+  Inferencer inferencer(model);
+  std::vector<WordId> doc = {5, 6, 7, 8, 9, 5, 6, 7};
+  auto theta = inferencer.InferTheta(doc);
+  EXPECT_GT(theta[1], 0.8);
+  EXPECT_EQ(inferencer.MostLikelyTopic(doc), 1u);
+}
+
+TEST(InferenceTest, MixedDocumentSplitsMass) {
+  TopicModel model = DisjointModel();
+  Inferencer inferencer(model);
+  std::vector<WordId> doc = {0, 1, 2, 3, 5, 6, 7, 8, 0, 5, 1, 6};
+  auto theta = inferencer.InferTheta(doc);
+  EXPECT_GT(theta[0], 0.25);
+  EXPECT_GT(theta[1], 0.25);
+}
+
+TEST(InferenceTest, EmptyDocumentReturnsUniform) {
+  TopicModel model = DisjointModel();
+  Inferencer inferencer(model);
+  auto theta = inferencer.InferTheta(std::vector<WordId>{});
+  EXPECT_NEAR(theta[0], 0.5, 1e-9);
+  EXPECT_NEAR(theta[1], 0.5, 1e-9);
+}
+
+TEST(InferenceTest, OutOfVocabularyWordsIgnored) {
+  TopicModel model = DisjointModel();
+  Inferencer inferencer(model);
+  std::vector<WordId> doc = {0, 1, 2, 900000, 1000000};
+  auto theta = inferencer.InferTheta(doc);
+  EXPECT_GT(theta[0], 0.7);
+}
+
+TEST(InferenceTest, DeterministicForSeed) {
+  TopicModel model = DisjointModel();
+  InferenceOptions options;
+  options.seed = 5;
+  std::vector<WordId> doc = {0, 5, 1, 6, 2};
+  Inferencer a(model, options);
+  Inferencer b(model, options);
+  auto ta = a.InferTheta(doc);
+  auto tb = b.InferTheta(doc);
+  for (size_t k = 0; k < ta.size(); ++k) EXPECT_DOUBLE_EQ(ta[k], tb[k]);
+}
+
+}  // namespace
+}  // namespace warplda

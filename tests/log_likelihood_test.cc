@@ -1,0 +1,135 @@
+#include "eval/log_likelihood.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/synthetic.h"
+#include "util/rng.h"
+
+namespace warplda {
+namespace {
+
+Corpus TinyCorpus() {
+  CorpusBuilder builder;
+  builder.AddDocument(std::vector<WordId>{0, 1});
+  builder.AddDocument(std::vector<WordId>{1});
+  return builder.Build();
+}
+
+// Brute-force reference: evaluates the paper's formula with dense counts.
+double ReferenceLl(const Corpus& corpus, const std::vector<TopicId>& z,
+                   uint32_t k_topics, double alpha, double beta) {
+  const uint32_t v = corpus.num_words();
+  std::vector<std::vector<int>> cd(corpus.num_docs(),
+                                   std::vector<int>(k_topics, 0));
+  std::vector<std::vector<int>> cw(v, std::vector<int>(k_topics, 0));
+  std::vector<int> ck(k_topics, 0);
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    auto words = corpus.doc_tokens(d);
+    TokenIdx base = corpus.doc_offset(d);
+    for (size_t n = 0; n < words.size(); ++n) {
+      TopicId k = z[base + n];
+      ++cd[d][k];
+      ++cw[words[n]][k];
+      ++ck[k];
+    }
+  }
+  double alpha_bar = alpha * k_topics;
+  double beta_bar = beta * v;
+  double ll = 0.0;
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    if (corpus.doc_length(d) == 0) continue;
+    ll += std::lgamma(alpha_bar) -
+          std::lgamma(alpha_bar + corpus.doc_length(d));
+    for (uint32_t k = 0; k < k_topics; ++k) {
+      ll += std::lgamma(alpha + cd[d][k]) - std::lgamma(alpha);
+    }
+  }
+  for (uint32_t k = 0; k < k_topics; ++k) {
+    ll += std::lgamma(beta_bar) - std::lgamma(beta_bar + ck[k]);
+    for (uint32_t w = 0; w < v; ++w) {
+      ll += std::lgamma(beta + cw[w][k]) - std::lgamma(beta);
+    }
+  }
+  return ll;
+}
+
+TEST(LogLikelihoodTest, MatchesBruteForceTiny) {
+  Corpus c = TinyCorpus();
+  std::vector<TopicId> z = {0, 1, 1};
+  double fast = JointLogLikelihood(c, z, 2, 0.5, 0.1);
+  double ref = ReferenceLl(c, z, 2, 0.5, 0.1);
+  EXPECT_NEAR(fast, ref, 1e-9);
+}
+
+TEST(LogLikelihoodTest, MatchesBruteForceRandomized) {
+  SyntheticConfig config;
+  config.num_docs = 40;
+  config.vocab_size = 60;
+  config.num_topics = 5;
+  config.mean_doc_length = 12;
+  Corpus c = GenerateLdaCorpus(config).corpus;
+  Rng rng(5);
+  const uint32_t k_topics = 8;
+  std::vector<TopicId> z(c.num_tokens());
+  for (auto& zi : z) zi = rng.NextInt(k_topics);
+  double fast = JointLogLikelihood(c, z, k_topics, 0.3, 0.05);
+  double ref = ReferenceLl(c, z, k_topics, 0.3, 0.05);
+  EXPECT_NEAR(fast, ref, std::abs(ref) * 1e-10);
+}
+
+TEST(LogLikelihoodTest, ConcentratedBeatsScattered) {
+  // A perfectly topic-sorted assignment should score higher than random.
+  CorpusBuilder builder;
+  for (int d = 0; d < 20; ++d) {
+    std::vector<WordId> doc;
+    for (int n = 0; n < 30; ++n) doc.push_back(d % 2 == 0 ? n % 5 : 5 + n % 5);
+    builder.AddDocument(doc);
+  }
+  Corpus c = builder.Build();
+  std::vector<TopicId> sorted(c.num_tokens());
+  for (TokenIdx t = 0; t < c.num_tokens(); ++t) {
+    sorted[t] = c.token_word(t) < 5 ? 0 : 1;
+  }
+  Rng rng(6);
+  std::vector<TopicId> random(c.num_tokens());
+  for (auto& zi : random) zi = rng.NextInt(2);
+  EXPECT_GT(JointLogLikelihood(c, sorted, 2, 0.5, 0.01),
+            JointLogLikelihood(c, random, 2, 0.5, 0.01));
+}
+
+TEST(LogLikelihoodTest, EmptyDocumentsIgnored) {
+  CorpusBuilder builder;
+  builder.AddDocument(std::vector<WordId>{0});
+  builder.AddDocument(std::vector<WordId>{});
+  Corpus c = builder.Build();
+  std::vector<TopicId> z = {0};
+  double ll = JointLogLikelihood(c, z, 2, 0.5, 0.1);
+  EXPECT_TRUE(std::isfinite(ll));
+}
+
+TEST(SparsityStatsTest, SingleTopicAssignment) {
+  Corpus c = TinyCorpus();
+  std::vector<TopicId> z = {0, 0, 0};
+  SparsityStats stats = ComputeSparsity(c, z);
+  EXPECT_DOUBLE_EQ(stats.mean_topics_per_doc, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_topics_per_word, 1.0);
+  EXPECT_EQ(stats.max_topics_per_doc, 1u);
+  EXPECT_EQ(stats.max_topics_per_word, 1u);
+}
+
+TEST(SparsityStatsTest, DistinctTopicsCounted) {
+  Corpus c = TinyCorpus();  // doc0 has 2 tokens, doc1 has 1
+  std::vector<TopicId> z = {0, 1, 2};
+  SparsityStats stats = ComputeSparsity(c, z);
+  EXPECT_DOUBLE_EQ(stats.mean_topics_per_doc, 1.5);  // (2 + 1) / 2
+  EXPECT_EQ(stats.max_topics_per_doc, 2u);
+  // word0: {0}; word1: {1,2} -> mean (1+2)/2
+  EXPECT_DOUBLE_EQ(stats.mean_topics_per_word, 1.5);
+  EXPECT_EQ(stats.max_topics_per_word, 2u);
+}
+
+}  // namespace
+}  // namespace warplda

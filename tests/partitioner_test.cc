@@ -1,0 +1,118 @@
+#include "dist/partitioner.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace warplda {
+namespace {
+
+std::vector<uint64_t> ZipfWeights(uint32_t n, double skew) {
+  ZipfSampler zipf(n, skew);
+  std::vector<uint64_t> weights(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    weights[i] = static_cast<uint64_t>(zipf.Pmf(i) * 1e7) + 1;
+  }
+  return weights;
+}
+
+class PartitionerTest
+    : public ::testing::TestWithParam<PartitionStrategy> {};
+
+TEST_P(PartitionerTest, EveryItemAssignedToValidPartition) {
+  auto weights = ZipfWeights(1000, 1.0);
+  auto assignment = PartitionByTokens(weights, 8, GetParam());
+  ASSERT_EQ(assignment.size(), weights.size());
+  for (uint32_t part : assignment) EXPECT_LT(part, 8u);
+}
+
+TEST_P(PartitionerTest, AllPartitionsNonEmptyForManyItems) {
+  auto weights = ZipfWeights(1000, 1.0);
+  auto assignment = PartitionByTokens(weights, 8, GetParam());
+  std::vector<int> counts(8, 0);
+  for (uint32_t part : assignment) ++counts[part];
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST_P(PartitionerTest, SinglePartitionIsTrivial) {
+  auto weights = ZipfWeights(100, 1.0);
+  auto assignment = PartitionByTokens(weights, 1, GetParam());
+  for (uint32_t part : assignment) EXPECT_EQ(part, 0u);
+  EXPECT_DOUBLE_EQ(ImbalanceIndex(weights, assignment, 1), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, PartitionerTest,
+                         ::testing::Values(PartitionStrategy::kStatic,
+                                           PartitionStrategy::kDynamic,
+                                           PartitionStrategy::kGreedy),
+                         [](const auto& info) {
+                           return ToString(info.param);
+                         });
+
+TEST(PartitionerTest, GreedyBeatsStaticAndDynamicOnZipf) {
+  // The claim behind Fig 4.
+  auto weights = ZipfWeights(20000, 1.05);
+  for (uint32_t p : {4u, 16u, 64u}) {
+    double greedy = ImbalanceIndex(
+        weights, PartitionByTokens(weights, p, PartitionStrategy::kGreedy),
+        p);
+    double stat = ImbalanceIndex(
+        weights, PartitionByTokens(weights, p, PartitionStrategy::kStatic),
+        p);
+    double dyn = ImbalanceIndex(
+        weights, PartitionByTokens(weights, p, PartitionStrategy::kDynamic),
+        p);
+    EXPECT_LT(greedy, stat) << "P=" << p;
+    EXPECT_LE(greedy, dyn) << "P=" << p;
+  }
+}
+
+TEST(PartitionerTest, GreedyNearPerfectOnUniformWeights) {
+  std::vector<uint64_t> weights(1024, 5);
+  auto assignment =
+      PartitionByTokens(weights, 8, PartitionStrategy::kGreedy);
+  EXPECT_NEAR(ImbalanceIndex(weights, assignment, 8), 0.0, 1e-9);
+}
+
+TEST(PartitionerTest, ImbalanceGrowsWhenOneItemDominates) {
+  // A single huge word cannot be split: with P=8, max/mean >= 8*share - 1.
+  std::vector<uint64_t> weights(100, 1);
+  weights[0] = 1000;
+  auto assignment =
+      PartitionByTokens(weights, 8, PartitionStrategy::kGreedy);
+  double imbalance = ImbalanceIndex(weights, assignment, 8);
+  double share = 1000.0 / (1000 + 99);
+  EXPECT_GT(imbalance, 8 * share - 1 - 1e-9);
+}
+
+TEST(PartitionerTest, ImbalanceIndexMatchesHandComputation) {
+  std::vector<uint64_t> weights = {4, 4, 4, 12};
+  std::vector<uint32_t> assignment = {0, 0, 1, 1};
+  // loads: 8 and 16; mean 12; max/mean - 1 = 1/3.
+  EXPECT_NEAR(ImbalanceIndex(weights, assignment, 2), 1.0 / 3, 1e-12);
+}
+
+TEST(PartitionerTest, StaticDeterministicForSeed) {
+  auto weights = ZipfWeights(500, 1.0);
+  auto a = PartitionByTokens(weights, 4, PartitionStrategy::kStatic, 9);
+  auto b = PartitionByTokens(weights, 4, PartitionStrategy::kStatic, 9);
+  EXPECT_EQ(a, b);
+  auto c = PartitionByTokens(weights, 4, PartitionStrategy::kStatic, 10);
+  EXPECT_NE(a, c);
+}
+
+TEST(PartitionerTest, DynamicPreservesContiguity) {
+  auto weights = ZipfWeights(300, 1.0);
+  auto assignment =
+      PartitionByTokens(weights, 5, PartitionStrategy::kDynamic);
+  for (size_t i = 1; i < assignment.size(); ++i) {
+    EXPECT_GE(assignment[i], assignment[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace warplda

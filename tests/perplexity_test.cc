@@ -1,0 +1,90 @@
+#include "eval/perplexity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "corpus/synthetic.h"
+
+namespace warplda {
+namespace {
+
+// A two-topic corpus with disjoint vocabularies: words 0-4 vs 5-9.
+Corpus DisjointCorpus(int docs_per_topic, int doc_len) {
+  CorpusBuilder builder;
+  builder.set_num_words(10);
+  for (int d = 0; d < 2 * docs_per_topic; ++d) {
+    std::vector<WordId> doc;
+    WordId offset = d % 2 == 0 ? 0 : 5;
+    for (int n = 0; n < doc_len; ++n) doc.push_back(offset + n % 5);
+    builder.AddDocument(doc);
+  }
+  return builder.Build();
+}
+
+std::vector<TopicId> OracleAssignments(const Corpus& c) {
+  std::vector<TopicId> z(c.num_tokens());
+  for (TokenIdx t = 0; t < c.num_tokens(); ++t) {
+    z[t] = c.token_word(t) < 5 ? 0 : 1;
+  }
+  return z;
+}
+
+TEST(PerplexityTest, FiniteAndPositive) {
+  Corpus train = DisjointCorpus(10, 20);
+  TopicModel model(train, OracleAssignments(train), 2, 0.5, 0.01);
+  Corpus heldout = DisjointCorpus(2, 20);
+  double ppl = HeldOutPerplexity(model, heldout);
+  EXPECT_TRUE(std::isfinite(ppl));
+  EXPECT_GT(ppl, 1.0);
+}
+
+TEST(PerplexityTest, OracleModelBeatsScrambledModel) {
+  Corpus train = DisjointCorpus(20, 30);
+  TopicModel oracle(train, OracleAssignments(train), 2, 0.5, 0.01);
+  // Scrambled: every token assigned by parity of its position -> topics mix
+  // both vocabularies.
+  std::vector<TopicId> scrambled(train.num_tokens());
+  for (TokenIdx t = 0; t < train.num_tokens(); ++t) scrambled[t] = t % 2;
+  TopicModel bad(train, scrambled, 2, 0.5, 0.01);
+
+  Corpus heldout = DisjointCorpus(3, 30);
+  double ppl_oracle = HeldOutPerplexity(oracle, heldout);
+  double ppl_bad = HeldOutPerplexity(bad, heldout);
+  EXPECT_LT(ppl_oracle, ppl_bad);
+}
+
+TEST(PerplexityTest, PerplexityBoundedByVocabulary) {
+  // A model can never be worse than uniform over the effective vocabulary
+  // (up to smoothing slack); sanity bound for the disjoint corpus.
+  Corpus train = DisjointCorpus(10, 20);
+  TopicModel model(train, OracleAssignments(train), 2, 0.5, 0.01);
+  Corpus heldout = DisjointCorpus(2, 20);
+  double ppl = HeldOutPerplexity(model, heldout);
+  // Oracle topics put ~uniform mass on 5 words each.
+  EXPECT_LT(ppl, 11.0);
+  EXPECT_GT(ppl, 4.0);
+}
+
+TEST(PerplexityTest, EmptyHeldoutIsZero) {
+  Corpus train = DisjointCorpus(5, 10);
+  TopicModel model(train, OracleAssignments(train), 2, 0.5, 0.01);
+  CorpusBuilder builder;
+  builder.set_num_words(10);
+  Corpus empty = builder.Build();
+  EXPECT_DOUBLE_EQ(HeldOutPerplexity(model, empty), 0.0);
+}
+
+TEST(PerplexityTest, DeterministicForSeed) {
+  Corpus train = DisjointCorpus(10, 20);
+  TopicModel model(train, OracleAssignments(train), 2, 0.5, 0.01);
+  Corpus heldout = DisjointCorpus(2, 20);
+  PerplexityOptions options;
+  options.seed = 5;
+  double a = HeldOutPerplexity(model, heldout, options);
+  double b = HeldOutPerplexity(model, heldout, options);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace warplda

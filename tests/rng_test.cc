@@ -1,0 +1,100 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace warplda {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(77);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.Next());
+  a.Seed(77);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), first[i]);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextIntStaysInBounds) {
+  Rng rng(11);
+  for (uint32_t bound : {1u, 2u, 7u, 100u, 1000000u}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextInt(bound), bound);
+  }
+}
+
+TEST(RngTest, NextIntBoundOneAlwaysZero) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextInt(1), 0u);
+}
+
+TEST(RngTest, NextIntCoversAllOutcomes) {
+  Rng rng(17);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextInt(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextIntApproximatelyUniform) {
+  Rng rng(19);
+  const uint32_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextInt(bound)];
+  for (uint32_t k = 0; k < bound; ++k) {
+    EXPECT_NEAR(counts[k], n / bound, 5 * std::sqrt(n / bound));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(23);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(p);
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.02);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace warplda

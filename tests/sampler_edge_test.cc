@@ -1,0 +1,134 @@
+// Edge-shape sweeps: every sampler must stay correct on degenerate corpora —
+// single-word vocabularies, one-token documents, one giant document, unused
+// vocabulary tails, and heavy Zipf skew. Each case checks the conservation
+// invariants (assignment count, topic range, token counts derived from Z)
+// after several sweeps.
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/sampler.h"
+#include "corpus/synthetic.h"
+#include "eval/log_likelihood.h"
+#include "util/rng.h"
+
+namespace warplda {
+namespace {
+
+struct EdgeCase {
+  std::string label;
+  Corpus (*make)();
+};
+
+Corpus SingleWordVocab() {
+  CorpusBuilder builder;
+  builder.set_num_words(1);
+  for (int d = 0; d < 20; ++d) {
+    builder.AddDocument(std::vector<WordId>(5, 0));
+  }
+  return builder.Build();
+}
+
+Corpus OneTokenDocs() {
+  CorpusBuilder builder;
+  builder.set_num_words(10);
+  for (int d = 0; d < 50; ++d) {
+    builder.AddDocument(std::vector<WordId>{static_cast<WordId>(d % 10)});
+  }
+  return builder.Build();
+}
+
+Corpus OneGiantDoc() {
+  CorpusBuilder builder;
+  builder.set_num_words(40);
+  std::vector<WordId> doc;
+  Rng rng(5);
+  for (int n = 0; n < 3000; ++n) doc.push_back(rng.NextInt(40));
+  builder.AddDocument(doc);
+  return builder.Build();
+}
+
+Corpus UnusedVocabTail() {
+  CorpusBuilder builder;
+  builder.set_num_words(1000);  // only ids 0-4 occur
+  for (int d = 0; d < 30; ++d) {
+    builder.AddDocument(std::vector<WordId>{0, 1, 2, 3, 4});
+  }
+  return builder.Build();
+}
+
+Corpus HeavySkew() {
+  return GenerateZipfCorpus(100, 500, 30, 2.5, 9);
+}
+
+Corpus ManyEmptyDocs() {
+  CorpusBuilder builder;
+  builder.set_num_words(5);
+  for (int d = 0; d < 40; ++d) {
+    if (d % 3 == 0) {
+      builder.AddDocument(std::vector<WordId>{});
+    } else {
+      builder.AddDocument(std::vector<WordId>{0, 1, 4});
+    }
+  }
+  return builder.Build();
+}
+
+using Param = std::tuple<std::string, EdgeCase>;
+
+class SamplerEdgeTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SamplerEdgeTest, InvariantsHoldAfterTraining) {
+  const auto& [sampler_name, edge] = GetParam();
+  Corpus corpus = edge.make();
+  auto sampler = CreateSampler(sampler_name);
+  ASSERT_NE(sampler, nullptr);
+  LdaConfig config = LdaConfig::PaperDefaults(8);
+  config.alpha = 0.2;
+  sampler->Init(corpus, config);
+  for (int i = 0; i < 5; ++i) sampler->Iterate();
+
+  auto z = sampler->Assignments();
+  ASSERT_EQ(z.size(), corpus.num_tokens());
+  std::vector<uint64_t> ck(config.num_topics, 0);
+  for (TopicId topic : z) {
+    ASSERT_LT(topic, config.num_topics);
+    ++ck[topic];
+  }
+  uint64_t total = 0;
+  for (uint64_t c : ck) total += c;
+  EXPECT_EQ(total, corpus.num_tokens());
+
+  double ll = JointLogLikelihood(corpus, z, config.num_topics, config.alpha,
+                                 config.beta);
+  EXPECT_TRUE(std::isfinite(ll));
+}
+
+std::vector<Param> AllCases() {
+  std::vector<EdgeCase> corpora = {
+      {"singleword", &SingleWordVocab}, {"onetokendocs", &OneTokenDocs},
+      {"giantdoc", &OneGiantDoc},       {"unusedtail", &UnusedVocabTail},
+      {"heavyskew", &HeavySkew},        {"emptydocs", &ManyEmptyDocs}};
+  std::vector<Param> params;
+  for (const auto& name : SamplerNames()) {
+    for (const auto& edge : corpora) params.emplace_back(name, edge);
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SamplerEdgeTest, ::testing::ValuesIn(AllCases()),
+    [](const auto& info) {
+      std::string name =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param).label;
+      for (auto& c : name) {
+        if (c == '+') c = 'p';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace warplda

@@ -1,0 +1,164 @@
+#include "baselines/sampler.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/light_lda.h"
+#include "corpus/synthetic.h"
+#include "eval/log_likelihood.h"
+
+namespace warplda {
+namespace {
+
+Corpus SmallCorpus() {
+  SyntheticConfig config;
+  config.num_docs = 80;
+  config.vocab_size = 150;
+  config.num_topics = 6;
+  config.mean_doc_length = 25;
+  config.alpha = 0.1;
+  config.seed = 91;
+  return GenerateLdaCorpus(config).corpus;
+}
+
+class SamplersTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SamplersTest, FactoryCreatesSampler) {
+  auto sampler = CreateSampler(GetParam());
+  ASSERT_NE(sampler, nullptr);
+  EXPECT_FALSE(sampler->name().empty());
+}
+
+TEST_P(SamplersTest, AssignmentsValidAfterInit) {
+  Corpus corpus = SmallCorpus();
+  auto sampler = CreateSampler(GetParam());
+  LdaConfig config = LdaConfig::PaperDefaults(10);
+  sampler->Init(corpus, config);
+  auto z = sampler->Assignments();
+  ASSERT_EQ(z.size(), corpus.num_tokens());
+  for (TopicId topic : z) EXPECT_LT(topic, config.num_topics);
+}
+
+TEST_P(SamplersTest, AssignmentsValidAfterIterations) {
+  Corpus corpus = SmallCorpus();
+  auto sampler = CreateSampler(GetParam());
+  LdaConfig config = LdaConfig::PaperDefaults(10);
+  sampler->Init(corpus, config);
+  for (int i = 0; i < 3; ++i) sampler->Iterate();
+  auto z = sampler->Assignments();
+  ASSERT_EQ(z.size(), corpus.num_tokens());
+  for (TopicId topic : z) EXPECT_LT(topic, config.num_topics);
+}
+
+TEST_P(SamplersTest, LikelihoodImproves) {
+  Corpus corpus = SmallCorpus();
+  auto sampler = CreateSampler(GetParam());
+  LdaConfig config = LdaConfig::PaperDefaults(10);
+  sampler->Init(corpus, config);
+  double initial = JointLogLikelihood(corpus, sampler->Assignments(),
+                                      config.num_topics, config.alpha,
+                                      config.beta);
+  for (int i = 0; i < 15; ++i) sampler->Iterate();
+  double trained = JointLogLikelihood(corpus, sampler->Assignments(),
+                                      config.num_topics, config.alpha,
+                                      config.beta);
+  EXPECT_GT(trained, initial) << sampler->name();
+}
+
+TEST_P(SamplersTest, DeterministicForSeed) {
+  Corpus corpus = SmallCorpus();
+  LdaConfig config = LdaConfig::PaperDefaults(10);
+  config.seed = 4242;
+  auto a = CreateSampler(GetParam());
+  auto b = CreateSampler(GetParam());
+  a->Init(corpus, config);
+  b->Init(corpus, config);
+  for (int i = 0; i < 2; ++i) {
+    a->Iterate();
+    b->Iterate();
+  }
+  EXPECT_EQ(a->Assignments(), b->Assignments());
+}
+
+TEST_P(SamplersTest, ReinitRestartsCleanly) {
+  Corpus corpus = SmallCorpus();
+  auto sampler = CreateSampler(GetParam());
+  LdaConfig config = LdaConfig::PaperDefaults(10);
+  sampler->Init(corpus, config);
+  sampler->Iterate();
+  auto first = sampler->Assignments();
+  sampler->Init(corpus, config);
+  sampler->Iterate();
+  EXPECT_EQ(sampler->Assignments(), first);
+}
+
+TEST_P(SamplersTest, HandlesEmptyDocuments) {
+  CorpusBuilder builder;
+  builder.AddDocument(std::vector<WordId>{0, 1});
+  builder.AddDocument(std::vector<WordId>{});
+  builder.AddDocument(std::vector<WordId>{1});
+  Corpus corpus = builder.Build();
+  auto sampler = CreateSampler(GetParam());
+  sampler->Init(corpus, LdaConfig::PaperDefaults(3));
+  for (int i = 0; i < 2; ++i) sampler->Iterate();
+  EXPECT_EQ(sampler->Assignments().size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSamplers, SamplersTest,
+                         ::testing::Values("cgs", "sparselda", "aliaslda",
+                                           "f+lda", "lightlda", "warplda"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '+') c = 'p';
+                           }
+                           return name;
+                         });
+
+TEST(SamplerFactoryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(CreateSampler("definitely-not-a-sampler"), nullptr);
+}
+
+TEST(SamplerFactoryTest, NamesListMatchesFactory) {
+  for (const auto& name : SamplerNames()) {
+    EXPECT_NE(CreateSampler(name), nullptr) << name;
+  }
+}
+
+TEST(LightLdaAblationTest, NamesReflectOptions) {
+  LightLdaOptions options;
+  EXPECT_EQ(LightLdaSampler(options).name(), "LightLDA");
+  options.delay_word_counts = true;
+  EXPECT_EQ(LightLdaSampler(options).name(), "LightLDA+DW");
+  options.delay_doc_counts = true;
+  EXPECT_EQ(LightLdaSampler(options).name(), "LightLDA+DW+DD");
+  options.simple_word_proposal = true;
+  EXPECT_EQ(LightLdaSampler(options).name(), "LightLDA+DW+DD+SP");
+}
+
+TEST(LightLdaAblationTest, AllAblationsConverge) {
+  Corpus corpus = SmallCorpus();
+  LdaConfig config = LdaConfig::PaperDefaults(10);
+  config.mh_steps = 1;
+  for (int mask = 0; mask < 8; ++mask) {
+    LightLdaOptions options;
+    options.delay_word_counts = mask & 1;
+    options.delay_doc_counts = mask & 2;
+    options.simple_word_proposal = mask & 4;
+    LightLdaSampler sampler(options);
+    sampler.Init(corpus, config);
+    double initial = JointLogLikelihood(corpus, sampler.Assignments(),
+                                        config.num_topics, config.alpha,
+                                        config.beta);
+    for (int i = 0; i < 15; ++i) sampler.Iterate();
+    double trained = JointLogLikelihood(corpus, sampler.Assignments(),
+                                        config.num_topics, config.alpha,
+                                        config.beta);
+    EXPECT_GT(trained, initial) << sampler.name();
+  }
+}
+
+}  // namespace
+}  // namespace warplda

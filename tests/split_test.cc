@@ -1,0 +1,161 @@
+#include "corpus/split.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/synthetic.h"
+
+namespace warplda {
+namespace {
+
+Corpus MakeCorpus() {
+  SyntheticConfig config;
+  config.num_docs = 200;
+  config.vocab_size = 100;
+  config.mean_doc_length = 15;
+  config.seed = 55;
+  return GenerateLdaCorpus(config).corpus;
+}
+
+TEST(SplitByDocumentTest, PartitionsAllDocuments) {
+  Corpus corpus = MakeCorpus();
+  CorpusSplit split = SplitByDocument(corpus, 0.25, 3);
+  EXPECT_EQ(split.train.num_docs() + split.heldout.num_docs(),
+            corpus.num_docs());
+  EXPECT_EQ(split.train.num_tokens() + split.heldout.num_tokens(),
+            corpus.num_tokens());
+  EXPECT_EQ(split.train_doc_ids.size(), split.train.num_docs());
+  EXPECT_EQ(split.heldout_doc_ids.size(), split.heldout.num_docs());
+}
+
+TEST(SplitByDocumentTest, PreservesWordSpace) {
+  Corpus corpus = MakeCorpus();
+  CorpusSplit split = SplitByDocument(corpus, 0.3, 4);
+  EXPECT_EQ(split.train.num_words(), corpus.num_words());
+  EXPECT_EQ(split.heldout.num_words(), corpus.num_words());
+}
+
+TEST(SplitByDocumentTest, FractionRoughlyRespected) {
+  Corpus corpus = MakeCorpus();
+  CorpusSplit split = SplitByDocument(corpus, 0.3, 5);
+  double fraction =
+      static_cast<double>(split.heldout.num_docs()) / corpus.num_docs();
+  EXPECT_NEAR(fraction, 0.3, 0.1);
+}
+
+TEST(SplitByDocumentTest, DocumentsCopiedVerbatim) {
+  Corpus corpus = MakeCorpus();
+  CorpusSplit split = SplitByDocument(corpus, 0.5, 6);
+  for (DocId i = 0; i < split.train.num_docs(); ++i) {
+    DocId original = split.train_doc_ids[i];
+    auto a = split.train.doc_tokens(i);
+    auto b = corpus.doc_tokens(original);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t n = 0; n < a.size(); ++n) EXPECT_EQ(a[n], b[n]);
+  }
+}
+
+TEST(SplitByDocumentTest, DeterministicForSeed) {
+  Corpus corpus = MakeCorpus();
+  CorpusSplit a = SplitByDocument(corpus, 0.4, 7);
+  CorpusSplit b = SplitByDocument(corpus, 0.4, 7);
+  EXPECT_EQ(a.train_doc_ids, b.train_doc_ids);
+  CorpusSplit c = SplitByDocument(corpus, 0.4, 8);
+  EXPECT_NE(a.train_doc_ids, c.train_doc_ids);
+}
+
+TEST(SplitWithinDocumentsTest, AlignedDocumentCounts) {
+  Corpus corpus = MakeCorpus();
+  CorpusSplit split = SplitWithinDocuments(corpus, 0.2, 9);
+  EXPECT_EQ(split.train.num_docs(), corpus.num_docs());
+  EXPECT_EQ(split.heldout.num_docs(), corpus.num_docs());
+  EXPECT_EQ(split.train.num_tokens() + split.heldout.num_tokens(),
+            corpus.num_tokens());
+}
+
+TEST(SplitWithinDocumentsTest, EveryMultiTokenDocSplit) {
+  Corpus corpus = MakeCorpus();
+  CorpusSplit split = SplitWithinDocuments(corpus, 0.2, 10);
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    if (corpus.doc_length(d) >= 2) {
+      EXPECT_GE(split.heldout.doc_length(d), 1u) << "doc " << d;
+      EXPECT_GE(split.train.doc_length(d), 1u) << "doc " << d;
+    }
+  }
+}
+
+TEST(SplitWithinDocumentsTest, TokenMultisetPreservedPerDoc) {
+  Corpus corpus = MakeCorpus();
+  CorpusSplit split = SplitWithinDocuments(corpus, 0.4, 11);
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    std::vector<int> original(corpus.num_words(), 0);
+    for (WordId w : corpus.doc_tokens(d)) ++original[w];
+    std::vector<int> recombined(corpus.num_words(), 0);
+    for (WordId w : split.train.doc_tokens(d)) ++recombined[w];
+    for (WordId w : split.heldout.doc_tokens(d)) ++recombined[w];
+    EXPECT_EQ(original, recombined) << "doc " << d;
+  }
+}
+
+TEST(FilterVocabularyTest, MinDfDropsRareWords) {
+  CorpusBuilder builder;
+  builder.set_num_words(4);
+  // word 0 in 3 docs, word 1 in 2, word 2 in 1, word 3 unused.
+  builder.AddDocument(std::vector<WordId>{0, 1});
+  builder.AddDocument(std::vector<WordId>{0, 1, 2});
+  builder.AddDocument(std::vector<WordId>{0});
+  Corpus corpus = builder.Build();
+
+  VocabFilter filter;
+  filter.min_document_frequency = 2;
+  FilteredCorpus filtered = FilterVocabulary(corpus, filter);
+  EXPECT_EQ(filtered.corpus.num_words(), 2u);
+  EXPECT_EQ(filtered.new_to_old.size(), 2u);
+  EXPECT_EQ(filtered.new_to_old[0], 0u);
+  EXPECT_EQ(filtered.new_to_old[1], 1u);
+  EXPECT_EQ(filtered.old_to_new[2], FilteredCorpus::kDroppedWord);
+  EXPECT_EQ(filtered.corpus.num_tokens(), 5u);
+}
+
+TEST(FilterVocabularyTest, MaxFractionDropsStopWords) {
+  CorpusBuilder builder;
+  builder.set_num_words(3);
+  for (int d = 0; d < 10; ++d) {
+    std::vector<WordId> doc = {0};  // word 0 in every doc
+    if (d < 3) doc.push_back(1);
+    if (d == 0) doc.push_back(2);
+    builder.AddDocument(doc);
+  }
+  Corpus corpus = builder.Build();
+  VocabFilter filter;
+  filter.max_document_fraction = 0.5;
+  FilteredCorpus filtered = FilterVocabulary(corpus, filter);
+  EXPECT_EQ(filtered.old_to_new[0], FilteredCorpus::kDroppedWord);
+  EXPECT_NE(filtered.old_to_new[1], FilteredCorpus::kDroppedWord);
+  EXPECT_NE(filtered.old_to_new[2], FilteredCorpus::kDroppedWord);
+}
+
+TEST(FilterVocabularyTest, DocumentAlignmentPreserved) {
+  CorpusBuilder builder;
+  builder.set_num_words(2);
+  builder.AddDocument(std::vector<WordId>{1});  // becomes empty
+  builder.AddDocument(std::vector<WordId>{0, 0});
+  builder.AddDocument(std::vector<WordId>{0});
+  Corpus corpus = builder.Build();
+  VocabFilter filter;
+  filter.min_document_frequency = 2;  // word 1 appears in 1 doc -> dropped
+  FilteredCorpus filtered = FilterVocabulary(corpus, filter);
+  EXPECT_EQ(filtered.corpus.num_docs(), 3u);
+  EXPECT_EQ(filtered.corpus.doc_length(0), 0u);
+  EXPECT_EQ(filtered.corpus.doc_length(1), 2u);
+  EXPECT_EQ(filtered.corpus.doc_length(2), 1u);
+}
+
+TEST(FilterVocabularyTest, NoOpFilterKeepsEverything) {
+  Corpus corpus = MakeCorpus();
+  FilteredCorpus filtered = FilterVocabulary(corpus, VocabFilter{});
+  EXPECT_EQ(filtered.corpus.num_tokens(), corpus.num_tokens());
+  EXPECT_EQ(filtered.corpus.num_words(), corpus.num_words());
+}
+
+}  // namespace
+}  // namespace warplda

@@ -1,0 +1,137 @@
+#include "corpus/synthetic.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace warplda {
+namespace {
+
+TEST(SyntheticTest, LdaCorpusHasRequestedShape) {
+  SyntheticConfig config;
+  config.num_docs = 200;
+  config.vocab_size = 500;
+  config.num_topics = 10;
+  config.mean_doc_length = 40;
+  SyntheticCorpus sc = GenerateLdaCorpus(config);
+  EXPECT_EQ(sc.corpus.num_docs(), 200u);
+  EXPECT_EQ(sc.corpus.num_words(), 500u);
+  EXPECT_NEAR(sc.corpus.mean_doc_length(), 40.0, 4.0);
+  EXPECT_EQ(sc.true_topics.size(), sc.corpus.num_tokens());
+}
+
+TEST(SyntheticTest, TrueTopicsWithinRange) {
+  SyntheticConfig config;
+  config.num_docs = 50;
+  config.num_topics = 7;
+  SyntheticCorpus sc = GenerateLdaCorpus(config);
+  for (TopicId z : sc.true_topics) EXPECT_LT(z, 7u);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticConfig config;
+  config.num_docs = 30;
+  config.seed = 777;
+  SyntheticCorpus a = GenerateLdaCorpus(config);
+  SyntheticCorpus b = GenerateLdaCorpus(config);
+  ASSERT_EQ(a.corpus.num_tokens(), b.corpus.num_tokens());
+  for (DocId d = 0; d < a.corpus.num_docs(); ++d) {
+    auto ta = a.corpus.doc_tokens(d);
+    auto tb = b.corpus.doc_tokens(d);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta[i], tb[i]);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig config;
+  config.num_docs = 30;
+  config.seed = 1;
+  SyntheticCorpus a = GenerateLdaCorpus(config);
+  config.seed = 2;
+  SyntheticCorpus b = GenerateLdaCorpus(config);
+  bool any_diff = a.corpus.num_tokens() != b.corpus.num_tokens();
+  if (!any_diff) {
+    for (TokenIdx t = 0; t < a.corpus.num_tokens() && !any_diff; ++t) {
+      any_diff = a.corpus.token_word(t) != b.corpus.token_word(t);
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, LowAlphaConcentratesDocsOnFewTopics) {
+  SyntheticConfig config;
+  config.num_docs = 100;
+  config.num_topics = 20;
+  config.alpha = 0.02;
+  config.mean_doc_length = 60;
+  SyntheticCorpus sc = GenerateLdaCorpus(config);
+  // With a tiny alpha most tokens of a document share one topic.
+  double dominant_fraction = 0.0;
+  for (DocId d = 0; d < sc.corpus.num_docs(); ++d) {
+    uint32_t len = sc.corpus.doc_length(d);
+    if (len == 0) continue;
+    TokenIdx base = sc.corpus.doc_offset(d);
+    std::vector<int> counts(config.num_topics, 0);
+    for (uint32_t n = 0; n < len; ++n) ++counts[sc.true_topics[base + n]];
+    dominant_fraction += static_cast<double>(*std::max_element(
+                             counts.begin(), counts.end())) /
+                         len;
+  }
+  dominant_fraction /= sc.corpus.num_docs();
+  EXPECT_GT(dominant_fraction, 0.7);
+}
+
+TEST(SyntheticTest, ZipfCorpusFrequenciesSkewed) {
+  Corpus corpus = GenerateZipfCorpus(500, 1000, 100, 1.1, 3);
+  std::vector<uint32_t> freqs(corpus.num_words());
+  for (WordId w = 0; w < corpus.num_words(); ++w) {
+    freqs[w] = corpus.word_frequency(w);
+  }
+  std::sort(freqs.rbegin(), freqs.rend());
+  // Top 10% of words should hold well over half the tokens under Zipf ~1.1.
+  uint64_t head = 0;
+  uint64_t total = 0;
+  for (size_t i = 0; i < freqs.size(); ++i) {
+    total += freqs[i];
+    if (i < freqs.size() / 10) head += freqs[i];
+  }
+  EXPECT_GT(static_cast<double>(head) / total, 0.5);
+}
+
+TEST(SyntheticTest, ShapeFactoriesScaleDown) {
+  SyntheticConfig nyt = NYTimesShape(0.001);
+  EXPECT_EQ(nyt.num_docs, 300u);
+  EXPECT_NEAR(nyt.mean_doc_length, 332, 1);
+  SyntheticConfig pm = PubMedShape(0.0001);
+  EXPECT_EQ(pm.num_docs, 820u);
+  EXPECT_NEAR(pm.mean_doc_length, 90, 1);
+  SyntheticConfig cw = ClueWebShape(1e-5);
+  EXPECT_EQ(cw.num_docs, 380u);
+}
+
+TEST(SyntheticTest, DescribeCorpusMentionsDimensions) {
+  SyntheticConfig config;
+  config.num_docs = 10;
+  config.vocab_size = 50;
+  SyntheticCorpus sc = GenerateLdaCorpus(config);
+  std::string desc = DescribeCorpus(sc.corpus);
+  EXPECT_NE(desc.find("D=10"), std::string::npos);
+  EXPECT_NE(desc.find("V=50"), std::string::npos);
+}
+
+TEST(SyntheticTest, TopWordsPerTopicExposed) {
+  SyntheticConfig config;
+  config.num_topics = 5;
+  config.num_docs = 20;
+  SyntheticCorpus sc = GenerateLdaCorpus(config);
+  auto top = sc.TopWordsPerTopic(10);
+  ASSERT_EQ(top.size(), 5u);
+  for (const auto& words : top) {
+    EXPECT_EQ(words.size(), 10u);
+    for (WordId w : words) EXPECT_LT(w, config.vocab_size);
+  }
+}
+
+}  // namespace
+}  // namespace warplda

@@ -1,0 +1,94 @@
+#include "corpus/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace warplda {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  Tokenizer tok;
+  auto terms = tok.Tokenize("Machine LEARNING rocks");
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0], "machine");
+  EXPECT_EQ(terms[1], "learning");
+  EXPECT_EQ(terms[2], "rocks");
+}
+
+TEST(TokenizerTest, StripsPunctuation) {
+  Tokenizer tok;
+  auto terms = tok.Tokenize("hello, world! (parentheses)…");
+  ASSERT_GE(terms.size(), 3u);
+  EXPECT_EQ(terms[0], "hello");
+  EXPECT_EQ(terms[1], "world");
+  EXPECT_EQ(terms[2], "parentheses");
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  Tokenizer tok;
+  auto terms = tok.Tokenize("model2 scored 42 points");
+  EXPECT_EQ(terms[0], "model2");
+  EXPECT_EQ(terms[1], "scored");
+  EXPECT_EQ(terms[2], "42");
+}
+
+TEST(TokenizerTest, RemovesStopWords) {
+  Tokenizer tok;
+  auto terms = tok.Tokenize("the cat and the dog");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "cat");
+  EXPECT_EQ(terms[1], "dog");
+}
+
+TEST(TokenizerTest, MinLengthFilter) {
+  Tokenizer tok;
+  tok.set_min_token_length(4);
+  auto terms = tok.Tokenize("big cats sleep");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "cats");
+  EXPECT_EQ(terms[1], "sleep");
+}
+
+TEST(TokenizerTest, CustomStopWords) {
+  Tokenizer tok;
+  tok.set_stop_words({"cat"});
+  auto terms = tok.Tokenize("the cat sat");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "the");
+  EXPECT_EQ(terms[1], "sat");
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("   \t\n ").empty());
+  EXPECT_TRUE(tok.Tokenize("!!! ??? ...").empty());
+}
+
+TEST(TokenizerTest, TokenizeToIdsGrowsVocabulary) {
+  Tokenizer tok;
+  Vocabulary vocab;
+  auto ids1 = tok.TokenizeToIds("apple banana apple", vocab);
+  ASSERT_EQ(ids1.size(), 3u);
+  EXPECT_EQ(ids1[0], ids1[2]);
+  EXPECT_NE(ids1[0], ids1[1]);
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(TokenizerTest, BuildCorpusFromTextsEndToEnd) {
+  std::vector<std::string> texts = {
+      "Apples and oranges are fruit.",
+      "Oranges grow on trees; apples too.",
+      "",
+  };
+  TokenizedCorpus tc = BuildCorpusFromTexts(texts);
+  EXPECT_EQ(tc.corpus.num_docs(), 3u);
+  EXPECT_EQ(tc.corpus.doc_length(2), 0u);
+  EXPECT_EQ(tc.corpus.num_words(), tc.vocabulary.size());
+  // "oranges" appears in both non-empty docs.
+  WordId oranges = tc.vocabulary.Find("oranges");
+  ASSERT_NE(oranges, Vocabulary::kNotFound);
+  EXPECT_EQ(tc.corpus.word_frequency(oranges), 2u);
+}
+
+}  // namespace
+}  // namespace warplda

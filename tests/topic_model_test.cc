@@ -1,0 +1,109 @@
+#include "eval/topic_model.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace warplda {
+namespace {
+
+Corpus MakeCorpus() {
+  CorpusBuilder builder;
+  builder.AddDocument(std::vector<WordId>{0, 0, 1});
+  builder.AddDocument(std::vector<WordId>{1, 2});
+  return builder.Build();
+}
+
+TEST(TopicModelTest, AggregatesCounts) {
+  Corpus c = MakeCorpus();
+  // tokens doc-major: w0->t0, w0->t0, w1->t1, w1->t1, w2->t0
+  std::vector<TopicId> z = {0, 0, 1, 1, 0};
+  TopicModel model(c, z, 2, 0.5, 0.01);
+  EXPECT_EQ(model.num_topics(), 2u);
+  EXPECT_EQ(model.num_words(), 3u);
+  ASSERT_EQ(model.word_topics(0).size(), 1u);
+  EXPECT_EQ(model.word_topics(0)[0].first, 0u);
+  EXPECT_EQ(model.word_topics(0)[0].second, 2);
+  ASSERT_EQ(model.word_topics(1).size(), 1u);
+  EXPECT_EQ(model.word_topics(1)[0].second, 2);
+  EXPECT_EQ(model.topic_counts()[0], 3);
+  EXPECT_EQ(model.topic_counts()[1], 2);
+}
+
+TEST(TopicModelTest, PhiIsNormalizedOverWords) {
+  Corpus c = MakeCorpus();
+  std::vector<TopicId> z = {0, 1, 0, 1, 0};
+  TopicModel model(c, z, 2, 0.5, 0.01);
+  for (TopicId k = 0; k < 2; ++k) {
+    double total = 0.0;
+    for (WordId w = 0; w < model.num_words(); ++w) total += model.Phi(w, k);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(TopicModelTest, TopWordsSortedByCount) {
+  Corpus c = MakeCorpus();
+  std::vector<TopicId> z = {0, 0, 0, 1, 0};
+  TopicModel model(c, z, 2, 0.5, 0.01);
+  auto top = model.TopWords(0, 5);
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 0u);  // word 0 has 2 tokens in topic 0
+  EXPECT_EQ(top[0].second, 2);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].second, top[i].second);
+  }
+}
+
+TEST(TopicModelTest, TopWordsRespectsLimit) {
+  Corpus c = MakeCorpus();
+  std::vector<TopicId> z = {0, 0, 0, 0, 0};
+  TopicModel model(c, z, 1, 0.5, 0.01);
+  EXPECT_EQ(model.TopWords(0, 2).size(), 2u);
+}
+
+TEST(TopicModelTest, DescribeTopicUsesVocabulary) {
+  Corpus c = MakeCorpus();
+  std::vector<TopicId> z = {0, 0, 0, 0, 0};
+  TopicModel model(c, z, 1, 0.5, 0.01);
+  Vocabulary vocab;
+  vocab.GetOrAdd("apple");
+  vocab.GetOrAdd("banana");
+  vocab.GetOrAdd("cherry");
+  std::string desc = model.DescribeTopic(0, vocab, 2);
+  EXPECT_NE(desc.find("apple"), std::string::npos);
+}
+
+TEST(TopicModelTest, SaveLoadRoundTrip) {
+  Corpus c = MakeCorpus();
+  std::vector<TopicId> z = {0, 1, 0, 1, 1};
+  TopicModel model(c, z, 2, 0.25, 0.02);
+  std::string path = testing::TempDir() + "/model.bin";
+  std::string error;
+  ASSERT_TRUE(model.Save(path, &error)) << error;
+  TopicModel loaded;
+  ASSERT_TRUE(loaded.Load(path, &error)) << error;
+  EXPECT_TRUE(model == loaded);
+  EXPECT_DOUBLE_EQ(loaded.alpha(), 0.25);
+  EXPECT_DOUBLE_EQ(loaded.beta(), 0.02);
+}
+
+TEST(TopicModelTest, LoadRejectsGarbage) {
+  std::string path = testing::TempDir() + "/garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a model";
+  }
+  TopicModel model;
+  std::string error;
+  EXPECT_FALSE(model.Load(path, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TopicModelTest, LoadRejectsMissingFile) {
+  TopicModel model;
+  std::string error;
+  EXPECT_FALSE(model.Load(testing::TempDir() + "/absent.bin", &error));
+}
+
+}  // namespace
+}  // namespace warplda

@@ -1,0 +1,116 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/warp_lda.h"
+#include "corpus/synthetic.h"
+
+namespace warplda {
+namespace {
+
+Corpus SmallCorpus() {
+  SyntheticConfig config;
+  config.num_docs = 60;
+  config.vocab_size = 120;
+  config.num_topics = 5;
+  config.mean_doc_length = 20;
+  config.seed = 77;
+  return GenerateLdaCorpus(config).corpus;
+}
+
+TEST(TrainerTest, HistoryRespectsEvalEvery) {
+  Corpus corpus = SmallCorpus();
+  WarpLdaSampler sampler;
+  TrainOptions options;
+  options.iterations = 10;
+  options.eval_every = 3;
+  TrainResult result =
+      Train(sampler, corpus, LdaConfig::PaperDefaults(8), options);
+  // Evaluations at 3, 6, 9, 10.
+  ASSERT_EQ(result.history.size(), 4u);
+  EXPECT_EQ(result.history[0].iteration, 3u);
+  EXPECT_EQ(result.history[3].iteration, 10u);
+}
+
+TEST(TrainerTest, EvalZeroOnlyEvaluatesLast) {
+  Corpus corpus = SmallCorpus();
+  WarpLdaSampler sampler;
+  TrainOptions options;
+  options.iterations = 5;
+  options.eval_every = 0;
+  TrainResult result =
+      Train(sampler, corpus, LdaConfig::PaperDefaults(8), options);
+  ASSERT_EQ(result.history.size(), 1u);
+  EXPECT_EQ(result.history[0].iteration, 5u);
+}
+
+TEST(TrainerTest, TimeAndLikelihoodProgress) {
+  Corpus corpus = SmallCorpus();
+  WarpLdaSampler sampler;
+  TrainOptions options;
+  options.iterations = 20;
+  options.eval_every = 5;
+  TrainResult result =
+      Train(sampler, corpus, LdaConfig::PaperDefaults(8), options);
+  for (size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GE(result.history[i].seconds, result.history[i - 1].seconds);
+  }
+  EXPECT_GT(result.history.back().log_likelihood,
+            result.history.front().log_likelihood);
+  EXPECT_GT(result.total_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.final_log_likelihood,
+                   result.history.back().log_likelihood);
+}
+
+TEST(TrainerTest, CallbackInvokedPerEvaluation) {
+  Corpus corpus = SmallCorpus();
+  WarpLdaSampler sampler;
+  TrainOptions options;
+  options.iterations = 6;
+  options.eval_every = 2;
+  int calls = 0;
+  Train(sampler, corpus, LdaConfig::PaperDefaults(8), options,
+        [&](const IterationStat&) { ++calls; });
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(TrainerTest, AssignmentsMatchCorpusSize) {
+  Corpus corpus = SmallCorpus();
+  WarpLdaSampler sampler;
+  TrainOptions options;
+  options.iterations = 3;
+  TrainResult result =
+      Train(sampler, corpus, LdaConfig::PaperDefaults(8), options);
+  EXPECT_EQ(result.assignments.size(), corpus.num_tokens());
+}
+
+TEST(TrainerTest, ToModelBuildsConsistentModel) {
+  Corpus corpus = SmallCorpus();
+  WarpLdaSampler sampler;
+  TrainOptions options;
+  options.iterations = 5;
+  LdaConfig config = LdaConfig::PaperDefaults(8);
+  TrainResult result = Train(sampler, corpus, config, options);
+  TopicModel model = result.ToModel(corpus, config);
+  EXPECT_EQ(model.num_topics(), config.num_topics);
+  EXPECT_EQ(model.num_words(), corpus.num_words());
+  int64_t total = 0;
+  for (int64_t c : model.topic_counts()) total += c;
+  EXPECT_EQ(total, static_cast<int64_t>(corpus.num_tokens()));
+}
+
+TEST(TrainerTest, ThroughputReported) {
+  Corpus corpus = SmallCorpus();
+  WarpLdaSampler sampler;
+  TrainOptions options;
+  options.iterations = 4;
+  options.eval_every = 2;
+  TrainResult result =
+      Train(sampler, corpus, LdaConfig::PaperDefaults(8), options);
+  for (const auto& stat : result.history) {
+    EXPECT_GT(stat.tokens_per_second, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace warplda

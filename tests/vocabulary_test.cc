@@ -1,0 +1,56 @@
+#include "corpus/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace warplda {
+namespace {
+
+TEST(VocabularyTest, AssignsDenseIdsInInsertionOrder) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(vocab.GetOrAdd("beta"), 1u);
+  EXPECT_EQ(vocab.GetOrAdd("gamma"), 2u);
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+TEST(VocabularyTest, GetOrAddIsIdempotent) {
+  Vocabulary vocab;
+  WordId id = vocab.GetOrAdd("word");
+  EXPECT_EQ(vocab.GetOrAdd("word"), id);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(VocabularyTest, FindMissingReturnsSentinel) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("present");
+  EXPECT_EQ(vocab.Find("absent"), Vocabulary::kNotFound);
+  EXPECT_EQ(vocab.Find("present"), 0u);
+}
+
+TEST(VocabularyTest, WordLookupRoundTrip) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("one");
+  vocab.GetOrAdd("two");
+  EXPECT_EQ(vocab.word(0), "one");
+  EXPECT_EQ(vocab.word(1), "two");
+}
+
+TEST(VocabularyTest, CaseSensitive) {
+  Vocabulary vocab;
+  WordId lower = vocab.GetOrAdd("word");
+  WordId upper = vocab.GetOrAdd("Word");
+  EXPECT_NE(lower, upper);
+}
+
+TEST(VocabularyTest, HandlesManyWords) {
+  Vocabulary vocab;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(vocab.GetOrAdd("w" + std::to_string(i)),
+              static_cast<WordId>(i));
+  }
+  EXPECT_EQ(vocab.Find("w5000"), 5000u);
+  EXPECT_EQ(vocab.word(9999), "w9999");
+}
+
+}  // namespace
+}  // namespace warplda

@@ -1,0 +1,62 @@
+#include "util/zipf.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace warplda {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double total = 0.0;
+  for (uint32_t r = 0; r < 100; ++r) total += zipf.Pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfDecreasesWithRank) {
+  ZipfSampler zipf(50, 1.2);
+  for (uint32_t r = 1; r < 50; ++r) {
+    EXPECT_LT(zipf.Pmf(r), zipf.Pmf(r - 1));
+  }
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (uint32_t r = 0; r < 10; ++r) EXPECT_NEAR(zipf.Pmf(r), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, ClassicZipfRatio) {
+  ZipfSampler zipf(1000, 1.0);
+  // P(0)/P(1) = 2 for s=1.
+  EXPECT_NEAR(zipf.Pmf(0) / zipf.Pmf(1), 2.0, 1e-9);
+}
+
+TEST(ZipfTest, EmpiricalMatchesPmf) {
+  ZipfSampler zipf(20, 1.1);
+  Rng rng(42);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (uint32_t r : {0u, 1u, 5u, 19u}) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(n), zipf.Pmf(r), 0.01);
+  }
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  ZipfSampler zipf(7, 2.0);
+  Rng rng(43);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(rng), 7u);
+}
+
+TEST(ZipfTest, HighSkewConcentratesOnHead) {
+  ZipfSampler zipf(1000, 2.0);
+  Rng rng(44);
+  int head = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) head += zipf.Sample(rng) < 10;
+  EXPECT_GT(head / static_cast<double>(n), 0.9);
+}
+
+}  // namespace
+}  // namespace warplda
