@@ -1,0 +1,111 @@
+// Serving throughput of the concurrent inference subsystem: QPS as a
+// function of worker-thread count and of micro-batch size, on a synthetic
+// NYTimes-shaped corpus. The worker sweep is the serving analogue of the
+// paper's Fig 9 scalability study; the batch sweep shows the cache-warmth
+// payoff of grouping requests against one snapshot.
+//
+//   ./serve_throughput [--scale 0.02] [--k 50] [--requests 4000]
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/trainer.h"
+#include "core/warp_lda.h"
+#include "serve/model_store.h"
+#include "serve/server.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+struct RunResult {
+  double qps = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+RunResult RunLoad(const warplda::serve::ModelStore& store,
+                  const std::vector<std::vector<warplda::WordId>>& load,
+                  uint32_t workers, uint32_t batch) {
+  warplda::serve::ServerOptions options;
+  options.num_workers = workers;
+  options.max_batch = batch;
+  options.queue_capacity = 4096;
+  options.inference.iterations = 20;
+  warplda::serve::InferenceServer server(store, options);
+  std::vector<std::future<warplda::serve::InferenceResult>> futures;
+  futures.reserve(load.size());
+  warplda::Stopwatch watch;
+  for (size_t i = 0; i < load.size(); ++i) {
+    futures.push_back(server.Submit(load[i], /*seed=*/i));
+  }
+  for (auto& future : futures) future.get();
+  const double seconds = watch.Seconds();
+  const auto stats = server.Stats();
+  return RunResult{load.size() / seconds, stats.p50_micros, stats.p99_micros};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.02;
+  int64_t k = 50;
+  int64_t requests = 4000;
+  warplda::FlagSet flags;
+  flags.Double("scale", &scale, "corpus scale relative to NYTimes")
+      .Int("k", &k, "number of topics")
+      .Int("requests", &requests, "requests per configuration");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  warplda::bench::PrintHeader(
+      "serve_throughput: inference QPS vs workers and micro-batch",
+      "conclusion (serving-time sampling) + §5.3 threading");
+
+  warplda::Corpus corpus = warplda::bench::MakeShapedCorpus("nytimes", scale);
+  std::printf("%s\n", warplda::DescribeCorpus(corpus).c_str());
+  std::printf("hardware threads: %u (worker scaling flattens beyond this)\n",
+              std::thread::hardware_concurrency());
+
+  warplda::LdaConfig config =
+      warplda::LdaConfig::PaperDefaults(static_cast<uint32_t>(k));
+  warplda::WarpLdaSampler sampler;
+  warplda::TrainOptions train_options;
+  train_options.iterations = 30;
+  train_options.eval_every = 0;
+  Train(sampler, corpus, config, train_options);
+
+  warplda::serve::ModelStore store;
+  warplda::Stopwatch publish_watch;
+  store.Publish(sampler.ExportSharedModel());
+  std::printf("snapshot publish (eager prebuild): %.1fms\n",
+              publish_watch.Millis());
+
+  std::vector<std::vector<warplda::WordId>> load;
+  load.reserve(static_cast<size_t>(requests));
+  for (int64_t i = 0; i < requests; ++i) {
+    auto doc = corpus.doc_tokens(static_cast<warplda::DocId>(
+        i % corpus.num_docs()));
+    load.emplace_back(doc.begin(), doc.end());
+  }
+
+  std::printf("\nQPS vs workers (micro-batch 8)\n");
+  std::printf("%8s %10s %12s %12s %10s\n", "workers", "qps", "p50(us)",
+              "p99(us)", "speedup");
+  double base_qps = 0.0;
+  for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+    const RunResult r = RunLoad(store, load, workers, 8);
+    if (workers == 1) base_qps = r.qps;
+    std::printf("%8u %10.0f %12.0f %12.0f %9.2fx\n", workers, r.qps, r.p50,
+                r.p99, r.qps / base_qps);
+  }
+
+  std::printf("\nQPS vs micro-batch (4 workers)\n");
+  std::printf("%8s %10s %12s %12s\n", "batch", "qps", "p50(us)", "p99(us)");
+  for (uint32_t batch : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const RunResult r = RunLoad(store, load, 4, batch);
+    std::printf("%8u %10.0f %12.0f %12.0f\n", batch, r.qps, r.p50, r.p99);
+  }
+  return 0;
+}

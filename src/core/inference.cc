@@ -2,133 +2,68 @@
 
 #include <algorithm>
 
-#include "util/hash_count.h"
-
 namespace warplda {
 
+Inferencer::Inferencer(std::shared_ptr<const TopicModel> model,
+                       const InferenceOptions& options)
+    : model_(std::move(model)), options_(options), rng_(options.seed) {
+  beta_bar_ = model_->beta() * model_->num_words();
+  word_alias_.resize(model_->num_words());
+  word_count_prob_.assign(model_->num_words(), 0.0);
+  phi_.resize(model_->num_words());
+}
+
 Inferencer::Inferencer(const TopicModel& model, const InferenceOptions& options)
-    : model_(model), options_(options), rng_(options.seed) {
-  beta_bar_ = model.beta() * model.num_words();
-  word_alias_.resize(model.num_words());
-  word_count_prob_.assign(model.num_words(), 0.0);
-  phi_.resize(model.num_words());
+    : Inferencer(std::make_shared<const TopicModel>(model), options) {}
+
+void Inferencer::Prebuild() {
+  for (WordId w = 0; w < model_->num_words(); ++w) {
+    BuildPhiRow(w);
+    WordAlias(w);
+  }
 }
 
 const AliasTable& Inferencer::WordAlias(WordId w) {
   AliasTable& table = word_alias_[w];
   if (table.empty()) {
-    // q_word ∝ C_wk + β: count-weighted alias plus uniform β branch.
-    std::vector<std::pair<uint32_t, double>> entries;
-    double count_total = 0.0;
-    for (const auto& [k, c] : model_.word_topics(w)) {
-      entries.emplace_back(k, static_cast<double>(c));
-      count_total += c;
-    }
-    if (entries.empty()) entries.emplace_back(0, 1.0);
-    table.BuildSparse(entries);
-    word_count_prob_[w] =
-        count_total / (count_total + model_.beta() * model_.num_topics());
+    word_count_prob_[w] = BuildWordProposal(*model_, w, &table);
   }
   return table;
 }
 
-double Inferencer::Phi(WordId w, TopicId k) const {
-  const auto& row = phi_[w];
-  return row[k];
+void Inferencer::BuildPhiRow(WordId w) {
+  if (!phi_[w].empty()) return;
+  auto& row = phi_[w];
+  row.resize(model_->num_topics());
+  FillPhiRow(*model_, w, beta_bar_, row.data());
 }
 
+/// Adapts the lazy caches to the MhInferTheta ModelView contract: Warm()
+/// materializes the φ̂ row and alias table, after which every read is O(1).
+struct Inferencer::LazyView {
+  Inferencer& self;
+
+  uint32_t num_topics() const { return self.model_->num_topics(); }
+  WordId num_words() const { return self.model_->num_words(); }
+  double alpha() const { return self.model_->alpha(); }
+  void Warm(WordId w) {
+    self.BuildPhiRow(w);
+    self.WordAlias(w);
+  }
+  double Phi(WordId w, TopicId k) const { return self.phi_[w][k]; }
+  double QWord(WordId w, TopicId k) const {
+    // C_wk + β recovered from the materialized φ̂ row in O(1):
+    // φ̂_wk·(C_k+β̄), instead of scanning the sparse model row.
+    return self.phi_[w][k] *
+           (self.model_->topic_counts()[k] + self.beta_bar_);
+  }
+  double word_count_prob(WordId w) const { return self.word_count_prob_[w]; }
+  const AliasTable& word_alias(WordId w) const { return self.word_alias_[w]; }
+};
+
 std::vector<double> Inferencer::InferTheta(std::span<const WordId> words) {
-  const uint32_t k_topics = model_.num_topics();
-  const double alpha = model_.alpha();
-
-  std::vector<WordId> doc;
-  doc.reserve(words.size());
-  for (WordId w : words) {
-    if (w < model_.num_words()) doc.push_back(w);
-  }
-  std::vector<double> theta(k_topics,
-                            1.0 / std::max<uint32_t>(1, k_topics));
-  if (doc.empty()) return theta;
-
-  // Materialize φ̂ rows for the words in this document (cached across calls).
-  for (WordId w : doc) {
-    if (phi_[w].empty()) {
-      auto& row = phi_[w];
-      row.assign(k_topics, 0.0);
-      for (uint32_t k = 0; k < k_topics; ++k) {
-        row[k] = model_.beta() / (model_.topic_counts()[k] + beta_bar_);
-      }
-      for (const auto& [k, c] : model_.word_topics(w)) {
-        row[k] = (c + model_.beta()) /
-                 (model_.topic_counts()[k] + beta_bar_);
-      }
-    }
-    WordAlias(w);  // warm the proposal table too
-  }
-
-  const uint32_t len = static_cast<uint32_t>(doc.size());
-  std::vector<TopicId> z(len);
-  HashCount cd(std::min<uint32_t>(k_topics, 2 * len));
-  for (uint32_t n = 0; n < len; ++n) {
-    z[n] = rng_.NextInt(k_topics);
-    cd.Inc(z[n]);
-  }
-
-  const double position_prob =
-      static_cast<double>(len) /
-      (static_cast<double>(len) + alpha * k_topics);
-
-  for (uint32_t iter = 0; iter < options_.iterations; ++iter) {
-    for (uint32_t n = 0; n < len; ++n) {
-      const WordId w = doc[n];
-      TopicId current = z[n];
-      for (uint32_t step = 0; step < options_.mh_steps; ++step) {
-        // Doc proposal: q_doc ∝ C_dk + α. Target p ∝ (C_dk+α)φ̂; the doc
-        // factors cancel, leaving the φ̂ ratio.
-        TopicId t = rng_.NextBernoulli(position_prob)
-                        ? z[rng_.NextInt(len)]
-                        : rng_.NextInt(k_topics);
-        if (t != current) {
-          double accept = Phi(w, t) / Phi(w, current);
-          if (accept >= 1.0 || rng_.NextBernoulli(accept)) {
-            cd.Dec(current);
-            cd.Inc(t);
-            z[n] = t;
-            current = t;
-          }
-        }
-        // Word proposal: q_word ∝ C_wk + β ≈ φ̂ numerator; accept with the
-        // full ratio p(t)q(s) / (p(s)q(t)).
-        const AliasTable& alias = WordAlias(w);
-        t = rng_.NextBernoulli(word_count_prob_[w]) ? alias.Sample(rng_)
-                                                    : rng_.NextInt(k_topics);
-        if (t != current) {
-          auto q_word = [&](TopicId k) {
-            // C_wk + β from the model row (sparse lookup).
-            for (const auto& [topic, c] : model_.word_topics(w)) {
-              if (topic == k) return c + model_.beta();
-            }
-            return model_.beta();
-          };
-          double p_t = (cd.Get(t) + alpha) * Phi(w, t);
-          double p_s = (cd.Get(current) + alpha) * Phi(w, current);
-          double accept = (p_t * q_word(current)) / (p_s * q_word(t));
-          if (accept >= 1.0 || rng_.NextBernoulli(accept)) {
-            cd.Dec(current);
-            cd.Inc(t);
-            z[n] = t;
-            current = t;
-          }
-        }
-      }
-    }
-  }
-
-  double denom = len + alpha * k_topics;
-  for (uint32_t k = 0; k < k_topics; ++k) {
-    theta[k] = (cd.Get(k) + alpha) / denom;
-  }
-  return theta;
+  LazyView view{*this};
+  return MhInferTheta(view, words, options_, rng_);
 }
 
 TopicId Inferencer::MostLikelyTopic(std::span<const WordId> words) {

@@ -2,9 +2,11 @@
 #define WARPLDA_CORE_INFERENCE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "core/mh_sweep.h"
 #include "corpus/corpus.h"
 #include "eval/topic_model.h"
 #include "util/alias_table.h"
@@ -12,25 +14,40 @@
 
 namespace warplda {
 
-/// Options for unseen-document inference.
-struct InferenceOptions {
-  uint32_t iterations = 30;  ///< MH sweeps over the document
-  uint32_t mh_steps = 2;     ///< proposals per token per sweep
-  uint64_t seed = 99;
-};
-
 /// Folds unseen documents into a trained model using WarpLDA's O(1)
 /// Metropolis-Hastings machinery with the topics held fixed: proposals come
 /// from q_word ∝ C_wk+β (a per-word alias table, built lazily and cached)
 /// and q_doc ∝ C_dk+α (random positioning), and acceptance targets
-/// p(z=k) ∝ (C_dk+α)·φ̂_wk.
+/// p(z=k) ∝ (C_dk+α)·φ̂_wk. The chain itself is the shared MhInferTheta
+/// sweep (core/mh_sweep.h), also used by the serving engine.
 ///
 /// This is the "fast sampler for topic assignments" application the paper's
 /// conclusion points at: serving-time inference without touching the model.
+///
+/// The model is held by shared_ptr so a publisher may drop or replace its
+/// copy while an Inferencer is mid-document (the serving hot-swap pattern);
+/// the snapshot this Inferencer was built on stays valid for its lifetime.
+///
+/// Not thread-safe (mutable lazy caches + an owned Rng); for concurrent
+/// serving use serve::SharedInferenceEngine, which shares one immutable
+/// prebuilt snapshot across workers.
 class Inferencer {
  public:
+  explicit Inferencer(std::shared_ptr<const TopicModel> model,
+                      const InferenceOptions& options = {});
+
+  /// Convenience for non-serving callers: deep-copies `model` into a private
+  /// snapshot, so the reference need not outlive the Inferencer. The copy is
+  /// O(model) — fine for the example/test scale; prefer the shared_ptr
+  /// overload (no copy) when the model is large or constructed repeatedly.
   explicit Inferencer(const TopicModel& model,
                       const InferenceOptions& options = {});
+
+  /// Eagerly builds every per-word alias table and φ̂ row. Without this the
+  /// caches fill lazily on first use, which is fine offline but shows up as
+  /// a first-request latency spike when serving — publishers should pay the
+  /// cost at publish time instead.
+  void Prebuild();
 
   /// Returns the document's topic proportions θ̂ (length K, sums to 1).
   /// Words with id >= model.num_words() are ignored.
@@ -42,11 +59,17 @@ class Inferencer {
   /// Most probable topic for the document (argmax of InferTheta).
   TopicId MostLikelyTopic(std::span<const WordId> words);
 
- private:
-  const AliasTable& WordAlias(WordId w);
-  double Phi(WordId w, TopicId k) const;
+  /// The snapshot this Inferencer samples against.
+  const std::shared_ptr<const TopicModel>& model() const { return model_; }
 
-  const TopicModel& model_;
+ private:
+  /// ModelView over the lazy caches for the shared MhInferTheta sweep.
+  struct LazyView;
+
+  const AliasTable& WordAlias(WordId w);
+  void BuildPhiRow(WordId w);
+
+  std::shared_ptr<const TopicModel> model_;
   InferenceOptions options_;
   Rng rng_;
   double beta_bar_ = 0.0;

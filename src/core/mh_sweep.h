@@ -1,0 +1,147 @@
+#ifndef WARPLDA_CORE_MH_SWEEP_H_
+#define WARPLDA_CORE_MH_SWEEP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "eval/topic_model.h"
+#include "util/alias_table.h"
+#include "util/hash_count.h"
+#include "util/rng.h"
+
+namespace warplda {
+
+/// Options for unseen-document inference.
+struct InferenceOptions {
+  uint32_t iterations = 30;  ///< MH sweeps over the document
+  uint32_t mh_steps = 2;     ///< proposals per token per sweep
+  uint64_t seed = 99;
+};
+
+/// Fills `row` (length num_topics) with word w's smoothed topic-word row
+/// φ̂_wk = (C_wk + β)/(C_k + β̄). Shared by the lazy Inferencer caches and
+/// the eager serve::ModelSnapshot prebuild so the smoothing cannot drift.
+inline void FillPhiRow(const TopicModel& model, WordId w, double beta_bar,
+                       double* row) {
+  const uint32_t k_topics = model.num_topics();
+  for (uint32_t k = 0; k < k_topics; ++k) {
+    row[k] = model.beta() / (model.topic_counts()[k] + beta_bar);
+  }
+  for (const auto& [k, c] : model.word_topics(w)) {
+    row[k] = (c + model.beta()) / (model.topic_counts()[k] + beta_bar);
+  }
+}
+
+/// Builds the count-mass alias table of the word proposal q_word ∝ C_wk + β
+/// for word w and returns the probability of the count branch (vs the
+/// uniform β branch). Shared by Inferencer and serve::ModelSnapshot.
+inline double BuildWordProposal(const TopicModel& model, WordId w,
+                                AliasTable* table) {
+  std::vector<std::pair<uint32_t, double>> entries;
+  double count_total = 0.0;
+  for (const auto& [k, c] : model.word_topics(w)) {
+    entries.emplace_back(k, static_cast<double>(c));
+    count_total += c;
+  }
+  if (entries.empty()) entries.emplace_back(0, 1.0);
+  table->BuildSparse(entries);
+  return count_total / (count_total + model.beta() * model.num_topics());
+}
+
+/// WarpLDA's fixed-topic Metropolis-Hastings chain over one document —
+/// the single implementation behind both Inferencer (offline, lazy caches)
+/// and serve::SharedInferenceEngine (concurrent, immutable snapshot).
+///
+/// ModelView supplies the model reads; after Warm(w) has been called for a
+/// word, every accessor must be O(1):
+///   uint32_t num_topics();  WordId num_words();  double alpha();
+///   void Warm(WordId w);                  // build/verify caches (may no-op)
+///   double Phi(WordId w, TopicId k);      // φ̂_wk
+///   double QWord(WordId w, TopicId k);    // C_wk + β
+///   double word_count_prob(WordId w);     // P(count branch of q_word)
+///   const AliasTable& word_alias(WordId w);
+///
+/// Draw order is part of the contract: results are a pure function of
+/// (model state, words, options, rng state), which the serving layer relies
+/// on for cross-worker determinism.
+template <typename ModelView>
+std::vector<double> MhInferTheta(ModelView& view, std::span<const WordId> words,
+                                 const InferenceOptions& options, Rng& rng) {
+  const uint32_t k_topics = view.num_topics();
+  const double alpha = view.alpha();
+
+  std::vector<WordId> doc;
+  doc.reserve(words.size());
+  for (WordId w : words) {
+    if (w < view.num_words()) doc.push_back(w);
+  }
+  std::vector<double> theta(k_topics, 1.0 / std::max<uint32_t>(1, k_topics));
+  if (doc.empty()) return theta;
+
+  for (WordId w : doc) view.Warm(w);
+
+  const uint32_t len = static_cast<uint32_t>(doc.size());
+  std::vector<TopicId> z(len);
+  HashCount cd(std::min<uint32_t>(k_topics, 2 * len));
+  for (uint32_t n = 0; n < len; ++n) {
+    z[n] = rng.NextInt(k_topics);
+    cd.Inc(z[n]);
+  }
+
+  const double position_prob =
+      static_cast<double>(len) / (static_cast<double>(len) + alpha * k_topics);
+
+  for (uint32_t iter = 0; iter < options.iterations; ++iter) {
+    for (uint32_t n = 0; n < len; ++n) {
+      const WordId w = doc[n];
+      TopicId current = z[n];
+      for (uint32_t step = 0; step < options.mh_steps; ++step) {
+        // Doc proposal: q_doc ∝ C_dk + α (random positioning + uniform α
+        // branch). Target p ∝ (C_dk+α)·φ̂; the doc factors cancel in the
+        // acceptance ratio, leaving φ̂_wt/φ̂_ws.
+        TopicId t = rng.NextBernoulli(position_prob) ? z[rng.NextInt(len)]
+                                                     : rng.NextInt(k_topics);
+        if (t != current) {
+          double accept = view.Phi(w, t) / view.Phi(w, current);
+          if (accept >= 1.0 || rng.NextBernoulli(accept)) {
+            cd.Dec(current);
+            cd.Inc(t);
+            z[n] = t;
+            current = t;
+          }
+        }
+        // Word proposal: q_word ∝ C_wk + β; accept with the full ratio
+        // p(t)q(s) / (p(s)q(t)).
+        t = rng.NextBernoulli(view.word_count_prob(w))
+                ? view.word_alias(w).Sample(rng)
+                : rng.NextInt(k_topics);
+        if (t != current) {
+          double p_t = (cd.Get(t) + alpha) * view.Phi(w, t);
+          double p_s = (cd.Get(current) + alpha) * view.Phi(w, current);
+          double accept =
+              (p_t * view.QWord(w, current)) / (p_s * view.QWord(w, t));
+          if (accept >= 1.0 || rng.NextBernoulli(accept)) {
+            cd.Dec(current);
+            cd.Inc(t);
+            z[n] = t;
+            current = t;
+          }
+        }
+      }
+    }
+  }
+
+  double denom = len + alpha * k_topics;
+  for (uint32_t k = 0; k < k_topics; ++k) {
+    theta[k] = (cd.Get(k) + alpha) / denom;
+  }
+  return theta;
+}
+
+}  // namespace warplda
+
+#endif  // WARPLDA_CORE_MH_SWEEP_H_

@@ -2,6 +2,7 @@
 #define WARPLDA_CORE_STREAMING_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -57,6 +58,13 @@ class StreamingWarpLda {
   /// Exports a TopicModel (statistics rounded to counts) compatible with
   /// HeldOutPerplexity and Inferencer.
   TopicModel ExportModel() const;
+
+  /// Snapshot-export hook for serving: ExportModel() wrapped for
+  /// serve::ModelStore::Publish(). Call between ProcessBatch() calls to
+  /// hot-publish the running estimate while a server keeps answering.
+  std::shared_ptr<const TopicModel> ExportSharedModel() const {
+    return std::make_shared<const TopicModel>(ExportModel());
+  }
 
   /// Number of batches processed so far.
   uint64_t batches_seen() const { return batches_seen_; }

@@ -54,6 +54,12 @@ void WarpLdaSampler::SetPriors(double alpha, double beta) {
   beta_bar_ = beta * corpus_->num_words();
 }
 
+std::shared_ptr<const TopicModel> WarpLdaSampler::ExportSharedModel() const {
+  return std::make_shared<const TopicModel>(*corpus_, Assignments(),
+                                            config_.num_topics, config_.alpha,
+                                            config_.beta);
+}
+
 void WarpLdaSampler::SetAssignments(const std::vector<TopicId>& assignments) {
   std::fill(ck_live_.begin(), ck_live_.end(), 0);
   for (uint64_t t = 0; t < assignments.size(); ++t) {

@@ -1,11 +1,13 @@
 #ifndef WARPLDA_CORE_WARP_LDA_H_
 #define WARPLDA_CORE_WARP_LDA_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/sampler.h"
 #include "core/sparse_matrix.h"
+#include "eval/topic_model.h"
 #include "util/alias_table.h"
 #include "util/hash_count.h"
 
@@ -55,6 +57,13 @@ class WarpLdaSampler : public Sampler {
   /// Individual phases, exposed so benches can time them separately.
   void WordPhase();
   void DocPhase();
+
+  /// Snapshot-export hook for serving: aggregates the current assignments
+  /// into a TopicModel ready for serve::ModelStore::Publish(). Safe to call
+  /// between Iterate() calls while a server keeps answering from earlier
+  /// snapshots (train-while-serve). Init() must have been called.
+  /// Same name and contract as StreamingWarpLda::ExportSharedModel().
+  std::shared_ptr<const TopicModel> ExportSharedModel() const;
 
  private:
   struct ThreadScratch {

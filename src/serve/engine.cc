@@ -1,0 +1,48 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+
+#include "core/mh_sweep.h"
+#include "util/rng.h"
+
+namespace warplda::serve {
+
+namespace {
+
+/// Adapts the immutable snapshot to the MhInferTheta ModelView contract.
+/// Everything is prebuilt, so Warm() is a no-op and all reads are O(1).
+struct SnapshotView {
+  const ModelSnapshot& snap;
+
+  uint32_t num_topics() const { return snap.num_topics(); }
+  WordId num_words() const { return snap.num_words(); }
+  double alpha() const { return snap.alpha(); }
+  void Warm(WordId) const {}
+  double Phi(WordId w, TopicId k) const { return snap.Phi(w, k); }
+  double QWord(WordId w, TopicId k) const { return snap.QWord(w, k); }
+  double word_count_prob(WordId w) const { return snap.word_count_prob(w); }
+  const AliasTable& word_alias(WordId w) const { return snap.word_alias(w); }
+};
+
+}  // namespace
+
+SharedInferenceEngine::SharedInferenceEngine(
+    std::shared_ptr<const ModelSnapshot> snapshot,
+    const InferenceOptions& options)
+    : snapshot_(std::move(snapshot)), options_(options) {}
+
+std::vector<double> SharedInferenceEngine::InferTheta(
+    std::span<const WordId> words, uint64_t seed) const {
+  SnapshotView view{*snapshot_};
+  Rng rng(seed);
+  return MhInferTheta(view, words, options_, rng);
+}
+
+TopicId SharedInferenceEngine::MostLikelyTopic(std::span<const WordId> words,
+                                               uint64_t seed) const {
+  auto theta = InferTheta(words, seed);
+  return static_cast<TopicId>(std::max_element(theta.begin(), theta.end()) -
+                              theta.begin());
+}
+
+}  // namespace warplda::serve

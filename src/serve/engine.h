@@ -1,0 +1,57 @@
+#ifndef WARPLDA_SERVE_ENGINE_H_
+#define WARPLDA_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/inference.h"
+#include "corpus/corpus.h"
+#include "serve/model_store.h"
+
+namespace warplda::serve {
+
+/// Thread-safe redesign of the Inferencer hot path for concurrent serving.
+///
+/// Where Inferencer owns mutable lazy caches and an Rng (one instance per
+/// thread, caches rebuilt per instance), SharedInferenceEngine reads only the
+/// immutable prebuilt ModelSnapshot — φ̂ rows, alias tables, and q_word are
+/// shared by every worker — and threads all per-request state (topic
+/// assignments, the C_dk hash, the Rng) through the call stack. Any number
+/// of threads may call InferTheta on one engine concurrently.
+///
+/// Results are a pure function of (snapshot, words, options, seed): the same
+/// request yields bit-identical θ̂ no matter which worker serves it, which is
+/// what makes concurrent serving testable.
+class SharedInferenceEngine {
+ public:
+  /// `options.seed` is ignored — the seed is per request.
+  explicit SharedInferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
+                                 const InferenceOptions& options = {});
+
+  /// Returns θ̂ (length K, sums to 1) for the document under `seed`.
+  /// Words with id >= snapshot.num_words() are ignored. Thread-safe.
+  std::vector<double> InferTheta(std::span<const WordId> words,
+                                 uint64_t seed) const;
+  std::vector<double> InferTheta(const std::vector<WordId>& words,
+                                 uint64_t seed) const {
+    return InferTheta(std::span<const WordId>(words), seed);
+  }
+
+  /// Argmax of InferTheta. Thread-safe.
+  TopicId MostLikelyTopic(std::span<const WordId> words, uint64_t seed) const;
+
+  const ModelSnapshot& snapshot() const { return *snapshot_; }
+  const std::shared_ptr<const ModelSnapshot>& snapshot_ptr() const {
+    return snapshot_;
+  }
+
+ private:
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  InferenceOptions options_;
+};
+
+}  // namespace warplda::serve
+
+#endif  // WARPLDA_SERVE_ENGINE_H_

@@ -1,0 +1,49 @@
+#include "serve/model_store.h"
+
+#include <utility>
+
+#include "core/mh_sweep.h"
+
+namespace warplda::serve {
+
+ModelSnapshot::ModelSnapshot(std::shared_ptr<const TopicModel> model,
+                             uint64_t version)
+    : model_(std::move(model)),
+      version_(version),
+      num_topics_(model_->num_topics()),
+      num_words_(model_->num_words()) {
+  const double beta = model_->beta();
+  const double beta_bar = beta * num_words_;
+
+  topic_denom_.resize(num_topics_);
+  for (uint32_t k = 0; k < num_topics_; ++k) {
+    topic_denom_[k] = model_->topic_counts()[k] + beta_bar;
+  }
+
+  // Dense φ̂ rows and q_word proposals via the same builders the lazy
+  // Inferencer caches use (core/mh_sweep.h), so smoothing cannot drift.
+  phi_.assign(static_cast<size_t>(num_words_) * num_topics_, 0.0);
+  word_alias_.resize(num_words_);
+  word_count_prob_.assign(num_words_, 0.0);
+  for (WordId w = 0; w < num_words_; ++w) {
+    FillPhiRow(*model_, w, beta_bar,
+               phi_.data() + static_cast<size_t>(w) * num_topics_);
+    word_count_prob_[w] = BuildWordProposal(*model_, w, &word_alias_[w]);
+  }
+}
+
+std::shared_ptr<const ModelSnapshot> ModelStore::Publish(
+    std::shared_ptr<const TopicModel> model) {
+  // The O(V·K) prebuild happens outside the lock; the version is stamped at
+  // swap time — while this thread still holds the only reference — so the
+  // last swap to land carries the highest version even when publishers race,
+  // and version() never runs ahead of Current().
+  auto snapshot = std::make_shared<ModelSnapshot>(std::move(model));
+  std::lock_guard<std::mutex> lock(swap_mutex_);
+  snapshot->version_ = version_.load(std::memory_order_relaxed) + 1;
+  current_ = snapshot;
+  version_.fetch_add(1, std::memory_order_release);
+  return current_;
+}
+
+}  // namespace warplda::serve

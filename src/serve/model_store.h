@@ -1,0 +1,133 @@
+#ifndef WARPLDA_SERVE_MODEL_STORE_H_
+#define WARPLDA_SERVE_MODEL_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "eval/topic_model.h"
+#include "util/alias_table.h"
+
+namespace warplda::serve {
+
+/// Immutable, fully prebuilt serving view of a TopicModel.
+///
+/// Everything the inference hot path reads — dense φ̂ rows, the per-word
+/// proposal alias tables, and the per-topic denominators C_k+β̄ — is built
+/// eagerly at construction (publish) time, so the first request against a
+/// fresh snapshot pays no lazy-materialization spike and all state is
+/// read-only afterwards, shareable across any number of worker threads
+/// without locks.
+///
+/// Construction cost is O(V·K); serving reads are O(1) per access, including
+/// the word-proposal density q_word(k) = C_wk+β, which the lazy Inferencer
+/// had to recover with an O(nnz) sparse-row scan.
+class ModelSnapshot {
+ public:
+  /// Builds the snapshot from `model` (kept alive via the shared_ptr).
+  /// Prefer ModelStore::Publish, which assigns the version automatically
+  /// at swap time.
+  explicit ModelSnapshot(std::shared_ptr<const TopicModel> model,
+                         uint64_t version = 0);
+
+  const TopicModel& model() const { return *model_; }
+  const std::shared_ptr<const TopicModel>& model_ptr() const { return model_; }
+
+  /// Monotonic publish counter (1 = first model published to the store).
+  uint64_t version() const { return version_; }
+
+  uint32_t num_topics() const { return num_topics_; }
+  WordId num_words() const { return num_words_; }
+  double alpha() const { return model_->alpha(); }
+  double beta() const { return model_->beta(); }
+
+  /// φ̂_wk, dense O(1) lookup.
+  double Phi(WordId w, TopicId k) const {
+    return phi_[static_cast<size_t>(w) * num_topics_ + k];
+  }
+
+  /// Word-proposal density q_word(k) ∝ C_wk + β, recovered from φ̂ as
+  /// φ̂_wk·(C_k+β̄) — O(1), no sparse-row scan.
+  double QWord(WordId w, TopicId k) const {
+    return Phi(w, k) * topic_denom_[k];
+  }
+
+  /// Prebuilt alias table over the count mass of q_word for word w.
+  const AliasTable& word_alias(WordId w) const { return word_alias_[w]; }
+
+  /// Probability that a word proposal comes from the count mass (alias
+  /// branch) rather than the uniform β branch.
+  double word_count_prob(WordId w) const { return word_count_prob_[w]; }
+
+ private:
+  friend class ModelStore;  // stamps version_ pre-swap, before any reader
+
+  std::shared_ptr<const TopicModel> model_;
+  uint64_t version_ = 0;
+  uint32_t num_topics_ = 0;
+  WordId num_words_ = 0;
+  std::vector<double> phi_;          // V×K dense φ̂
+  std::vector<double> topic_denom_;  // C_k + β̄ per topic
+  std::vector<AliasTable> word_alias_;
+  std::vector<double> word_count_prob_;
+};
+
+/// Publishes immutable model snapshots to concurrent readers RCU-style.
+///
+/// Publish() builds a ModelSnapshot (paying the eager prebuild cost on the
+/// publisher's thread, outside any lock) and swaps it in atomically;
+/// Current() hands out a shared_ptr copy. Readers holding the previous
+/// snapshot keep it alive through their shared_ptr — a hot swap never
+/// invalidates an in-flight request, and the old snapshot is freed when the
+/// last reader drops it.
+///
+/// The swap itself is a shared_ptr exchange under a micro-lock rather than
+/// std::atomic<shared_ptr> (whose libstdc++ lock-bit implementation is
+/// opaque to ThreadSanitizer). Readers touch the lock once per micro-batch,
+/// never per request, so it is invisible in serving profiles.
+///
+/// This is the bridge between training and serving: a WarpLdaSampler or
+/// StreamingWarpLda running on another thread can ExportModel() and Publish()
+/// mid-training while an InferenceServer keeps answering from the store.
+class ModelStore {
+ public:
+  ModelStore() = default;
+  ModelStore(const ModelStore&) = delete;
+  ModelStore& operator=(const ModelStore&) = delete;
+
+  /// Builds a snapshot of `model` (outside any lock) and atomically makes it
+  /// current. Returns the published snapshot. Thread-safe against readers and
+  /// concurrent publishers: versions are assigned at swap time, so the last
+  /// swap to land carries the highest version and version()/Current() always
+  /// agree (version() > 0 implies Current() != nullptr).
+  std::shared_ptr<const ModelSnapshot> Publish(
+      std::shared_ptr<const TopicModel> model);
+
+  /// Convenience overload that takes ownership of a model by value.
+  std::shared_ptr<const ModelSnapshot> Publish(TopicModel model) {
+    return Publish(std::make_shared<const TopicModel>(std::move(model)));
+  }
+
+  /// The latest published snapshot, or nullptr before the first Publish().
+  std::shared_ptr<const ModelSnapshot> Current() const {
+    std::lock_guard<std::mutex> lock(swap_mutex_);
+    return current_;
+  }
+
+  /// Number of models published so far (0 before the first Publish()).
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<uint64_t> version_{0};
+  mutable std::mutex swap_mutex_;
+  std::shared_ptr<const ModelSnapshot> current_;
+};
+
+}  // namespace warplda::serve
+
+#endif  // WARPLDA_SERVE_MODEL_STORE_H_

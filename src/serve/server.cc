@@ -1,0 +1,239 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/engine.h"
+
+namespace warplda::serve {
+
+namespace {
+
+template <typename TimePoint>
+double MicrosSince(TimePoint start, TimePoint end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const ModelStore& store,
+                                 const ServerOptions& options)
+    : store_(store), options_(options) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  workers_.reserve(options_.num_workers);
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+std::future<InferenceResult> InferenceServer::Enqueue(
+    std::vector<WordId> words, uint64_t seed,
+    std::unique_lock<std::mutex> lock) {
+  Request request;
+  request.words = std::move(words);
+  request.seed = seed;
+  request.enqueued = Clock::now();
+  std::future<InferenceResult> future = request.promise.get_future();
+  if (!started_.exchange(true, std::memory_order_acq_rel)) {
+    first_submit_ = request.enqueued;
+  }
+  queue_.push_back(std::move(request));
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  not_empty_.notify_one();
+  return future;
+}
+
+std::future<InferenceResult> InferenceServer::Submit(std::vector<WordId> words,
+                                                     uint64_t seed) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock, [this] {
+    return stopping_ || queue_.size() < options_.queue_capacity;
+  });
+  if (stopping_) {
+    std::promise<InferenceResult> failed;
+    failed.set_exception(std::make_exception_ptr(
+        std::runtime_error("InferenceServer is shut down")));
+    return failed.get_future();
+  }
+  return Enqueue(std::move(words), seed, std::move(lock));
+}
+
+bool InferenceServer::TrySubmit(std::vector<WordId> words, uint64_t seed,
+                                std::future<InferenceResult>* result) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_ || queue_.size() >= options_.queue_capacity) {
+    lock.unlock();
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  *result = Enqueue(std::move(words), seed, std::move(lock));
+  return true;
+}
+
+void InferenceServer::WorkerLoop() {
+  std::vector<Request> batch;
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      const uint32_t take = std::min<uint32_t>(
+          options_.max_batch, static_cast<uint32_t>(queue_.size()));
+      for (uint32_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ += take;
+    }
+    not_full_.notify_all();
+
+    // One snapshot load and one engine per batch: every request in the batch
+    // reads the same immutable φ̂/alias state, so its cache lines stay warm
+    // across the whole pass (the serving analogue of the paper's per-word /
+    // per-document locality discipline).
+    std::shared_ptr<const ModelSnapshot> snapshot = store_.Current();
+    if (snapshot == nullptr) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stopping_) {
+        // Shutting down with no model ever published: fail the claimed
+        // requests instead of waiting for a publish that will not come.
+        in_flight_ -= static_cast<uint32_t>(batch.size());
+        lock.unlock();
+        for (Request& request : batch) {
+          failed_.fetch_add(1, std::memory_order_release);
+          request.promise.set_exception(std::make_exception_ptr(
+              std::runtime_error("no model published before shutdown")));
+        }
+        drained_.notify_all();
+        continue;
+      }
+      // Re-queue in arrival order and wait briefly for the first Publish().
+      for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+        queue_.push_front(std::move(*it));
+      }
+      in_flight_ -= static_cast<uint32_t>(batch.size());
+      not_empty_.wait_for(lock, std::chrono::milliseconds(1));
+      continue;
+    }
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    SharedInferenceEngine engine(snapshot, options_.inference);
+    for (Request& request : batch) {
+      // A failing request must not take the worker (and with it the whole
+      // server) down: fail its future and keep serving.
+      try {
+        const Clock::time_point start = Clock::now();
+        InferenceResult result;
+        result.theta = engine.InferTheta(request.words, request.seed);
+        result.top_topic = static_cast<TopicId>(
+            std::max_element(result.theta.begin(), result.theta.end()) -
+            result.theta.begin());
+        result.model_version = snapshot->version();
+        const Clock::time_point end = Clock::now();
+        result.queue_micros = MicrosSince(request.enqueued, start);
+        result.infer_micros = MicrosSince(start, end);
+        const double total_micros = MicrosSince(request.enqueued, end);
+        // Account before resolving the future so a caller that gets() the
+        // last result and immediately reads Stats() sees itself counted.
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          if (latencies_micros_.size() < kLatencyWindow) {
+            latencies_micros_.push_back(total_micros);
+          } else {
+            latencies_micros_[latency_cursor_] = total_micros;
+          }
+          latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
+        }
+        completed_.fetch_add(1, std::memory_order_release);
+        request.promise.set_value(std::move(result));
+      } catch (...) {
+        failed_.fetch_add(1, std::memory_order_release);
+        request.promise.set_exception(std::current_exception());
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ -= static_cast<uint32_t>(batch.size());
+    }
+    drained_.notify_all();
+  }
+}
+
+void InferenceServer::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void InferenceServer::Shutdown() {
+  // Serializes concurrent Shutdown() calls (e.g. a lifecycle thread racing
+  // the destructor): the second caller blocks until the first has joined,
+  // then sees an empty workers_ and returns.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ServerStats InferenceServer::Stats() const {
+  ServerStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  const uint64_t batches = batches_.load(std::memory_order_relaxed);
+  if (batches > 0) {
+    stats.mean_batch = static_cast<double>(stats.completed) / batches;
+  }
+  if (started_.load(std::memory_order_acquire) && stats.completed > 0) {
+    Clock::time_point first;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      first = first_submit_;
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - first).count();
+    if (seconds > 0.0) stats.qps = stats.completed / seconds;
+  }
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    latencies = latencies_micros_;
+  }
+  if (!latencies.empty()) {
+    auto percentile = [&latencies](double q) {
+      // Nearest-rank: the smallest value with at least q of the sample at or
+      // below it, ceil(q·n)-1 zero-based.
+      const double rank = std::ceil(q * static_cast<double>(latencies.size()));
+      const size_t idx = std::min(latencies.size() - 1,
+                                  static_cast<size_t>(std::max(rank, 1.0)) - 1);
+      std::nth_element(latencies.begin(),
+                       latencies.begin() + static_cast<ptrdiff_t>(idx),
+                       latencies.end());
+      return latencies[idx];
+    };
+    stats.p50_micros = percentile(0.50);
+    stats.p99_micros = percentile(0.99);
+  }
+  return stats;
+}
+
+}  // namespace warplda::serve

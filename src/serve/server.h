@@ -1,0 +1,159 @@
+#ifndef WARPLDA_SERVE_SERVER_H_
+#define WARPLDA_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/inference.h"
+#include "corpus/corpus.h"
+#include "serve/model_store.h"
+
+namespace warplda::serve {
+
+/// Tuning knobs for InferenceServer.
+struct ServerOptions {
+  uint32_t num_workers = 4;      ///< inference worker threads
+  uint32_t queue_capacity = 1024;  ///< bounded request queue (backpressure)
+  /// Requests a worker claims per queue pass. Batching amortizes the queue
+  /// lock and — mirroring the paper's cache-locality discipline — keeps one
+  /// snapshot's φ̂ rows and alias tables warm in cache across the batch
+  /// instead of re-fetching them per request.
+  uint32_t max_batch = 8;
+  /// MH sweep parameters shared by all requests; `inference.seed` is only a
+  /// default for Submit calls that do not pass their own.
+  InferenceOptions inference;
+};
+
+/// Outcome of one inference request.
+struct InferenceResult {
+  std::vector<double> theta;    ///< θ̂, length K, sums to 1
+  TopicId top_topic = 0;        ///< argmax of theta
+  uint64_t model_version = 0;   ///< snapshot version that served the request
+  double queue_micros = 0.0;    ///< time spent waiting in the queue
+  double infer_micros = 0.0;    ///< time spent sampling
+};
+
+/// Point-in-time serving metrics.
+struct ServerStats {
+  uint64_t submitted = 0;   ///< accepted into the queue
+  uint64_t rejected = 0;    ///< shed by TrySubmit on a full queue
+  uint64_t completed = 0;
+  uint64_t failed = 0;      ///< futures resolved with an exception
+  double qps = 0.0;             ///< completed / seconds since first submit
+  /// End-to-end latency percentiles over the most recent requests (a
+  /// bounded window, so long-running servers keep O(1) memory).
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+  double mean_batch = 0.0;      ///< average requests claimed per worker pass
+};
+
+/// Concurrent topic-inference service over a ModelStore.
+///
+/// Worker threads claim up to `max_batch` queued requests at a time, load the
+/// store's current snapshot once per batch, and answer every request in the
+/// batch against that one immutable snapshot via SharedInferenceEngine. A
+/// Publish() to the store lands between batches: in-flight requests finish on
+/// the snapshot they started with (kept alive by shared_ptr), later batches
+/// see the new model — hot swap with zero downtime and no torn reads.
+///
+/// The queue is bounded: Submit() blocks when full (backpressure), TrySubmit()
+/// returns false instead (load shedding). Results are pure functions of
+/// (snapshot, words, options, seed), so a fixed per-request seed gives the
+/// same θ̂ regardless of worker count or scheduling.
+class InferenceServer {
+ public:
+  /// Starts `options.num_workers` threads immediately. The store (typically
+  /// shared with a training thread that publishes into it) must outlive the
+  /// server. At least one model must be published before results resolve;
+  /// requests submitted earlier wait in the queue.
+  explicit InferenceServer(const ModelStore& store,
+                           const ServerOptions& options = {});
+
+  /// Stops accepting, drains the queue, joins the workers.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues a document; blocks while the queue is full (backpressure).
+  /// The future resolves when a worker has sampled θ̂. Returns an already-
+  /// failed future after Shutdown().
+  std::future<InferenceResult> Submit(std::vector<WordId> words,
+                                      uint64_t seed);
+  std::future<InferenceResult> Submit(std::vector<WordId> words) {
+    return Submit(std::move(words), options_.inference.seed);
+  }
+
+  /// Non-blocking variant: returns false (and leaves *result untouched)
+  /// when the queue is full — the caller sheds load instead of waiting.
+  bool TrySubmit(std::vector<WordId> words, uint64_t seed,
+                 std::future<InferenceResult>* result);
+
+  /// Blocks until every accepted request has completed.
+  void Drain();
+
+  /// Stops accepting new requests, drains, joins the workers. Idempotent
+  /// and safe to call concurrently (callers serialize); also run by the
+  /// destructor.
+  void Shutdown();
+
+  /// Snapshot of the serving counters. Thread-safe.
+  ServerStats Stats() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    std::vector<WordId> words;
+    uint64_t seed = 0;
+    Clock::time_point enqueued;
+    std::promise<InferenceResult> promise;
+  };
+
+  void WorkerLoop();
+  std::future<InferenceResult> Enqueue(std::vector<WordId> words,
+                                       uint64_t seed,
+                                       std::unique_lock<std::mutex> lock);
+
+  const ModelStore& store_;
+  ServerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::condition_variable drained_;
+  std::deque<Request> queue_;
+  uint32_t in_flight_ = 0;
+  bool stopping_ = false;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<bool> started_{false};
+  Clock::time_point first_submit_;
+
+  /// Ring buffer of the most recent end-to-end latencies: bounds both the
+  /// server's memory and the cost of a Stats() call regardless of uptime.
+  static constexpr size_t kLatencyWindow = 1 << 16;
+  mutable std::mutex stats_mutex_;
+  std::vector<double> latencies_micros_;  // grows to kLatencyWindow, then ring
+  size_t latency_cursor_ = 0;
+
+  std::mutex shutdown_mutex_;  // serializes Shutdown() callers
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace warplda::serve
+
+#endif  // WARPLDA_SERVE_SERVER_H_
