@@ -116,9 +116,10 @@ int main(int argc, char** argv) {
   }
 
   // --- Build / restore the sampler ---
-  auto sampler = warplda::CreateSampler(sampler_name);
+  std::string factory_error;
+  auto sampler = warplda::CreateSamplerChecked(sampler_name, &factory_error);
   if (sampler == nullptr) {
-    std::fprintf(stderr, "unknown sampler '%s'\n", sampler_name.c_str());
+    std::fprintf(stderr, "%s\n", factory_error.c_str());
     return 1;
   }
   warplda::LdaConfig config =

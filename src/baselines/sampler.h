@@ -100,10 +100,22 @@ class Sampler {
 };
 
 /// Instantiates a sampler by its paper name: "cgs", "sparselda", "aliaslda",
-/// "f+lda", "lightlda", or "warplda". Returns nullptr for unknown names.
+/// "f+lda" (alias "flda"), "lightlda", or "warplda".
+///
+/// Returns nullptr for unknown names — callers MUST check before
+/// dereferencing; anything user-facing should prefer CreateSamplerChecked,
+/// which produces the diagnostic for them. Both functions and SamplerNames()
+/// are views of one registry, so a sampler added there is automatically
+/// constructible, enumerable, and covered by the factory tests.
 std::unique_ptr<Sampler> CreateSampler(const std::string& name);
 
-/// Names accepted by CreateSampler, in Table 2 order.
+/// Like CreateSampler, but on an unknown name fills `*error` (when non-null)
+/// with a message naming the rejected input and every accepted name.
+std::unique_ptr<Sampler> CreateSamplerChecked(const std::string& name,
+                                              std::string* error);
+
+/// Canonical names accepted by CreateSampler, in Table 2 order. The single
+/// registry: dist/, benches, and examples enumerate algorithms through this.
 std::vector<std::string> SamplerNames();
 
 }  // namespace warplda

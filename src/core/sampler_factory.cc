@@ -9,21 +9,64 @@
 #include "core/warp_lda.h"
 
 namespace warplda {
+namespace {
+
+template <typename S>
+std::unique_ptr<Sampler> Make() {
+  return std::make_unique<S>();
+}
+
+struct RegistryEntry {
+  const char* name;   // canonical key, Table 2 order
+  const char* alias;  // alternate spelling ("" = none)
+  std::unique_ptr<Sampler> (*make)();
+};
+
+// The single sampler registry: CreateSampler*, SamplerNames(), and through
+// them every enumerating caller (dist/, benches, examples, the factory
+// tests) stay in sync by construction.
+constexpr RegistryEntry kRegistry[] = {
+    {"cgs", "", &Make<CgsSampler>},
+    {"sparselda", "", &Make<SparseLdaSampler>},
+    {"aliaslda", "", &Make<AliasLdaSampler>},
+    {"f+lda", "flda", &Make<FPlusLdaSampler>},
+    {"lightlda", "", &Make<LightLdaSampler>},
+    {"warplda", "", &Make<WarpLdaSampler>},
+};
+
+}  // namespace
 
 std::unique_ptr<Sampler> CreateSampler(const std::string& name) {
-  if (name == "cgs") return std::make_unique<CgsSampler>();
-  if (name == "sparselda") return std::make_unique<SparseLdaSampler>();
-  if (name == "aliaslda") return std::make_unique<AliasLdaSampler>();
-  if (name == "f+lda" || name == "flda") {
-    return std::make_unique<FPlusLdaSampler>();
+  for (const RegistryEntry& entry : kRegistry) {
+    if (name == entry.name || (entry.alias[0] != '\0' && name == entry.alias)) {
+      return entry.make();
+    }
   }
-  if (name == "lightlda") return std::make_unique<LightLdaSampler>();
-  if (name == "warplda") return std::make_unique<WarpLdaSampler>();
   return nullptr;
 }
 
+std::unique_ptr<Sampler> CreateSamplerChecked(const std::string& name,
+                                              std::string* error) {
+  auto sampler = CreateSampler(name);
+  if (sampler == nullptr && error != nullptr) {
+    std::string accepted;
+    for (const RegistryEntry& entry : kRegistry) {
+      if (!accepted.empty()) accepted += ", ";
+      accepted += entry.name;
+      if (entry.alias[0] != '\0') {
+        accepted += std::string(" (alias: ") + entry.alias + ")";
+      }
+    }
+    *error = "unknown sampler '" + name + "'; accepted names: " + accepted;
+  }
+  return sampler;
+}
+
 std::vector<std::string> SamplerNames() {
-  return {"cgs", "sparselda", "aliaslda", "f+lda", "lightlda", "warplda"};
+  std::vector<std::string> names;
+  names.reserve(std::size(kRegistry));
+  for (const RegistryEntry& entry : kRegistry) names.emplace_back(entry.name);
+  return names;
 }
 
 }  // namespace warplda

@@ -1,0 +1,102 @@
+#ifndef WARPLDA_CORE_SWEEP_PLAN_H_
+#define WARPLDA_CORE_SWEEP_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warplda {
+
+/// Partition of a training sweep into a (doc-block × word-block) grid.
+///
+/// This is the unit of work distribution in the paper's multi-machine design:
+/// documents are split into `num_doc_blocks` partitions (one per worker) and
+/// the vocabulary into `num_word_blocks` slices; block (i, j) is the set of
+/// tokens whose document lies in doc partition i and whose word lies in word
+/// partition j. A default-constructed plan is the trivial 1×1 grid, which is
+/// exactly what `Sampler::Iterate()` executes.
+///
+/// Plans are produced by hand, by `SweepPlan::Trivial()`, or — balanced by
+/// token counts — by `MakeSweepPlan()` in `dist/partitioner.h`.
+struct SweepPlan {
+  uint32_t num_doc_blocks = 1;
+  uint32_t num_word_blocks = 1;
+  /// Block id per document, size D (empty means every doc is in block 0,
+  /// which requires num_doc_blocks == 1).
+  std::vector<uint32_t> doc_block;
+  /// Block id per word, size V (empty means every word is in block 0).
+  std::vector<uint32_t> word_block;
+
+  /// The 1×1 plan: one block containing the whole corpus.
+  static SweepPlan Trivial() { return SweepPlan(); }
+
+  bool trivial() const { return num_doc_blocks == 1 && num_word_blocks == 1; }
+
+  /// Checks the plan against a corpus shape. On failure returns false and,
+  /// when `error` is non-null, explains which invariant broke.
+  bool Validate(uint32_t num_docs, uint32_t num_words,
+                std::string* error) const;
+
+  /// Samplers use equality to reuse plan-derived indices across sweeps.
+  bool operator==(const SweepPlan&) const = default;
+};
+
+/// The four block-wise stages of one grid sweep, in execution order.
+///
+/// WarpLDA's word phase splits into an MH-acceptance stage (consumes the
+/// pending doc proposals against a delayed snapshot of c_w and c_k) and a
+/// proposal stage (draws fresh word proposals from the updated c_w); the doc
+/// phase splits symmetrically. Within a stage, blocks touch disjoint
+/// assignment state and own per-token RNG streams, so they may run in any
+/// order — or on different machines — without changing the samples. The
+/// barrier between stages (EndStage) is where a distributed implementation
+/// would exchange token state between doc owners and word-slice owners.
+enum class SweepStage {
+  kWordAccept = 0,
+  kWordPropose = 1,
+  kDocAccept = 2,
+  kDocPropose = 3,
+  kDone = 4,
+};
+
+const char* ToString(SweepStage stage);
+
+/// Grid-execution interface of a sampler whose sweep can run block-by-block.
+///
+/// Protocol: BeginSweep(plan), then for each of the four stages call
+/// RunBlock(i, j) exactly once per grid block (any order) followed by
+/// EndStage(), then EndSweep(). `RunSweep()` drives the whole protocol in
+/// canonical order. A conforming implementation guarantees that any schedule
+/// of any plan produces the same assignments as `RunSweep(SweepPlan::
+/// Trivial())` — grid execution changes where work happens, never what is
+/// sampled. Protocol violations throw std::logic_error; invalid plans throw
+/// std::invalid_argument.
+class GridSampler {
+ public:
+  virtual ~GridSampler() = default;
+
+  /// Opens a sweep over `plan`. The sampler must be initialized and no other
+  /// sweep may be active.
+  virtual void BeginSweep(const SweepPlan& plan) = 0;
+
+  /// Runs the current stage's work for grid block (doc_block, word_block).
+  /// Each block must run exactly once per stage.
+  virtual void RunBlock(uint32_t doc_block, uint32_t word_block) = 0;
+
+  /// Barrier: checks every block of the current stage ran, applies the
+  /// stage's staged updates, and advances to the next stage.
+  virtual void EndStage() = 0;
+
+  /// Closes the sweep; all four stages must have completed.
+  virtual void EndSweep() = 0;
+
+  /// Stage the active sweep is in, or kDone when no sweep is active.
+  virtual SweepStage sweep_stage() const = 0;
+
+  /// Convenience: one full sweep of `plan`, blocks in row-major order.
+  void RunSweep(const SweepPlan& plan);
+};
+
+}  // namespace warplda
+
+#endif  // WARPLDA_CORE_SWEEP_PLAN_H_

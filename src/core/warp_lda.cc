@@ -1,8 +1,17 @@
 #include "core/warp_lda.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace warplda {
+
+// Determinism invariant: the fused phases (Iterate) and the grid stages
+// (BeginSweep..EndSweep) must sample identically. Both therefore share the
+// helpers below, and every (phase, token) pair draws from its own RNG stream:
+// acceptance and proposal draws depend only on the per-phase snapshots plus
+// the token's stream, never on which thread or grid block processed the token
+// first. Anything that would couple tokens — updating c_w/c_d during a scan,
+// a shared RNG cursor — is structured out.
 
 void WarpLdaSampler::Init(const Corpus& corpus, const LdaConfig& config) {
   corpus_ = &corpus;
@@ -23,10 +32,9 @@ void WarpLdaSampler::Init(const Corpus& corpus, const LdaConfig& config) {
   proposals_.assign(matrix_.num_entries() * m, 0);
 
   scratch_.assign(std::max(1u, options_.num_threads), ThreadScratch());
-  for (size_t tid = 0; tid < scratch_.size(); ++tid) {
-    scratch_[tid].rng.Seed(config.seed + 0x9E37ULL * (tid + 1));
-    scratch_[tid].ck_delta.assign(k, 0);
-  }
+  for (auto& s : scratch_) s.ck_delta.assign(k, 0);
+  phase_epoch_ = 0;
+  grid_ = GridState();
 
   // Random initial assignments.
   ck_live_.assign(k, 0);
@@ -39,10 +47,10 @@ void WarpLdaSampler::Init(const Corpus& corpus, const LdaConfig& config) {
   ck_fixed_ = ck_live_;
 
   // Alg. 2 enters the word phase expecting pending doc proposals, so draw
-  // the first batch now from the initial assignments.
+  // the first batch now from the initial assignments (stream epoch 0).
   matrix_.VisitByRow(
-      [&](int tid, uint32_t, SparseMatrix<TopicId>::RowView row) {
-        DrawDocProposals(scratch_[tid], row);
+      [&](int, uint32_t, SparseMatrix<TopicId>::RowView row) {
+        DrawDocProposals(phase_epoch_, row);
       },
       options_.num_threads);
 }
@@ -61,6 +69,10 @@ std::shared_ptr<const TopicModel> WarpLdaSampler::ExportSharedModel() const {
 }
 
 void WarpLdaSampler::SetAssignments(const std::vector<TopicId>& assignments) {
+  if (grid_.open) {
+    throw std::logic_error(
+        "WarpLdaSampler: SetAssignments() during an active grid sweep");
+  }
   std::fill(ck_live_.begin(), ck_live_.end(), 0);
   for (uint64_t t = 0; t < assignments.size(); ++t) {
     matrix_.entry_data(matrix_.csc_position(t)) = assignments[t];
@@ -70,8 +82,8 @@ void WarpLdaSampler::SetAssignments(const std::vector<TopicId>& assignments) {
   // Refresh the pending proposals so the next word phase consumes proposals
   // drawn from the restored state (mirrors the tail of Init()).
   matrix_.VisitByRow(
-      [&](int tid, uint32_t, SparseMatrix<TopicId>::RowView row) {
-        DrawDocProposals(scratch_[tid], row);
+      [&](int, uint32_t, SparseMatrix<TopicId>::RowView row) {
+        DrawDocProposals(phase_epoch_, row);
       },
       options_.num_threads);
 }
@@ -99,10 +111,104 @@ void WarpLdaSampler::EndPhase() {
   }
 }
 
-void WarpLdaSampler::DrawDocProposals(ThreadScratch& scratch,
-                                      SparseMatrix<TopicId>::RowView row) {
+void WarpLdaSampler::BuildCounts(HashCount& counts,
+                                 std::span<const TopicId> z) const {
+  counts.Init(
+      std::min<uint32_t>(config_.num_topics, 2 * static_cast<uint32_t>(z.size())));
+  for (TopicId topic : z) counts.Inc(topic);
+}
+
+void WarpLdaSampler::BuildCounts(HashCount& counts,
+                                 SparseMatrix<TopicId>::RowView row) const {
+  counts.Init(std::min<uint32_t>(config_.num_topics, 2 * row.size()));
+  for (uint32_t i = 0; i < row.size(); ++i) counts.Inc(row[i]);
+}
+
+TopicId WarpLdaSampler::AcceptChain(const HashCount& counts, TopicId current,
+                                    const TopicId* props, uint32_t m,
+                                    const std::vector<double>* prior_vec,
+                                    double prior, uint64_t epoch,
+                                    uint64_t token, int64_t* ck_delta) {
+  Rng rng;
+  bool seeded = false;
+  for (uint32_t j = 0; j < m; ++j) {
+    TopicId t = props[j];
+    if (t == current) continue;
+    Trace(reinterpret_cast<const void*>(counts.SlotAddr(t)),
+          sizeof(HashCount::Entry), /*random=*/true, /*write=*/false);
+    const double prior_t = prior_vec ? (*prior_vec)[t] : prior;
+    const double prior_s = prior_vec ? (*prior_vec)[current] : prior;
+    // Eq. 7: delayed c_w/c_d and c_k snapshots on both sides.
+    double accept =
+        (counts.Get(t) + prior_t) * (ck_fixed_[current] + beta_bar_) /
+        ((counts.Get(current) + prior_s) * (ck_fixed_[t] + beta_bar_));
+    bool take = accept >= 1.0;
+    if (!take) {
+      if (!seeded) {
+        rng = StreamRng(epoch, kTagAccept, token);
+        seeded = true;
+      }
+      take = rng.NextBernoulli(accept);
+    }
+    if (take) {
+      --ck_delta[current];
+      ++ck_delta[t];
+      current = t;
+    }
+  }
+  return current;
+}
+
+void WarpLdaSampler::BuildWordAlias(ThreadScratch& scratch,
+                                    std::span<const TopicId> z) {
+  // Alg. 2 recomputes C_wk after the acceptances before building the alias
+  // table: q_word ∝ C_wk + β as a mixture of this count-weighted table and
+  // the uniform β branch. The fresh BuildCounts scan (rather than replaying
+  // the accepted moves into the snapshot table) is load-bearing: alias bins
+  // follow the hash table's slot order, which depends on insertion history,
+  // and only a front-to-back scan of the post-acceptance column produces the
+  // same slot order in the fused path and in the grid path (which has no
+  // move list — it rebuilds from the column after the stage barrier).
+  BuildCounts(scratch.counts, z);
+  scratch.alias_entries.clear();
+  scratch.counts.ForEachNonZero([&](uint32_t k, int32_t c) {
+    scratch.alias_entries.emplace_back(k, static_cast<double>(c));
+  });
+  scratch.alias.BuildSparse(scratch.alias_entries);
+}
+
+void WarpLdaSampler::DrawWordProposalsForToken(ThreadScratch& scratch,
+                                               uint64_t epoch, uint64_t token,
+                                               double count_prob) {
   const uint32_t m = std::max(1u, config_.mh_steps);
   const uint32_t k_topics = config_.num_topics;
+  TopicId* slot = &proposals_[token * m];
+  Rng rng = StreamRng(epoch, kTagPropose, token);
+  for (uint32_t j = 0; j < m; ++j) {
+    slot[j] = rng.NextBernoulli(count_prob) ? scratch.alias.Sample(rng)
+                                            : rng.NextInt(k_topics);
+  }
+}
+
+void WarpLdaSampler::DrawDocProposalsForToken(
+    uint64_t epoch, uint64_t token, SparseMatrix<TopicId>::RowView row,
+    double position_prob) {
+  const uint32_t m = std::max(1u, config_.mh_steps);
+  const uint32_t k_topics = config_.num_topics;
+  const bool asymmetric = !config_.alpha_vector.empty();
+  TopicId* slot = &proposals_[token * m];
+  Rng rng = StreamRng(epoch, kTagPropose, token);
+  for (uint32_t j = 0; j < m; ++j) {
+    if (rng.NextBernoulli(position_prob)) {
+      slot[j] = row[rng.NextInt(row.size())];
+    } else {
+      slot[j] = asymmetric ? prior_alias_.Sample(rng) : rng.NextInt(k_topics);
+    }
+  }
+}
+
+void WarpLdaSampler::DrawDocProposals(uint64_t epoch,
+                                      SparseMatrix<TopicId>::RowView row) {
   const uint32_t len = row.size();
   if (len == 0) return;
   // q_doc ∝ C_dk + α_k as the mixture of §4.3: with probability L_d/(L_d+ᾱ)
@@ -110,24 +216,20 @@ void WarpLdaSampler::DrawDocProposals(ThreadScratch& scratch,
   // for symmetric α, alias table over α_k otherwise).
   const double position_prob =
       static_cast<double>(len) / (static_cast<double>(len) + alpha_bar_);
-  const bool asymmetric = !config_.alpha_vector.empty();
   for (uint32_t i = 0; i < len; ++i) {
-    TopicId* slot = &proposals_[row.entry_index(i) * m];
-    for (uint32_t j = 0; j < m; ++j) {
-      if (scratch.rng.NextBernoulli(position_prob)) {
-        slot[j] = row[scratch.rng.NextInt(len)];
-      } else {
-        slot[j] = asymmetric ? prior_alias_.Sample(scratch.rng)
-                             : scratch.rng.NextInt(k_topics);
-      }
-    }
+    DrawDocProposalsForToken(epoch, row.entry_index(i), row, position_prob);
   }
 }
 
 void WarpLdaSampler::WordPhase() {
+  if (grid_.open) {
+    throw std::logic_error(
+        "WarpLdaSampler: WordPhase() during an active grid sweep");
+  }
   const uint32_t k_topics = config_.num_topics;
   const uint32_t m = std::max(1u, config_.mh_steps);
   const double beta = config_.beta;
+  const uint64_t epoch = ++phase_epoch_;
   BeginPhase();
 
   matrix_.VisitByColumn(
@@ -138,60 +240,28 @@ void WarpLdaSampler::WordPhase() {
         const uint64_t base = matrix_.col_offset(w);
 
         // c_w on the fly (delayed snapshot for this word's acceptances).
-        s.counts.Init(std::min<uint32_t>(k_topics, 2 * lw));
-        for (TopicId topic : z) s.counts.Inc(topic);
+        BuildCounts(s.counts, z);
         Trace(reinterpret_cast<const void*>(s.counts.slots().data()),
               s.counts.capacity() *
                   static_cast<uint32_t>(sizeof(HashCount::Entry)),
               /*random=*/true, /*write=*/true);
 
-        // Accept the pending doc proposals (Eq. 7, π^doc) against the
-        // snapshot; collect accepted moves and apply them afterwards so all
-        // acceptances in this word see the same delayed counts (Alg. 2).
-        s.moves.clear();
+        // Accept the pending doc proposals against the snapshot; c_w is not
+        // updated mid-scan, so all of this word's acceptances see the same
+        // delayed counts (Alg. 2) and tokens stay order-independent.
         for (uint32_t i = 0; i < lw; ++i) {
-          TopicId current = z[i];
-          const TopicId* props = &proposals_[(base + i) * m];
-          for (uint32_t j = 0; j < m; ++j) {
-            TopicId t = props[j];
-            if (t == current) continue;
-            Trace(reinterpret_cast<const void*>(s.counts.SlotAddr(t)),
-                  sizeof(HashCount::Entry), /*random=*/true, /*write=*/false);
-            double accept =
-                (s.counts.Get(t) + beta) * (ck_fixed_[current] + beta_bar_) /
-                ((s.counts.Get(current) + beta) * (ck_fixed_[t] + beta_bar_));
-            if (accept >= 1.0 || s.rng.NextBernoulli(accept)) {
-              s.moves.emplace_back(current, t);
-              current = t;
-            }
-          }
-          z[i] = current;
-        }
-        for (const auto& [from, to] : s.moves) {
-          s.counts.Dec(from);
-          s.counts.Inc(to);
-          --s.ck_delta[from];
-          ++s.ck_delta[to];
+          z[i] = AcceptChain(s.counts, z[i], &proposals_[(base + i) * m], m,
+                             nullptr, beta, epoch, base + i,
+                             s.ck_delta.data());
         }
 
-        // Fresh word proposals from the *updated* c_w (Alg. 2 recomputes C_wk
-        // before building the alias table): q_word ∝ C_wk + β as the mixture
-        // of a count-weighted alias table and the uniform β branch.
-        s.alias_entries.clear();
-        s.counts.ForEachNonZero([&](uint32_t k, int32_t c) {
-          s.alias_entries.emplace_back(k, static_cast<double>(c));
-        });
-        s.alias.BuildSparse(s.alias_entries);
+        // Fresh word proposals from the updated c_w.
+        BuildWordAlias(s, z);
         const double count_prob =
             static_cast<double>(lw) /
             (static_cast<double>(lw) + beta * k_topics);
         for (uint32_t i = 0; i < lw; ++i) {
-          TopicId* slot = &proposals_[(base + i) * m];
-          for (uint32_t j = 0; j < m; ++j) {
-            slot[j] = s.rng.NextBernoulli(count_prob)
-                          ? s.alias.Sample(s.rng)
-                          : s.rng.NextInt(k_topics);
-          }
+          DrawWordProposalsForToken(s, epoch, base + i, count_prob);
         }
         TraceScopeEnd();
       },
@@ -201,11 +271,15 @@ void WarpLdaSampler::WordPhase() {
 }
 
 void WarpLdaSampler::DocPhase() {
-  const uint32_t k_topics = config_.num_topics;
+  if (grid_.open) {
+    throw std::logic_error(
+        "WarpLdaSampler: DocPhase() during an active grid sweep");
+  }
   const uint32_t m = std::max(1u, config_.mh_steps);
   const std::vector<double>* alpha_vec =
       config_.alpha_vector.empty() ? nullptr : &config_.alpha_vector;
   const double alpha = config_.alpha;
+  const uint64_t epoch = ++phase_epoch_;
   BeginPhase();
 
   matrix_.VisitByRow(
@@ -215,8 +289,7 @@ void WarpLdaSampler::DocPhase() {
         ThreadScratch& s = scratch_[tid];
 
         // c_d on the fly (delayed snapshot for this document).
-        s.counts.Init(std::min<uint32_t>(k_topics, 2 * len));
-        for (uint32_t i = 0; i < len; ++i) s.counts.Inc(row[i]);
+        BuildCounts(s.counts, row);
         Trace(reinterpret_cast<const void*>(s.counts.slots().data()),
               s.counts.capacity() *
                   static_cast<uint32_t>(sizeof(HashCount::Entry)),
@@ -224,32 +297,14 @@ void WarpLdaSampler::DocPhase() {
 
         // Accept the pending word proposals (Eq. 7, π^word).
         for (uint32_t i = 0; i < len; ++i) {
-          TopicId current = row[i];
-          const TopicId* props = &proposals_[row.entry_index(i) * m];
-          for (uint32_t j = 0; j < m; ++j) {
-            TopicId t = props[j];
-            if (t == current) continue;
-            Trace(reinterpret_cast<const void*>(s.counts.SlotAddr(t)),
-                  sizeof(HashCount::Entry), /*random=*/true, /*write=*/false);
-            const double alpha_t = alpha_vec ? (*alpha_vec)[t] : alpha;
-            const double alpha_s =
-                alpha_vec ? (*alpha_vec)[current] : alpha;
-            double accept =
-                (s.counts.Get(t) + alpha_t) *
-                (ck_fixed_[current] + beta_bar_) /
-                ((s.counts.Get(current) + alpha_s) *
-                 (ck_fixed_[t] + beta_bar_));
-            if (accept >= 1.0 || s.rng.NextBernoulli(accept)) {
-              --s.ck_delta[current];
-              ++s.ck_delta[t];
-              current = t;
-            }
-          }
-          row[i] = current;
+          row[i] = AcceptChain(s.counts, row[i],
+                               &proposals_[row.entry_index(i) * m], m,
+                               alpha_vec, alpha, epoch, row.entry_index(i),
+                               s.ck_delta.data());
         }
 
         // Fresh doc proposals from the updated z_d.
-        DrawDocProposals(s, row);
+        DrawDocProposals(epoch, row);
         TraceScopeEnd();
       },
       options_.num_threads);
@@ -260,6 +315,247 @@ void WarpLdaSampler::DocPhase() {
 void WarpLdaSampler::Iterate() {
   WordPhase();
   DocPhase();
+}
+
+// --------------------------------------------------------------------------
+// Grid execution. Stages defer their writes (accepted topics go to
+// grid_.staged, count updates to grid_.ck_delta) and apply them at the
+// EndStage barrier, so every block of a stage observes the same pre-stage
+// state no matter the schedule. Combined with the per-token RNG streams this
+// makes any grid — including the 1×1 plan and the fused Iterate() — sample
+// identically.
+
+void WarpLdaSampler::BeginSweep(const SweepPlan& plan) {
+  if (corpus_ == nullptr) {
+    throw std::logic_error("WarpLdaSampler: Init() must precede BeginSweep()");
+  }
+  if (grid_.open) {
+    throw std::logic_error("WarpLdaSampler: a grid sweep is already active");
+  }
+  std::string error;
+  if (!plan.Validate(corpus_->num_docs(), corpus_->num_words(), &error)) {
+    throw std::invalid_argument("WarpLdaSampler: invalid SweepPlan: " + error);
+  }
+  const uint32_t doc_blocks = plan.num_doc_blocks;
+  const uint32_t word_blocks = plan.num_word_blocks;
+  if (!grid_.indices_built || !(plan == grid_.plan)) {
+    grid_.plan = plan;
+    grid_.block_rows.assign(doc_blocks, {});
+    grid_.block_cols.assign(word_blocks, {});
+    grid_.entry_doc_block.assign(matrix_.num_entries(), 0);
+    grid_.entry_word_block.assign(matrix_.num_entries(), 0);
+    for (DocId d = 0; d < corpus_->num_docs(); ++d) {
+      const uint32_t b = plan.doc_block.empty() ? 0 : plan.doc_block[d];
+      grid_.block_rows[b].push_back(d);
+      auto row = matrix_.row(d);
+      for (uint32_t i = 0; i < row.size(); ++i) {
+        grid_.entry_doc_block[row.entry_index(i)] = b;
+      }
+    }
+    for (WordId w = 0; w < corpus_->num_words(); ++w) {
+      const uint32_t b = plan.word_block.empty() ? 0 : plan.word_block[w];
+      grid_.block_cols[b].push_back(w);
+      const uint64_t base = matrix_.col_offset(w);
+      const uint64_t len = matrix_.col_data(w).size();
+      for (uint64_t p = 0; p < len; ++p) grid_.entry_word_block[base + p] = b;
+    }
+    grid_.indices_built = true;
+  }
+  grid_.staged.assign(matrix_.num_entries(), 0);
+  grid_.ck_delta.assign(config_.num_topics, 0);
+  grid_.block_ran.assign(static_cast<size_t>(doc_blocks) * word_blocks, 0);
+  grid_.epoch_word = ++phase_epoch_;
+  ck_fixed_ = ck_live_;
+  grid_.stage = SweepStage::kWordAccept;
+  grid_.open = true;
+}
+
+void WarpLdaSampler::RunBlock(uint32_t doc_block, uint32_t word_block) {
+  if (!grid_.open) {
+    throw std::logic_error("WarpLdaSampler: RunBlock() without BeginSweep()");
+  }
+  if (grid_.stage == SweepStage::kDone) {
+    throw std::logic_error(
+        "WarpLdaSampler: RunBlock() after all stages completed");
+  }
+  if (doc_block >= grid_.plan.num_doc_blocks ||
+      word_block >= grid_.plan.num_word_blocks) {
+    throw std::invalid_argument("WarpLdaSampler: block index out of range");
+  }
+  char& ran =
+      grid_.block_ran[static_cast<size_t>(doc_block) *
+                          grid_.plan.num_word_blocks +
+                      word_block];
+  if (ran) {
+    throw std::logic_error(std::string("WarpLdaSampler: block ran twice in ") +
+                           ToString(grid_.stage) + " stage");
+  }
+  ran = 1;
+  switch (grid_.stage) {
+    case SweepStage::kWordAccept:
+      RunWordAcceptBlock(doc_block, word_block);
+      break;
+    case SweepStage::kWordPropose:
+      RunWordProposeBlock(doc_block, word_block);
+      break;
+    case SweepStage::kDocAccept:
+      RunDocAcceptBlock(doc_block, word_block);
+      break;
+    case SweepStage::kDocPropose:
+      RunDocProposeBlock(doc_block, word_block);
+      break;
+    case SweepStage::kDone:
+      break;  // unreachable, checked above
+  }
+}
+
+void WarpLdaSampler::RunWordAcceptBlock(uint32_t doc_block,
+                                        uint32_t word_block) {
+  ThreadScratch& s = scratch_[0];
+  const uint32_t m = std::max(1u, config_.mh_steps);
+  const double beta = config_.beta;
+  for (uint32_t w : grid_.block_cols[word_block]) {
+    auto z = matrix_.col_data(w);
+    const uint64_t base = matrix_.col_offset(w);
+    bool built = false;
+    for (uint32_t i = 0; i < z.size(); ++i) {
+      if (grid_.entry_doc_block[base + i] != doc_block) continue;
+      if (!built) {
+        // Full-column snapshot of the pre-stage z (stages stage their writes,
+        // so every block sees the same column no matter the schedule).
+        BuildCounts(s.counts, z);
+        built = true;
+      }
+      grid_.staged[base + i] = AcceptChain(
+          s.counts, z[i], &proposals_[(base + i) * m], m, nullptr, beta,
+          grid_.epoch_word, base + i, grid_.ck_delta.data());
+    }
+  }
+}
+
+void WarpLdaSampler::RunWordProposeBlock(uint32_t doc_block,
+                                         uint32_t word_block) {
+  ThreadScratch& s = scratch_[0];
+  const uint32_t k_topics = config_.num_topics;
+  const double beta = config_.beta;
+  for (uint32_t w : grid_.block_cols[word_block]) {
+    auto z = matrix_.col_data(w);
+    const uint64_t base = matrix_.col_offset(w);
+    const double lw = static_cast<double>(z.size());
+    const double count_prob = lw / (lw + beta * k_topics);
+    bool built = false;
+    for (uint32_t i = 0; i < z.size(); ++i) {
+      if (grid_.entry_doc_block[base + i] != doc_block) continue;
+      if (!built) {
+        BuildWordAlias(s, z);  // post-acceptance column, applied at barrier
+        built = true;
+      }
+      DrawWordProposalsForToken(s, grid_.epoch_word, base + i, count_prob);
+    }
+  }
+}
+
+void WarpLdaSampler::RunDocAcceptBlock(uint32_t doc_block,
+                                       uint32_t word_block) {
+  ThreadScratch& s = scratch_[0];
+  const uint32_t m = std::max(1u, config_.mh_steps);
+  const std::vector<double>* alpha_vec =
+      config_.alpha_vector.empty() ? nullptr : &config_.alpha_vector;
+  const double alpha = config_.alpha;
+  for (uint32_t r : grid_.block_rows[doc_block]) {
+    auto row = matrix_.row(r);
+    bool built = false;
+    for (uint32_t i = 0; i < row.size(); ++i) {
+      const uint64_t idx = row.entry_index(i);
+      if (grid_.entry_word_block[idx] != word_block) continue;
+      if (!built) {
+        BuildCounts(s.counts, row);  // full-row pre-stage snapshot
+        built = true;
+      }
+      grid_.staged[idx] =
+          AcceptChain(s.counts, row[i], &proposals_[idx * m], m, alpha_vec,
+                      alpha, grid_.epoch_doc, idx, grid_.ck_delta.data());
+    }
+  }
+}
+
+void WarpLdaSampler::RunDocProposeBlock(uint32_t doc_block,
+                                        uint32_t word_block) {
+  for (uint32_t r : grid_.block_rows[doc_block]) {
+    auto row = matrix_.row(r);
+    const uint32_t len = row.size();
+    if (len == 0) continue;
+    const double position_prob =
+        static_cast<double>(len) / (static_cast<double>(len) + alpha_bar_);
+    for (uint32_t i = 0; i < len; ++i) {
+      const uint64_t idx = row.entry_index(i);
+      if (grid_.entry_word_block[idx] != word_block) continue;
+      DrawDocProposalsForToken(grid_.epoch_doc, idx, row, position_prob);
+    }
+  }
+}
+
+void WarpLdaSampler::ApplyStaged() {
+  for (uint64_t e = 0; e < matrix_.num_entries(); ++e) {
+    matrix_.entry_data(e) = grid_.staged[e];
+  }
+  for (uint32_t k = 0; k < config_.num_topics; ++k) {
+    ck_live_[k] += grid_.ck_delta[k];
+  }
+  grid_.ck_delta.assign(config_.num_topics, 0);
+}
+
+void WarpLdaSampler::EndStage() {
+  if (!grid_.open) {
+    throw std::logic_error("WarpLdaSampler: EndStage() without BeginSweep()");
+  }
+  if (grid_.stage == SweepStage::kDone) {
+    throw std::logic_error(
+        "WarpLdaSampler: EndStage() after all stages completed");
+  }
+  size_t missing = 0;
+  for (char ran : grid_.block_ran) missing += ran ? 0 : 1;
+  if (missing > 0) {
+    throw std::logic_error(
+        "WarpLdaSampler: EndStage() in " + std::string(ToString(grid_.stage)) +
+        " stage with " + std::to_string(missing) + " of " +
+        std::to_string(grid_.block_ran.size()) + " blocks not run");
+  }
+  switch (grid_.stage) {
+    case SweepStage::kWordAccept:
+      ApplyStaged();
+      grid_.stage = SweepStage::kWordPropose;
+      break;
+    case SweepStage::kWordPropose:
+      // Word phase over: fold point between phases, matching the fused
+      // path's EndPhase()/BeginPhase() pair.
+      grid_.epoch_doc = ++phase_epoch_;
+      ck_fixed_ = ck_live_;
+      grid_.stage = SweepStage::kDocAccept;
+      break;
+    case SweepStage::kDocAccept:
+      ApplyStaged();
+      grid_.stage = SweepStage::kDocPropose;
+      break;
+    case SweepStage::kDocPropose:
+      grid_.stage = SweepStage::kDone;
+      break;
+    case SweepStage::kDone:
+      break;  // unreachable, checked above
+  }
+  std::fill(grid_.block_ran.begin(), grid_.block_ran.end(), 0);
+}
+
+void WarpLdaSampler::EndSweep() {
+  if (!grid_.open) {
+    throw std::logic_error("WarpLdaSampler: EndSweep() without BeginSweep()");
+  }
+  if (grid_.stage != SweepStage::kDone) {
+    throw std::logic_error(
+        std::string("WarpLdaSampler: EndSweep() while still in ") +
+        ToString(grid_.stage) + " stage");
+  }
+  grid_.open = false;
 }
 
 }  // namespace warplda

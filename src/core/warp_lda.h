@@ -7,6 +7,7 @@
 
 #include "baselines/sampler.h"
 #include "core/sparse_matrix.h"
+#include "core/sweep_plan.h"
 #include "eval/topic_model.h"
 #include "util/alias_table.h"
 #include "util/hash_count.h"
@@ -16,6 +17,8 @@ namespace warplda {
 /// Runtime options for WarpLDA beyond the shared LdaConfig.
 struct WarpLdaOptions {
   /// Worker threads for the row/column visits (§5.3.1). Tracing requires 1.
+  /// Sampling results are independent of the thread count: every token owns
+  /// its own RNG stream, so parallel runs are bit-identical to serial runs.
   uint32_t num_threads = 1;
 };
 
@@ -29,8 +32,8 @@ struct WarpLdaOptions {
 /// Each Iterate() runs the compressed two-pass schedule of §4.4:
 ///  * word phase (VisitByColumn): build c_w on the fly, accept the pending
 ///    *doc* proposals with π = min{1, (C_wt+β)(C_s+β̄)/((C_ws+β)(C_t+β̄))},
-///    update c_w, then draw M fresh *word* proposals from an alias table
-///    over q_word ∝ C_wk+β;
+///    then draw M fresh *word* proposals from an alias table over the
+///    updated q_word ∝ C_wk+β;
 ///  * doc phase (VisitByRow): build c_d on the fly, accept the pending
 ///    *word* proposals with π = min{1, (C_dt+α)(C_s+β̄)/((C_ds+α)(C_t+β̄))},
 ///    then draw M fresh *doc* proposals by random positioning into z_d
@@ -40,7 +43,15 @@ struct WarpLdaOptions {
 /// of the global counts c_k and the per-scope snapshot of c_d/c_w, which is
 /// what decouples the two count matrices and shrinks the random-access
 /// footprint to one cache-resident vector (§3.3, Table 2's last row).
-class WarpLdaSampler : public Sampler {
+///
+/// Grid execution (GridSampler): the sweep also runs block-by-block over a
+/// SweepPlan's (doc-partition × word-partition) grid — the multi-machine
+/// schedule, where worker i owns doc partition i and word slices rotate.
+/// Every (phase, token) pair draws from its own RNG stream derived from the
+/// seed, and delayed counts make tokens within a stage independent, so any
+/// block order — and Iterate() itself, the trivial 1×1 plan — produces
+/// identical assignments. Grid sweeps execute on the calling thread.
+class WarpLdaSampler : public Sampler, public GridSampler {
  public:
   explicit WarpLdaSampler(const WarpLdaOptions& options = {})
       : options_(options) {}
@@ -58,6 +69,14 @@ class WarpLdaSampler : public Sampler {
   void WordPhase();
   void DocPhase();
 
+  /// GridSampler: block-wise sweep execution (see core/sweep_plan.h for the
+  /// protocol). Produces the same samples as Iterate() for any plan.
+  void BeginSweep(const SweepPlan& plan) override;
+  void RunBlock(uint32_t doc_block, uint32_t word_block) override;
+  void EndStage() override;
+  void EndSweep() override;
+  SweepStage sweep_stage() const override { return grid_.stage; }
+
   /// Snapshot-export hook for serving: aggregates the current assignments
   /// into a TopicModel ready for serve::ModelStore::Publish(). Safe to call
   /// between Iterate() calls while a server keeps answering from earlier
@@ -67,13 +86,41 @@ class WarpLdaSampler : public Sampler {
 
  private:
   struct ThreadScratch {
-    Rng rng;
     HashCount counts;
     AliasTable alias;
     std::vector<int64_t> ck_delta;
-    std::vector<std::pair<TopicId, TopicId>> moves;  // accepted (from, to)
     std::vector<std::pair<uint32_t, double>> alias_entries;
   };
+
+  /// State of an open grid sweep (BeginSweep .. EndSweep).
+  struct GridState {
+    SweepPlan plan;
+    SweepStage stage = SweepStage::kDone;
+    bool open = false;
+    /// True when the plan-derived indices below match `plan`; BeginSweep
+    /// skips rebuilding them for repeated sweeps of the same plan.
+    bool indices_built = false;
+    uint64_t epoch_word = 0;
+    uint64_t epoch_doc = 0;
+    std::vector<TopicId> staged;             // accepted topics, CSC order
+    std::vector<int64_t> ck_delta;           // folded at stage barriers
+    std::vector<uint32_t> entry_doc_block;   // CSC position -> doc block
+    std::vector<uint32_t> entry_word_block;  // CSC position -> word block
+    std::vector<std::vector<uint32_t>> block_cols;  // word block -> columns
+    std::vector<std::vector<uint32_t>> block_rows;  // doc block -> rows
+    std::vector<char> block_ran;  // per (doc, word) block, current stage
+  };
+
+  /// RNG stream tags: each (epoch, tag, token) triple names one stream.
+  static constexpr uint32_t kTagAccept = 0x51;
+  static constexpr uint32_t kTagPropose = 0xA3;
+
+  /// Deterministic per-token RNG stream. Grid blocks may run in any order
+  /// (or on any thread), so each token's draws come from its own stream.
+  Rng StreamRng(uint64_t epoch, uint32_t tag, uint64_t token) const {
+    uint64_t h = SplitMix64(config_.seed ^ (epoch * 0x9E3779B97F4A7C15ULL));
+    return Rng(SplitMix64(h ^ (static_cast<uint64_t>(tag) << 56) ^ token));
+  }
 
   /// Copies live global counts into the per-phase snapshot and clears the
   /// per-thread deltas.
@@ -81,10 +128,44 @@ class WarpLdaSampler : public Sampler {
   /// Folds per-thread deltas into the live global counts.
   void EndPhase();
 
-  /// Draws M doc proposals for every token of row `row` from the updated
-  /// assignments (random positioning + uniform α branch).
-  void DrawDocProposals(ThreadScratch& scratch,
-                        SparseMatrix<TopicId>::RowView row);
+  /// Builds `counts` from the topic values in `z` (capacity min(K, 2|z|)).
+  void BuildCounts(HashCount& counts, std::span<const TopicId> z) const;
+  void BuildCounts(HashCount& counts,
+                   SparseMatrix<TopicId>::RowView row) const;
+
+  /// Runs one token's MH acceptance chain against the delayed snapshots
+  /// (Eq. 7) and returns the final topic. The word phase passes
+  /// (prior_vec=nullptr, prior=β); the doc phase passes the α_k vector (or
+  /// nullptr) and the symmetric α. The RNG stream is seeded lazily — chains
+  /// whose proposals all equal the current topic, or always accept, draw
+  /// nothing.
+  TopicId AcceptChain(const HashCount& counts, TopicId current,
+                      const TopicId* props, uint32_t m,
+                      const std::vector<double>* prior_vec, double prior,
+                      uint64_t epoch, uint64_t token, int64_t* ck_delta);
+
+  /// Rebuilds c_w from the post-acceptance column and loads the word-proposal
+  /// alias table over q_word ∝ C_wk (the count branch of the mixture).
+  void BuildWordAlias(ThreadScratch& scratch, std::span<const TopicId> z);
+
+  /// Draws M word proposals for one token from the count/β mixture.
+  void DrawWordProposalsForToken(ThreadScratch& scratch, uint64_t epoch,
+                                 uint64_t token, double count_prob);
+  /// Draws M doc proposals for one token by random positioning into the
+  /// (updated) row, with the α branch as fallback (§4.3 mixture).
+  void DrawDocProposalsForToken(uint64_t epoch, uint64_t token,
+                                SparseMatrix<TopicId>::RowView row,
+                                double position_prob);
+  /// Draws M doc proposals for every token of `row`.
+  void DrawDocProposals(uint64_t epoch, SparseMatrix<TopicId>::RowView row);
+
+  /// Grid helpers: per-stage block bodies (serial, scratch_[0]).
+  void RunWordAcceptBlock(uint32_t doc_block, uint32_t word_block);
+  void RunWordProposeBlock(uint32_t doc_block, uint32_t word_block);
+  void RunDocAcceptBlock(uint32_t doc_block, uint32_t word_block);
+  void RunDocProposeBlock(uint32_t doc_block, uint32_t word_block);
+  /// Copies staged topics into z and folds grid ck deltas into ck_live_.
+  void ApplyStaged();
 
   WarpLdaOptions options_;
   const Corpus* corpus_ = nullptr;
@@ -98,6 +179,8 @@ class WarpLdaSampler : public Sampler {
   std::vector<int64_t> ck_fixed_;   // snapshot used in acceptance
   std::vector<int64_t> ck_live_;    // maintained across phases
   std::vector<ThreadScratch> scratch_;
+  uint64_t phase_epoch_ = 0;  // one per phase; RNG stream epoch
+  GridState grid_;
 };
 
 }  // namespace warplda

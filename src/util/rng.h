@@ -5,6 +5,17 @@
 
 namespace warplda {
 
+/// SplitMix64 finalizer: bijective 64-bit mixing (Vigna). Used to diffuse
+/// seeds and to derive independent per-stream seeds from (seed, stream-id)
+/// tuples — e.g. WarpLDA's per-token RNG streams, which make sampling
+/// deterministic regardless of thread count or grid-block order.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 /// Fast, seedable pseudo-random number generator (xoshiro256**).
 ///
 /// LDA samplers draw billions of random numbers; std::mt19937 is a measurable

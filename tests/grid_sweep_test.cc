@@ -1,0 +1,192 @@
+#include "core/sweep_plan.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/warp_lda.h"
+#include "corpus/synthetic.h"
+#include "dist/cluster_sim.h"
+#include "dist/partitioner.h"
+
+namespace warplda {
+namespace {
+
+Corpus TestCorpus() {
+  SyntheticConfig config;
+  config.num_docs = 120;
+  config.vocab_size = 250;
+  config.num_topics = 6;
+  config.mean_doc_length = 24;
+  config.alpha = 0.1;
+  config.seed = 77;
+  return GenerateLdaCorpus(config).corpus;
+}
+
+LdaConfig TestConfig() {
+  LdaConfig config = LdaConfig::PaperDefaults(12);
+  config.seed = 321;
+  config.mh_steps = 2;
+  return config;
+}
+
+// The determinism regression behind the grid API: block-wise execution must
+// change where work happens, never what is sampled.
+TEST(GridSweepTest, TwoByTwoGridMatchesIterate) {
+  Corpus corpus = TestCorpus();
+  LdaConfig config = TestConfig();
+
+  WarpLdaSampler serial;
+  serial.Init(corpus, config);
+  WarpLdaSampler grid;
+  grid.Init(corpus, config);
+  SweepPlan plan = MakeSweepPlan(corpus, 2, 2, PartitionStrategy::kGreedy);
+
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    serial.Iterate();
+    grid.RunSweep(plan);
+    ASSERT_EQ(serial.Assignments(), grid.Assignments()) << "sweep " << sweep;
+  }
+}
+
+TEST(GridSweepTest, TrivialPlanMatchesIterate) {
+  Corpus corpus = TestCorpus();
+  LdaConfig config = TestConfig();
+  WarpLdaSampler serial;
+  serial.Init(corpus, config);
+  WarpLdaSampler grid;
+  grid.Init(corpus, config);
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    serial.Iterate();
+    grid.RunSweep(SweepPlan::Trivial());
+  }
+  EXPECT_EQ(serial.Assignments(), grid.Assignments());
+}
+
+TEST(GridSweepTest, BlockOrderAndRectangularGridsDoNotChangeSamples) {
+  Corpus corpus = TestCorpus();
+  LdaConfig config = TestConfig();
+
+  WarpLdaSampler canonical;
+  canonical.Init(corpus, config);
+  WarpLdaSampler reversed;
+  reversed.Init(corpus, config);
+  SweepPlan plan = MakeSweepPlan(corpus, 3, 2, PartitionStrategy::kDynamic);
+
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    canonical.RunSweep(plan);
+    // Same plan, blocks visited back-to-front within every stage.
+    reversed.BeginSweep(plan);
+    for (int stage = 0; stage < 4; ++stage) {
+      for (uint32_t i = plan.num_doc_blocks; i-- > 0;) {
+        for (uint32_t j = plan.num_word_blocks; j-- > 0;) {
+          reversed.RunBlock(i, j);
+        }
+      }
+      reversed.EndStage();
+    }
+    reversed.EndSweep();
+  }
+  EXPECT_EQ(canonical.Assignments(), reversed.Assignments());
+}
+
+// Per-token RNG streams also decouple results from the thread count.
+TEST(GridSweepTest, ThreadCountDoesNotChangeSamples) {
+  Corpus corpus = TestCorpus();
+  LdaConfig config = TestConfig();
+  WarpLdaOptions threaded;
+  threaded.num_threads = 4;
+  WarpLdaSampler one(WarpLdaOptions{});
+  WarpLdaSampler four(threaded);
+  one.Init(corpus, config);
+  four.Init(corpus, config);
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    one.Iterate();
+    four.Iterate();
+  }
+  EXPECT_EQ(one.Assignments(), four.Assignments());
+}
+
+TEST(GridSweepTest, ClusterSimRunSweepProducesSerialSamples) {
+  Corpus corpus = TestCorpus();
+  LdaConfig config = TestConfig();
+  ClusterConfig cluster;
+  cluster.num_workers = 4;
+  ClusterSim sim(corpus, cluster);
+
+  WarpLdaSampler serial;
+  serial.Init(corpus, config);
+  WarpLdaSampler distributed;
+  distributed.Init(corpus, config);
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    serial.Iterate();
+    IterationTiming timing = sim.RunSweep(distributed);
+    EXPECT_GT(timing.wall_seconds, 0.0);
+  }
+  EXPECT_EQ(serial.Assignments(), distributed.Assignments());
+}
+
+TEST(GridSweepTest, SweepProtocolViolationsThrow) {
+  Corpus corpus = TestCorpus();
+  WarpLdaSampler sampler;
+
+  // Grid calls before Init().
+  EXPECT_THROW(sampler.BeginSweep(SweepPlan::Trivial()), std::logic_error);
+
+  sampler.Init(corpus, TestConfig());
+  EXPECT_THROW(sampler.RunBlock(0, 0), std::logic_error);
+  EXPECT_THROW(sampler.EndStage(), std::logic_error);
+  EXPECT_THROW(sampler.EndSweep(), std::logic_error);
+
+  // Plan shape mismatches.
+  SweepPlan bad;
+  bad.num_doc_blocks = 2;  // 2 blocks but no per-doc assignment
+  EXPECT_THROW(sampler.BeginSweep(bad), std::invalid_argument);
+  bad = MakeSweepPlan(corpus, 2, 2, PartitionStrategy::kGreedy);
+  bad.word_block[0] = 7;  // out of range block id
+  EXPECT_THROW(sampler.BeginSweep(bad), std::invalid_argument);
+
+  SweepPlan plan = MakeSweepPlan(corpus, 2, 2, PartitionStrategy::kGreedy);
+  sampler.BeginSweep(plan);
+  EXPECT_EQ(sampler.sweep_stage(), SweepStage::kWordAccept);
+  EXPECT_THROW(sampler.BeginSweep(plan), std::logic_error);  // nested sweep
+  EXPECT_THROW(sampler.Iterate(), std::logic_error);         // fused mid-sweep
+  EXPECT_THROW(sampler.EndStage(), std::logic_error);  // blocks missing
+  sampler.RunBlock(0, 0);
+  EXPECT_THROW(sampler.RunBlock(0, 0), std::logic_error);  // block ran twice
+  EXPECT_THROW(sampler.RunBlock(5, 0), std::invalid_argument);
+  sampler.RunBlock(0, 1);
+  sampler.RunBlock(1, 0);
+  sampler.RunBlock(1, 1);
+  EXPECT_THROW(sampler.EndSweep(), std::logic_error);  // stages remain
+  sampler.EndStage();
+  EXPECT_EQ(sampler.sweep_stage(), SweepStage::kWordPropose);
+
+  // Finish the sweep cleanly; the sampler must be fully usable afterwards.
+  for (int stage = 1; stage < 4; ++stage) {
+    for (uint32_t i = 0; i < 2; ++i) {
+      for (uint32_t j = 0; j < 2; ++j) sampler.RunBlock(i, j);
+    }
+    sampler.EndStage();
+  }
+  EXPECT_EQ(sampler.sweep_stage(), SweepStage::kDone);
+  sampler.EndSweep();
+  EXPECT_NO_THROW(sampler.Iterate());
+}
+
+TEST(GridSweepTest, MakeSweepPlanCoversCorpusAndValidates) {
+  Corpus corpus = TestCorpus();
+  for (auto strategy :
+       {PartitionStrategy::kStatic, PartitionStrategy::kDynamic,
+        PartitionStrategy::kGreedy}) {
+    SweepPlan plan = MakeSweepPlan(corpus, 4, 3, strategy);
+    EXPECT_EQ(plan.num_doc_blocks, 4u);
+    EXPECT_EQ(plan.num_word_blocks, 3u);
+    std::string error;
+    EXPECT_TRUE(plan.Validate(corpus.num_docs(), corpus.num_words(), &error))
+        << ToString(strategy) << ": " << error;
+  }
+}
+
+}  // namespace
+}  // namespace warplda

@@ -1,0 +1,81 @@
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/sampler.h"
+
+namespace warplda {
+namespace {
+
+std::string Lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+TEST(SamplerFactoryTest, EveryRegisteredNameConstructs) {
+  for (const std::string& name : SamplerNames()) {
+    auto sampler = CreateSampler(name);
+    ASSERT_NE(sampler, nullptr) << name;
+  }
+}
+
+TEST(SamplerFactoryTest, NameRoundTripsThroughRegistry) {
+  // The factory key is the lowercased paper name ("F+LDA" -> "f+lda"), so
+  // name() must map back onto the registry entry that produced the sampler.
+  for (const std::string& name : SamplerNames()) {
+    auto sampler = CreateSampler(name);
+    ASSERT_NE(sampler, nullptr) << name;
+    EXPECT_EQ(Lowercase(sampler->name()), name);
+  }
+}
+
+TEST(SamplerFactoryTest, NamesAreUniqueAndNonEmpty) {
+  auto names = SamplerNames();
+  EXPECT_FALSE(names.empty());
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  for (const auto& name : names) EXPECT_FALSE(name.empty());
+}
+
+TEST(SamplerFactoryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(CreateSampler("definitely-not-a-sampler"), nullptr);
+  EXPECT_EQ(CreateSampler(""), nullptr);
+}
+
+TEST(SamplerFactoryTest, CheckedFactoryExplainsUnknownName) {
+  std::string error;
+  auto sampler = CreateSamplerChecked("nonsense-lda", &error);
+  EXPECT_EQ(sampler, nullptr);
+  EXPECT_NE(error.find("nonsense-lda"), std::string::npos) << error;
+  // The message must enumerate every accepted name.
+  for (const std::string& name : SamplerNames()) {
+    EXPECT_NE(error.find(name), std::string::npos) << name << " / " << error;
+  }
+}
+
+TEST(SamplerFactoryTest, CheckedFactoryToleratesNullError) {
+  EXPECT_EQ(CreateSamplerChecked("nonsense-lda", nullptr), nullptr);
+  EXPECT_NE(CreateSamplerChecked("warplda", nullptr), nullptr);
+}
+
+TEST(SamplerFactoryTest, CheckedFactoryLeavesErrorAloneOnSuccess) {
+  std::string error = "untouched";
+  auto sampler = CreateSamplerChecked("warplda", &error);
+  ASSERT_NE(sampler, nullptr);
+  EXPECT_EQ(error, "untouched");
+}
+
+TEST(SamplerFactoryTest, FldaAliasResolvesToFPlusLda) {
+  auto sampler = CreateSampler("flda");
+  ASSERT_NE(sampler, nullptr);
+  EXPECT_EQ(sampler->name(), "F+LDA");
+  // The alias is not a separate registry entry.
+  auto names = SamplerNames();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "flda"), 0);
+}
+
+}  // namespace
+}  // namespace warplda
