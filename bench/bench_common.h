@@ -1,8 +1,13 @@
 #ifndef WARPLDA_BENCH_BENCH_COMMON_H_
 #define WARPLDA_BENCH_BENCH_COMMON_H_
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "corpus/corpus.h"
 #include "corpus/synthetic.h"
@@ -33,6 +38,114 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("reproduces: %s\n", paper_ref);
   std::printf("================================================================\n");
 }
+
+/// Machine-readable bench results: one JSON object identifying the bench and
+/// dataset plus a "rows" array with one object per measured configuration
+/// (threads, tokens/sec, wall ms, …). Written as `BENCH_<bench>.json` so the
+/// perf trajectory can be tracked across commits by any tooling that can
+/// read JSON. Keys keep insertion order; row references stay valid across
+/// AddRow() calls.
+///
+///   BenchJson json("fig9", "synthetic-nytimes scale=0.002");
+///   json.AddRow()
+///       .Str("panel", "grid-sweep")
+///       .Int("threads", 8)
+///       .Num("tokens_per_sec", 5.1e6)
+///       .Num("wall_ms", 420.0);
+///   json.Write("BENCH_fig9.json");
+class BenchJson {
+ public:
+  /// One flat JSON object of number/string fields.
+  class Object {
+   public:
+    Object& Num(const std::string& key, double value) {
+      char buffer[64];
+      if (std::isfinite(value)) {
+        std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+      } else {
+        std::snprintf(buffer, sizeof(buffer), "null");  // JSON has no inf/nan
+      }
+      fields_.emplace_back(key, buffer);
+      return *this;
+    }
+    Object& Int(const std::string& key, int64_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Object& Str(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, Quote(value));
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+    /// Prints the comma-separated `"key": value` list, no braces (shared by
+    /// row objects and the top-level header).
+    void PrintFields(std::FILE* f) const {
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        std::fprintf(f, "%s%s: %s", i == 0 ? "" : ", ",
+                     Quote(fields_[i].first).c_str(), fields_[i].second.c_str());
+      }
+    }
+    void Print(std::FILE* f) const {
+      std::fprintf(f, "{");
+      PrintFields(f);
+      std::fprintf(f, "}");
+    }
+    static std::string Quote(const std::string& s) {
+      std::string out = "\"";
+      for (char c : s) {
+        if (c == '"' || c == '\\') {
+          out += '\\';
+          out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+      }
+      out += '"';
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;  // key -> JSON
+  };
+
+  BenchJson(const std::string& bench, const std::string& dataset) {
+    header_.Str("bench", bench).Str("dataset", dataset);
+  }
+
+  /// Extra top-level fields (host info, config) beside bench/dataset.
+  Object& header() { return header_; }
+
+  Object& AddRow() { return rows_.emplace_back(); }
+
+  /// Writes `{...header fields, "rows": [...]}`; returns false (and keeps
+  /// the bench's stdout report usable) if the file cannot be written.
+  bool Write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{");
+    header_.PrintFields(f);
+    std::fprintf(f, ", \"rows\": [");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n  ", i == 0 ? "" : ",");
+      rows_[i].Print(f);
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  Object header_;
+  std::deque<Object> rows_;  // deque: AddRow() must not invalidate references
+};
 
 }  // namespace warplda::bench
 

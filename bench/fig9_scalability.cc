@@ -1,17 +1,27 @@
 // Fig 9: scalability. Four panels:
-//  (a) multi-thread speedup of WarpLDA's parallel visits (real threads;
-//      on a single-core CI box the curve is flat — the harness still runs);
-//  (b) multi-machine speedup from the simulated cluster (PubMed shape);
-//  (c) convergence on the largest feasible ClueWeb-shaped corpus;
-//  (d) throughput per iteration on that run.
+//  (a) multi-thread speedup of WarpLDA's fused phases (parallel row/column
+//      visits; on a single-core CI box the curve is flat — the harness still
+//      runs);
+//  (b) multi-thread speedup of the parallel grid-sweep executor (wavefront
+//      block scheduling over an 8×8 SweepPlan, per-worker scratch and ck
+//      deltas), checked bit-identical against the serial Iterate() run;
+//  (c) multi-machine speedup from the simulated cluster (PubMed shape);
+//  (d) convergence + throughput on the largest feasible ClueWeb-shaped
+//      corpus, trained through the grid executor (TrainOptions::
+//      grid_execution).
+// Measured rows are also written to BENCH_fig9.json (machine readable) so
+// the perf trajectory is tracked across commits.
+#include <algorithm>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/parallel_executor.h"
 #include "core/trainer.h"
 #include "core/warp_lda.h"
 #include "dist/cluster_sim.h"
+#include "dist/partitioner.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
@@ -27,14 +37,21 @@ int main(int argc, char** argv) {
 
   warplda::bench::PrintHeader(
       "Fig 9: scalability (threads, machines, large-scale run)",
-      "Fig 9a-d — thread speedup, distributed speedup, ClueWeb convergence "
-      "and throughput");
+      "Fig 9a-d — thread speedup (fused + grid executor), distributed "
+      "speedup, ClueWeb convergence and throughput");
 
-  // (a) threads.
+  char dataset[64];
+  std::snprintf(dataset, sizeof(dataset), "synthetic-nytimes scale=%g", scale);
+  warplda::bench::BenchJson json("fig9", dataset);
+  json.header().Int("hardware_threads",
+                    std::thread::hardware_concurrency());
+
+  // (a) threads, fused path (parallel VisitByColumn/VisitByRow).
   {
     warplda::Corpus corpus =
         warplda::bench::MakeShapedCorpus("nytimes", scale);
-    std::printf("\n(a) thread scaling on %s, K=%lld (host has %u cores)\n",
+    std::printf("\n(a) fused-phase thread scaling on %s, K=%lld "
+                "(host has %u cores)\n",
                 warplda::DescribeCorpus(corpus).c_str(),
                 static_cast<long long>(k),
                 std::thread::hardware_concurrency());
@@ -56,14 +73,67 @@ int main(int argc, char** argv) {
       std::printf("  threads %2u  %8.2f Mtok/s  speedup %.2fx\n", threads,
                   throughput, base / seconds);
       std::fflush(stdout);
+      json.AddRow()
+          .Str("panel", "fused-iterate")
+          .Int("threads", threads)
+          .Num("tokens_per_sec", throughput * 1e6)
+          .Num("wall_ms", seconds * 1e3)
+          .Num("speedup", base / seconds);
     }
   }
 
-  // (b) simulated machines.
+  // (b) threads, grid-sweep executor (wavefront over an 8×8 plan).
+  {
+    warplda::Corpus corpus =
+        warplda::bench::MakeShapedCorpus("nytimes", scale);
+    warplda::LdaConfig config =
+        warplda::LdaConfig::PaperDefaults(static_cast<uint32_t>(k));
+    config.mh_steps = 2;
+    warplda::SweepPlan plan = warplda::MakeSweepPlan(
+        corpus, 8, 8, warplda::PartitionStrategy::kGreedy);
+    std::printf("\n(b) grid-executor thread scaling, 8x8 plan, same corpus\n");
+
+    // Serial reference trajectory: the determinism oracle for every thread
+    // count below (grid execution must reproduce Iterate() exactly).
+    warplda::WarpLdaSampler reference;
+    reference.Init(corpus, config);
+    for (int64_t i = 0; i < iterations + 1; ++i) reference.Iterate();
+    const std::vector<warplda::TopicId> expected = reference.Assignments();
+
+    double base = 0.0;
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      warplda::ParallelExecutor executor(threads);
+      warplda::WarpLdaSampler sampler;
+      sampler.Init(corpus, config);
+      executor.RunSweep(sampler, plan);  // warm-up
+      warplda::Stopwatch watch;
+      for (int64_t i = 0; i < iterations; ++i) {
+        executor.RunSweep(sampler, plan);
+      }
+      double seconds = watch.Seconds();
+      double throughput = corpus.num_tokens() * iterations / seconds / 1e6;
+      if (threads == 1) base = seconds;
+      const bool identical = sampler.Assignments() == expected;
+      std::printf("  threads %2u  %8.2f Mtok/s  speedup %.2fx  "
+                  "bit-identical to Iterate(): %s\n",
+                  threads, throughput, base / seconds,
+                  identical ? "yes" : "NO (BUG)");
+      std::fflush(stdout);
+      json.AddRow()
+          .Str("panel", "grid-sweep")
+          .Int("threads", threads)
+          .Num("tokens_per_sec", throughput * 1e6)
+          .Num("wall_ms", seconds * 1e3)
+          .Num("speedup", base / seconds)
+          .Str("bit_identical", identical ? "yes" : "no");
+    }
+  }
+
+  // (c) simulated machines.
   {
     warplda::Corpus corpus =
         warplda::bench::MakeShapedCorpus("pubmed", scale / 27);
-    std::printf("\n(b) simulated distributed speedup on %s, K=%lld\n",
+    std::printf("\n(c) simulated distributed speedup on %s, K=%lld\n",
                 warplda::DescribeCorpus(corpus).c_str(),
                 static_cast<long long>(k));
     for (uint32_t workers : {1u, 2u, 4u, 8u, 16u}) {
@@ -72,16 +142,24 @@ int main(int argc, char** argv) {
       warplda::ClusterSim sim(corpus, cluster);
       std::printf("  machines %2u  speedup %.2fx  (word imbalance %.4f)\n",
                   workers, sim.SimulatedSpeedup(), sim.WordImbalance());
+      json.AddRow()
+          .Str("panel", "simulated-machines")
+          .Int("machines", workers)
+          .Num("speedup", sim.SimulatedSpeedup())
+          .Num("word_imbalance", sim.WordImbalance());
     }
   }
 
-  // (c)+(d) largest feasible run.
+  // (d) largest feasible run, trained through the grid executor.
   {
     warplda::Corpus corpus =
         warplda::bench::MakeShapedCorpus("clueweb", scale / 500);
-    std::printf("\n(c,d) ClueWeb-shaped run: %s, K=%lld, M=1\n",
+    const uint32_t threads =
+        std::min(8u, std::max(1u, std::thread::hardware_concurrency()));
+    std::printf("\n(d) ClueWeb-shaped run: %s, K=%lld, M=1, grid-executed on "
+                "%u threads\n",
                 warplda::DescribeCorpus(corpus).c_str(),
-                static_cast<long long>(k));
+                static_cast<long long>(k), threads);
     warplda::LdaConfig config =
         warplda::LdaConfig::PaperDefaults(static_cast<uint32_t>(k));
     config.mh_steps = 1;
@@ -89,14 +167,25 @@ int main(int argc, char** argv) {
     warplda::TrainOptions options;
     options.iterations = static_cast<uint32_t>(4 * iterations);
     options.eval_every = static_cast<uint32_t>(iterations);
+    options.grid_execution = true;
+    options.sweep_plan = warplda::MakeSweepPlan(corpus, 8, 8);
+    options.sweep_threads = threads;
     warplda::TrainResult result = Train(sampler, corpus, config, options);
     for (const auto& stat : result.history) {
       std::printf("  iter %3u  t %7.2fs  ll %.6g  %.2fM tok/s\n",
                   stat.iteration, stat.seconds, stat.log_likelihood,
                   stat.tokens_per_second / 1e6);
+      json.AddRow()
+          .Str("panel", "clueweb-grid-train")
+          .Int("threads", threads)
+          .Int("iteration", stat.iteration)
+          .Num("tokens_per_sec", stat.tokens_per_second)
+          .Num("wall_ms", stat.seconds * 1e3)
+          .Num("log_likelihood", stat.log_likelihood);
     }
   }
 
+  json.Write("BENCH_fig9.json");
   std::printf(
       "\nPaper: 17x speedup on 24 cores, 13.5x on 16 machines, 11G tok/s on\n"
       "256 machines with K=1e6. The harness reproduces the curves' shape at\n"

@@ -90,6 +90,12 @@ int main(int argc, char** argv) {
     load.emplace_back(doc.begin(), doc.end());
   }
 
+  char dataset[64];
+  std::snprintf(dataset, sizeof(dataset), "synthetic-nytimes scale=%g", scale);
+  warplda::bench::BenchJson json("serve_throughput", dataset);
+  json.header().Int("hardware_threads",
+                    std::thread::hardware_concurrency());
+
   std::printf("\nQPS vs workers (micro-batch 8)\n");
   std::printf("%8s %10s %12s %12s %10s\n", "workers", "qps", "p50(us)",
               "p99(us)", "speedup");
@@ -99,6 +105,13 @@ int main(int argc, char** argv) {
     if (workers == 1) base_qps = r.qps;
     std::printf("%8u %10.0f %12.0f %12.0f %9.2fx\n", workers, r.qps, r.p50,
                 r.p99, r.qps / base_qps);
+    json.AddRow()
+        .Str("sweep", "workers")
+        .Int("threads", workers)
+        .Num("qps", r.qps)
+        .Num("p50_us", r.p50)
+        .Num("p99_us", r.p99)
+        .Num("speedup", r.qps / base_qps);
   }
 
   std::printf("\nQPS vs micro-batch (4 workers)\n");
@@ -106,6 +119,14 @@ int main(int argc, char** argv) {
   for (uint32_t batch : {1u, 2u, 4u, 8u, 16u, 32u}) {
     const RunResult r = RunLoad(store, load, 4, batch);
     std::printf("%8u %10.0f %12.0f %12.0f\n", batch, r.qps, r.p50, r.p99);
+    json.AddRow()
+        .Str("sweep", "batch")
+        .Int("threads", 4)
+        .Int("batch", batch)
+        .Num("qps", r.qps)
+        .Num("p50_us", r.p50)
+        .Num("p99_us", r.p99);
   }
+  json.Write("BENCH_serve_throughput.json");
   return 0;
 }

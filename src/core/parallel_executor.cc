@@ -1,0 +1,112 @@
+#include "core/parallel_executor.h"
+
+#include <algorithm>
+
+namespace warplda {
+
+ParallelExecutor::ParallelExecutor(uint32_t num_threads)
+    : num_threads_(std::max(1u, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (uint32_t w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ParallelExecutor::Run(uint32_t num_tasks, const Task& fn) {
+  if (num_tasks == 0) return;
+  if (workers_.empty()) {
+    // Same contract as the pooled path: a throwing task does not stop the
+    // remaining tasks, and the first exception is rethrown at the end.
+    std::exception_ptr error;
+    for (uint32_t t = 0; t < num_tasks; ++t) {
+      try {
+        fn(0, t);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->num_tasks = num_tasks;
+  job->remaining = num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+  }
+  cv_work_.notify_all();
+  RunTasks(*job, 0);  // the caller works too, as worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return job->remaining == 0; });
+  job_.reset();
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ParallelExecutor::RunTasks(Job& job, uint32_t worker) {
+  for (;;) {
+    const uint32_t t = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (t >= job.num_tasks) return;
+    try {
+      (*job.fn)(worker, t);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job.error) job.error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--job.remaining == 0) cv_done_.notify_all();
+  }
+}
+
+void ParallelExecutor::WorkerLoop(uint32_t worker) {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] {
+        return shutdown_ ||
+               (job_ != nullptr &&
+                job_->next.load(std::memory_order_relaxed) < job_->num_tasks);
+      });
+      if (shutdown_) return;
+      job = job_;
+    }
+    RunTasks(*job, worker);
+  }
+}
+
+void ParallelExecutor::RunSweep(GridSampler& sampler, const SweepPlan& plan) {
+  const uint32_t doc_blocks = plan.num_doc_blocks;
+  const uint32_t word_blocks = plan.num_word_blocks;
+  sampler.ReserveWorkers(num_threads_);
+  sampler.BeginSweep(plan);
+  try {
+    for (int stage = 0; stage < 4; ++stage) {
+      // Wavefront order: task t is block (i, j) with i = t mod D and
+      // j = (i + t/D) mod W — round r = t/D rotates the word slice, so the D
+      // earliest-enqueued tasks pair distinct rows with distinct columns.
+      Run(doc_blocks * word_blocks, [&](uint32_t worker, uint32_t t) {
+        const uint32_t i = t % doc_blocks;
+        const uint32_t j = (i + t / doc_blocks) % word_blocks;
+        sampler.RunBlock(i, j, worker);
+      });
+      sampler.EndStage();
+    }
+    sampler.EndSweep();
+  } catch (...) {
+    sampler.AbortSweep();  // don't wedge the sampler mid-sweep
+    throw;
+  }
+}
+
+}  // namespace warplda

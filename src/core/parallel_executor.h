@@ -1,0 +1,97 @@
+#ifndef WARPLDA_CORE_PARALLEL_EXECUTOR_H_
+#define WARPLDA_CORE_PARALLEL_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/sweep_plan.h"
+
+namespace warplda {
+
+/// Fixed-size thread pool that executes the blocks of a grid-sweep stage
+/// concurrently (paper §5.3.1, applied to the SweepPlan grid of §6).
+///
+/// Within a stage, grid blocks touch disjoint assignment state (a GridSampler
+/// stages its writes until the EndStage barrier) and every token owns its RNG
+/// stream, so blocks may run on any worker in any order without changing the
+/// samples — the executor changes wall-clock time, never the trajectory.
+/// `RunSweep()` exploits that: each of the four stages becomes one `Run()`
+/// whose tasks are the stage's blocks, enqueued in wavefront order over the
+/// grid (round r schedules blocks (i, (i+r) mod W)). The first W tasks form a
+/// perfect matching of doc rows to word columns, so concurrently running
+/// workers touch disjoint rows *and* columns — the same rotation schedule a
+/// multi-machine deployment uses, here chosen for cache separation.
+///
+/// The pool is persistent: workers block on a condition variable between
+/// `Run()` calls, and stage barriers cost one mutex handshake, not a
+/// thread spawn. A single driver thread owns the executor; `Run()` must not
+/// be called concurrently with itself.
+class ParallelExecutor {
+ public:
+  /// Task body: fn(worker, task) with worker in [0, num_threads()) and task
+  /// in [0, num_tasks). The worker id is what callers key per-thread scratch
+  /// by (e.g. GridSampler::RunBlock's worker argument).
+  using Task = std::function<void(uint32_t worker, uint32_t task)>;
+
+  /// `num_threads` counts the calling thread: the pool spawns num_threads-1
+  /// workers and the thread calling Run() executes tasks as worker 0, so a
+  /// 1-thread executor runs everything inline with no synchronization — the
+  /// fair serial baseline for scaling curves.
+  explicit ParallelExecutor(uint32_t num_threads);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Runs fn(worker, t) for every t in [0, num_tasks) and returns when all
+  /// have completed. Tasks are claimed dynamically (an atomic cursor), so
+  /// uneven task costs balance automatically. If tasks throw, the remaining
+  /// tasks still run and the first exception is rethrown here.
+  void Run(uint32_t num_tasks, const Task& fn);
+
+  /// One full grid sweep of `plan`: ReserveWorkers(num_threads()), then
+  /// BeginSweep and, per stage, one Run() over the stage's blocks in
+  /// wavefront order followed by the EndStage barrier on the calling thread.
+  /// Produces exactly the samples of GridSampler::RunSweep (and, for a
+  /// conforming sampler, of Iterate()).
+  void RunSweep(GridSampler& sampler, const SweepPlan& plan);
+
+ private:
+  /// One Run() invocation. Heap-allocated and shared with workers so a
+  /// worker waking up late (after the job completed and a new one started)
+  /// can never execute a stale task function: it holds the job it saw
+  /// published, whose cursor is already exhausted.
+  struct Job {
+    const Task* fn = nullptr;
+    uint32_t num_tasks = 0;
+    std::atomic<uint32_t> next{0};     // task claim cursor
+    uint32_t remaining = 0;            // guarded by ParallelExecutor::mutex_
+    std::exception_ptr error;          // guarded by ParallelExecutor::mutex_
+  };
+
+  void WorkerLoop(uint32_t worker);
+  /// Claims and executes tasks of `job` until the cursor is exhausted.
+  void RunTasks(Job& job, uint32_t worker);
+
+  uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;  // workers wait here for a job
+  std::condition_variable cv_done_;  // Run() waits here for completion
+  std::shared_ptr<Job> job_;         // guarded by mutex_
+  bool shutdown_ = false;            // guarded by mutex_
+};
+
+}  // namespace warplda
+
+#endif  // WARPLDA_CORE_PARALLEL_EXECUTOR_H_

@@ -65,15 +65,20 @@ const char* ToString(SweepStage stage) {
 
 void GridSampler::RunSweep(const SweepPlan& plan) {
   BeginSweep(plan);
-  for (int stage = 0; stage < 4; ++stage) {
-    for (uint32_t i = 0; i < plan.num_doc_blocks; ++i) {
-      for (uint32_t j = 0; j < plan.num_word_blocks; ++j) {
-        RunBlock(i, j);
+  try {
+    for (int stage = 0; stage < 4; ++stage) {
+      for (uint32_t i = 0; i < plan.num_doc_blocks; ++i) {
+        for (uint32_t j = 0; j < plan.num_word_blocks; ++j) {
+          RunBlock(i, j);
+        }
       }
+      EndStage();
     }
-    EndStage();
+    EndSweep();
+  } catch (...) {
+    AbortSweep();
+    throw;
   }
-  EndSweep();
 }
 
 }  // namespace warplda

@@ -71,6 +71,13 @@ const char* ToString(SweepStage stage);
 /// Trivial())` — grid execution changes where work happens, never what is
 /// sampled. Protocol violations throw std::logic_error; invalid plans throw
 /// std::invalid_argument.
+///
+/// Threading: within a stage, RunBlock calls for *distinct* blocks may be
+/// issued concurrently, each tagged with the calling worker's id so the
+/// implementation can key per-thread scratch; call ReserveWorkers(n) before
+/// BeginSweep to size that scratch. BeginSweep/EndStage/EndSweep are
+/// barrier-side calls made by the single driving thread (see
+/// core/parallel_executor.h, which schedules stages this way).
 class GridSampler {
  public:
   virtual ~GridSampler() = default;
@@ -79,9 +86,17 @@ class GridSampler {
   /// sweep may be active.
   virtual void BeginSweep(const SweepPlan& plan) = 0;
 
-  /// Runs the current stage's work for grid block (doc_block, word_block).
-  /// Each block must run exactly once per stage.
-  virtual void RunBlock(uint32_t doc_block, uint32_t word_block) = 0;
+  /// Runs the current stage's work for grid block (doc_block, word_block) on
+  /// behalf of `worker` (an id in [0, reserved workers); per-thread scratch
+  /// is keyed by it). Each block must run exactly once per stage; distinct
+  /// blocks may run concurrently when each caller passes a distinct worker.
+  virtual void RunBlock(uint32_t doc_block, uint32_t word_block,
+                        uint32_t worker = 0) = 0;
+
+  /// Hints that workers [0, num_workers) may call RunBlock concurrently, so
+  /// per-worker scratch must exist for each. Called between sweeps (not
+  /// while one is open); the default accepts any count and keeps no scratch.
+  virtual void ReserveWorkers(uint32_t num_workers) { (void)num_workers; }
 
   /// Barrier: checks every block of the current stage ran, applies the
   /// stage's staged updates, and advances to the next stage.
@@ -89,6 +104,14 @@ class GridSampler {
 
   /// Closes the sweep; all four stages must have completed.
   virtual void EndSweep() = 0;
+
+  /// Error recovery: closes an open sweep immediately, discarding any
+  /// staged-but-unapplied work, leaving the sampler usable (its state is
+  /// whatever the last completed stage barrier applied — valid, but pending
+  /// proposals may be stale, so callers normally re-run a full sweep).
+  /// No-op when no sweep is open. RunSweep drivers call this when a stage
+  /// throws, so the exception does not wedge the sampler.
+  virtual void AbortSweep() {}
 
   /// Stage the active sweep is in, or kDone when no sweep is active.
   virtual SweepStage sweep_stage() const = 0;

@@ -1,7 +1,10 @@
 #include "core/trainer.h"
 
 #include <cstdio>
+#include <memory>
+#include <stdexcept>
 
+#include "core/parallel_executor.h"
 #include "eval/hyperparams.h"
 #include "eval/log_likelihood.h"
 #include "util/stopwatch.h"
@@ -15,6 +18,17 @@ TrainResult Train(Sampler& sampler, const Corpus& corpus,
   sampler.Init(corpus, config);
   double alpha = config.alpha;
   double beta = config.beta;
+
+  GridSampler* grid = nullptr;
+  std::unique_ptr<ParallelExecutor> executor;
+  if (options.grid_execution) {
+    grid = dynamic_cast<GridSampler*>(&sampler);
+    if (grid == nullptr) {
+      throw std::invalid_argument("Train: grid_execution requires a sampler "
+                                  "implementing GridSampler");
+    }
+    executor = std::make_unique<ParallelExecutor>(options.sweep_threads);
+  }
 
   double sampling_seconds = 0.0;
   double block_seconds = 0.0;
@@ -45,7 +59,11 @@ TrainResult Train(Sampler& sampler, const Corpus& corpus,
 
   for (uint32_t iter = 1; iter <= options.iterations; ++iter) {
     Stopwatch watch;
-    sampler.Iterate();
+    if (grid != nullptr) {
+      executor->RunSweep(*grid, options.sweep_plan);
+    } else {
+      sampler.Iterate();
+    }
     double elapsed = watch.Seconds();
     sampling_seconds += elapsed;
     block_seconds += elapsed;

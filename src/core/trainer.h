@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "baselines/sampler.h"
+#include "core/sweep_plan.h"
 #include "corpus/corpus.h"
 #include "eval/topic_model.h"
 
@@ -23,6 +24,14 @@ struct TrainOptions {
   /// optimization; typically improves held-out quality over fixed 50/K.
   uint32_t optimize_hyper_every = 0;
   bool verbose = false;  ///< print one line per evaluation to stdout
+  /// Grid execution: when set, every sweep runs block-wise over `sweep_plan`
+  /// through a ParallelExecutor with `sweep_threads` workers (wavefront
+  /// block schedule) instead of the fused Iterate(). Requires the sampler to
+  /// implement GridSampler (Train throws std::invalid_argument otherwise).
+  /// Changes wall-clock only: grid sweeps sample identically to Iterate().
+  bool grid_execution = false;
+  SweepPlan sweep_plan;        ///< plan swept when grid_execution is set
+  uint32_t sweep_threads = 1;  ///< executor size, calling thread included
 };
 
 /// One row of a convergence trace (the data behind Fig 5's panels).

@@ -48,9 +48,10 @@ void WarpLdaSampler::Init(const Corpus& corpus, const LdaConfig& config) {
 
   // Alg. 2 enters the word phase expecting pending doc proposals, so draw
   // the first batch now from the initial assignments (stream epoch 0).
+  const uint64_t stream_base = StreamBase(phase_epoch_);
   matrix_.VisitByRow(
       [&](int, uint32_t, SparseMatrix<TopicId>::RowView row) {
-        DrawDocProposals(phase_epoch_, row);
+        DrawDocProposals(stream_base, row);
       },
       options_.num_threads);
 }
@@ -81,9 +82,10 @@ void WarpLdaSampler::SetAssignments(const std::vector<TopicId>& assignments) {
   ck_fixed_ = ck_live_;
   // Refresh the pending proposals so the next word phase consumes proposals
   // drawn from the restored state (mirrors the tail of Init()).
+  const uint64_t stream_base = StreamBase(phase_epoch_);
   matrix_.VisitByRow(
       [&](int, uint32_t, SparseMatrix<TopicId>::RowView row) {
-        DrawDocProposals(phase_epoch_, row);
+        DrawDocProposals(stream_base, row);
       },
       options_.num_threads);
 }
@@ -127,7 +129,7 @@ void WarpLdaSampler::BuildCounts(HashCount& counts,
 TopicId WarpLdaSampler::AcceptChain(const HashCount& counts, TopicId current,
                                     const TopicId* props, uint32_t m,
                                     const std::vector<double>* prior_vec,
-                                    double prior, uint64_t epoch,
+                                    double prior, uint64_t stream_base,
                                     uint64_t token, int64_t* ck_delta) {
   Rng rng;
   bool seeded = false;
@@ -145,7 +147,7 @@ TopicId WarpLdaSampler::AcceptChain(const HashCount& counts, TopicId current,
     bool take = accept >= 1.0;
     if (!take) {
       if (!seeded) {
-        rng = StreamRng(epoch, kTagAccept, token);
+        rng = StreamRng(stream_base, kTagAccept, token);
         seeded = true;
       }
       take = rng.NextBernoulli(accept);
@@ -159,31 +161,30 @@ TopicId WarpLdaSampler::AcceptChain(const HashCount& counts, TopicId current,
   return current;
 }
 
-void WarpLdaSampler::BuildWordAlias(ThreadScratch& scratch,
-                                    std::span<const TopicId> z) {
-  // Alg. 2 recomputes C_wk after the acceptances before building the alias
-  // table: q_word ∝ C_wk + β as a mixture of this count-weighted table and
-  // the uniform β branch. The fresh BuildCounts scan (rather than replaying
-  // the accepted moves into the snapshot table) is load-bearing: alias bins
-  // follow the hash table's slot order, which depends on insertion history,
-  // and only a front-to-back scan of the post-acceptance column produces the
-  // same slot order in the fused path and in the grid path (which has no
-  // move list — it rebuilds from the column after the stage barrier).
-  BuildCounts(scratch.counts, z);
+void WarpLdaSampler::BuildAliasFromCounts(ThreadScratch& scratch) {
+  // Alg. 2 builds the alias table over the post-acceptance C_wk: q_word ∝
+  // C_wk + β as a mixture of this count-weighted table and the uniform β
+  // branch. Entries are sorted by topic so the bin layout is a pure function
+  // of the count values: the fused path (which patches the acceptance-time
+  // snapshot with the move list) and the grid path (which rebuilds c_w from
+  // the column after the stage barrier, having no move list) insert keys in
+  // different orders yet load identical tables.
   scratch.alias_entries.clear();
   scratch.counts.ForEachNonZero([&](uint32_t k, int32_t c) {
     scratch.alias_entries.emplace_back(k, static_cast<double>(c));
   });
+  std::sort(scratch.alias_entries.begin(), scratch.alias_entries.end());
   scratch.alias.BuildSparse(scratch.alias_entries);
 }
 
 void WarpLdaSampler::DrawWordProposalsForToken(ThreadScratch& scratch,
-                                               uint64_t epoch, uint64_t token,
+                                               uint64_t stream_base,
+                                               uint64_t token,
                                                double count_prob) {
   const uint32_t m = std::max(1u, config_.mh_steps);
   const uint32_t k_topics = config_.num_topics;
   TopicId* slot = &proposals_[token * m];
-  Rng rng = StreamRng(epoch, kTagPropose, token);
+  Rng rng = StreamRng(stream_base, kTagPropose, token);
   for (uint32_t j = 0; j < m; ++j) {
     slot[j] = rng.NextBernoulli(count_prob) ? scratch.alias.Sample(rng)
                                             : rng.NextInt(k_topics);
@@ -191,13 +192,13 @@ void WarpLdaSampler::DrawWordProposalsForToken(ThreadScratch& scratch,
 }
 
 void WarpLdaSampler::DrawDocProposalsForToken(
-    uint64_t epoch, uint64_t token, SparseMatrix<TopicId>::RowView row,
+    uint64_t stream_base, uint64_t token, SparseMatrix<TopicId>::RowView row,
     double position_prob) {
   const uint32_t m = std::max(1u, config_.mh_steps);
   const uint32_t k_topics = config_.num_topics;
   const bool asymmetric = !config_.alpha_vector.empty();
   TopicId* slot = &proposals_[token * m];
-  Rng rng = StreamRng(epoch, kTagPropose, token);
+  Rng rng = StreamRng(stream_base, kTagPropose, token);
   for (uint32_t j = 0; j < m; ++j) {
     if (rng.NextBernoulli(position_prob)) {
       slot[j] = row[rng.NextInt(row.size())];
@@ -207,7 +208,7 @@ void WarpLdaSampler::DrawDocProposalsForToken(
   }
 }
 
-void WarpLdaSampler::DrawDocProposals(uint64_t epoch,
+void WarpLdaSampler::DrawDocProposals(uint64_t stream_base,
                                       SparseMatrix<TopicId>::RowView row) {
   const uint32_t len = row.size();
   if (len == 0) return;
@@ -217,7 +218,8 @@ void WarpLdaSampler::DrawDocProposals(uint64_t epoch,
   const double position_prob =
       static_cast<double>(len) / (static_cast<double>(len) + alpha_bar_);
   for (uint32_t i = 0; i < len; ++i) {
-    DrawDocProposalsForToken(epoch, row.entry_index(i), row, position_prob);
+    DrawDocProposalsForToken(stream_base, row.entry_index(i), row,
+                             position_prob);
   }
 }
 
@@ -229,7 +231,7 @@ void WarpLdaSampler::WordPhase() {
   const uint32_t k_topics = config_.num_topics;
   const uint32_t m = std::max(1u, config_.mh_steps);
   const double beta = config_.beta;
-  const uint64_t epoch = ++phase_epoch_;
+  const uint64_t stream_base = StreamBase(++phase_epoch_);
   BeginPhase();
 
   matrix_.VisitByColumn(
@@ -248,20 +250,31 @@ void WarpLdaSampler::WordPhase() {
 
         // Accept the pending doc proposals against the snapshot; c_w is not
         // updated mid-scan, so all of this word's acceptances see the same
-        // delayed counts (Alg. 2) and tokens stay order-independent.
+        // delayed counts (Alg. 2) and tokens stay order-independent. The net
+        // moves are recorded so the post-acceptance c_w comes from replaying
+        // them below — O(accepted) — instead of rescanning the column.
+        s.moves.clear();
         for (uint32_t i = 0; i < lw; ++i) {
+          const TopicId before = z[i];
           z[i] = AcceptChain(s.counts, z[i], &proposals_[(base + i) * m], m,
-                             nullptr, beta, epoch, base + i,
+                             nullptr, beta, stream_base, base + i,
                              s.ck_delta.data());
+          if (z[i] != before) s.moves.emplace_back(before, z[i]);
         }
 
-        // Fresh word proposals from the updated c_w.
-        BuildWordAlias(s, z);
+        // Fresh word proposals from the updated c_w: patch the snapshot with
+        // the moves (an intermediate chain hop nets out — only the endpoints
+        // matter), then build the order-stable alias table.
+        for (const auto& [from, to] : s.moves) {
+          s.counts.Dec(from);
+          s.counts.Inc(to);
+        }
+        BuildAliasFromCounts(s);
         const double count_prob =
             static_cast<double>(lw) /
             (static_cast<double>(lw) + beta * k_topics);
         for (uint32_t i = 0; i < lw; ++i) {
-          DrawWordProposalsForToken(s, epoch, base + i, count_prob);
+          DrawWordProposalsForToken(s, stream_base, base + i, count_prob);
         }
         TraceScopeEnd();
       },
@@ -279,7 +292,7 @@ void WarpLdaSampler::DocPhase() {
   const std::vector<double>* alpha_vec =
       config_.alpha_vector.empty() ? nullptr : &config_.alpha_vector;
   const double alpha = config_.alpha;
-  const uint64_t epoch = ++phase_epoch_;
+  const uint64_t stream_base = StreamBase(++phase_epoch_);
   BeginPhase();
 
   matrix_.VisitByRow(
@@ -299,12 +312,12 @@ void WarpLdaSampler::DocPhase() {
         for (uint32_t i = 0; i < len; ++i) {
           row[i] = AcceptChain(s.counts, row[i],
                                &proposals_[row.entry_index(i) * m], m,
-                               alpha_vec, alpha, epoch, row.entry_index(i),
-                               s.ck_delta.data());
+                               alpha_vec, alpha, stream_base,
+                               row.entry_index(i), s.ck_delta.data());
         }
 
         // Fresh doc proposals from the updated z_d.
-        DrawDocProposals(epoch, row);
+        DrawDocProposals(stream_base, row);
         TraceScopeEnd();
       },
       options_.num_threads);
@@ -319,11 +332,28 @@ void WarpLdaSampler::Iterate() {
 
 // --------------------------------------------------------------------------
 // Grid execution. Stages defer their writes (accepted topics go to
-// grid_.staged, count updates to grid_.ck_delta) and apply them at the
-// EndStage barrier, so every block of a stage observes the same pre-stage
-// state no matter the schedule. Combined with the per-token RNG streams this
-// makes any grid — including the 1×1 plan and the fused Iterate() — sample
-// identically.
+// grid_.staged, count updates to the calling worker's ck-delta partition)
+// and apply them at the EndStage barrier, so every block of a stage observes
+// the same pre-stage state no matter the schedule. Combined with the
+// per-token RNG streams this makes any grid — including the 1×1 plan and the
+// fused Iterate() — sample identically, on any number of workers: a block
+// body reads only shared *immutable* stage state and writes only its own
+// tokens' slots plus scratch_[worker], so concurrent blocks share no mutable
+// memory (ParallelExecutor relies on exactly this).
+
+void WarpLdaSampler::ReserveWorkers(uint32_t num_workers) {
+  if (corpus_ == nullptr) {
+    throw std::logic_error(
+        "WarpLdaSampler: Init() must precede ReserveWorkers()");
+  }
+  if (grid_.open) {
+    throw std::logic_error(
+        "WarpLdaSampler: ReserveWorkers() during an active grid sweep");
+  }
+  while (scratch_.size() < num_workers) {
+    scratch_.emplace_back().ck_delta.assign(config_.num_topics, 0);
+  }
+}
 
 void WarpLdaSampler::BeginSweep(const SweepPlan& plan) {
   if (corpus_ == nullptr) {
@@ -362,15 +392,18 @@ void WarpLdaSampler::BeginSweep(const SweepPlan& plan) {
     grid_.indices_built = true;
   }
   grid_.staged.assign(matrix_.num_entries(), 0);
-  grid_.ck_delta.assign(config_.num_topics, 0);
+  for (auto& s : scratch_) {
+    std::fill(s.ck_delta.begin(), s.ck_delta.end(), 0);
+  }
   grid_.block_ran.assign(static_cast<size_t>(doc_blocks) * word_blocks, 0);
-  grid_.epoch_word = ++phase_epoch_;
+  grid_.base_word = StreamBase(++phase_epoch_);
   ck_fixed_ = ck_live_;
   grid_.stage = SweepStage::kWordAccept;
   grid_.open = true;
 }
 
-void WarpLdaSampler::RunBlock(uint32_t doc_block, uint32_t word_block) {
+void WarpLdaSampler::RunBlock(uint32_t doc_block, uint32_t word_block,
+                              uint32_t worker) {
   if (!grid_.open) {
     throw std::logic_error("WarpLdaSampler: RunBlock() without BeginSweep()");
   }
@@ -382,6 +415,11 @@ void WarpLdaSampler::RunBlock(uint32_t doc_block, uint32_t word_block) {
       word_block >= grid_.plan.num_word_blocks) {
     throw std::invalid_argument("WarpLdaSampler: block index out of range");
   }
+  if (worker >= scratch_.size()) {
+    throw std::invalid_argument(
+        "WarpLdaSampler: worker id " + std::to_string(worker) +
+        " out of range; ReserveWorkers() before the sweep");
+  }
   char& ran =
       grid_.block_ran[static_cast<size_t>(doc_block) *
                           grid_.plan.num_word_blocks +
@@ -391,15 +429,16 @@ void WarpLdaSampler::RunBlock(uint32_t doc_block, uint32_t word_block) {
                            ToString(grid_.stage) + " stage");
   }
   ran = 1;
+  ThreadScratch& scratch = scratch_[worker];
   switch (grid_.stage) {
     case SweepStage::kWordAccept:
-      RunWordAcceptBlock(doc_block, word_block);
+      RunWordAcceptBlock(doc_block, word_block, scratch);
       break;
     case SweepStage::kWordPropose:
-      RunWordProposeBlock(doc_block, word_block);
+      RunWordProposeBlock(doc_block, word_block, scratch);
       break;
     case SweepStage::kDocAccept:
-      RunDocAcceptBlock(doc_block, word_block);
+      RunDocAcceptBlock(doc_block, word_block, scratch);
       break;
     case SweepStage::kDocPropose:
       RunDocProposeBlock(doc_block, word_block);
@@ -410,8 +449,8 @@ void WarpLdaSampler::RunBlock(uint32_t doc_block, uint32_t word_block) {
 }
 
 void WarpLdaSampler::RunWordAcceptBlock(uint32_t doc_block,
-                                        uint32_t word_block) {
-  ThreadScratch& s = scratch_[0];
+                                        uint32_t word_block,
+                                        ThreadScratch& s) {
   const uint32_t m = std::max(1u, config_.mh_steps);
   const double beta = config_.beta;
   for (uint32_t w : grid_.block_cols[word_block]) {
@@ -428,14 +467,14 @@ void WarpLdaSampler::RunWordAcceptBlock(uint32_t doc_block,
       }
       grid_.staged[base + i] = AcceptChain(
           s.counts, z[i], &proposals_[(base + i) * m], m, nullptr, beta,
-          grid_.epoch_word, base + i, grid_.ck_delta.data());
+          grid_.base_word, base + i, s.ck_delta.data());
     }
   }
 }
 
 void WarpLdaSampler::RunWordProposeBlock(uint32_t doc_block,
-                                         uint32_t word_block) {
-  ThreadScratch& s = scratch_[0];
+                                         uint32_t word_block,
+                                         ThreadScratch& s) {
   const uint32_t k_topics = config_.num_topics;
   const double beta = config_.beta;
   for (uint32_t w : grid_.block_cols[word_block]) {
@@ -447,17 +486,21 @@ void WarpLdaSampler::RunWordProposeBlock(uint32_t doc_block,
     for (uint32_t i = 0; i < z.size(); ++i) {
       if (grid_.entry_doc_block[base + i] != doc_block) continue;
       if (!built) {
-        BuildWordAlias(s, z);  // post-acceptance column, applied at barrier
+        // Post-acceptance column (applied at the barrier); no move list
+        // exists here, so c_w comes from a fresh scan — the order-stable
+        // alias build makes that agree with the fused path's patched table.
+        BuildCounts(s.counts, z);
+        BuildAliasFromCounts(s);
         built = true;
       }
-      DrawWordProposalsForToken(s, grid_.epoch_word, base + i, count_prob);
+      DrawWordProposalsForToken(s, grid_.base_word, base + i, count_prob);
     }
   }
 }
 
 void WarpLdaSampler::RunDocAcceptBlock(uint32_t doc_block,
-                                       uint32_t word_block) {
-  ThreadScratch& s = scratch_[0];
+                                       uint32_t word_block,
+                                       ThreadScratch& s) {
   const uint32_t m = std::max(1u, config_.mh_steps);
   const std::vector<double>* alpha_vec =
       config_.alpha_vector.empty() ? nullptr : &config_.alpha_vector;
@@ -474,7 +517,7 @@ void WarpLdaSampler::RunDocAcceptBlock(uint32_t doc_block,
       }
       grid_.staged[idx] =
           AcceptChain(s.counts, row[i], &proposals_[idx * m], m, alpha_vec,
-                      alpha, grid_.epoch_doc, idx, grid_.ck_delta.data());
+                      alpha, grid_.base_doc, idx, s.ck_delta.data());
     }
   }
 }
@@ -490,7 +533,7 @@ void WarpLdaSampler::RunDocProposeBlock(uint32_t doc_block,
     for (uint32_t i = 0; i < len; ++i) {
       const uint64_t idx = row.entry_index(i);
       if (grid_.entry_word_block[idx] != word_block) continue;
-      DrawDocProposalsForToken(grid_.epoch_doc, idx, row, position_prob);
+      DrawDocProposalsForToken(grid_.base_doc, idx, row, position_prob);
     }
   }
 }
@@ -499,10 +542,14 @@ void WarpLdaSampler::ApplyStaged() {
   for (uint64_t e = 0; e < matrix_.num_entries(); ++e) {
     matrix_.entry_data(e) = grid_.staged[e];
   }
-  for (uint32_t k = 0; k < config_.num_topics; ++k) {
-    ck_live_[k] += grid_.ck_delta[k];
+  // Fold the per-worker ck-delta partitions — the once-per-stage-barrier
+  // reduction that replaces a shared (contended) delta vector.
+  for (auto& s : scratch_) {
+    for (uint32_t k = 0; k < config_.num_topics; ++k) {
+      ck_live_[k] += s.ck_delta[k];
+    }
+    std::fill(s.ck_delta.begin(), s.ck_delta.end(), 0);
   }
-  grid_.ck_delta.assign(config_.num_topics, 0);
 }
 
 void WarpLdaSampler::EndStage() {
@@ -529,7 +576,7 @@ void WarpLdaSampler::EndStage() {
     case SweepStage::kWordPropose:
       // Word phase over: fold point between phases, matching the fused
       // path's EndPhase()/BeginPhase() pair.
-      grid_.epoch_doc = ++phase_epoch_;
+      grid_.base_doc = StreamBase(++phase_epoch_);
       ck_fixed_ = ck_live_;
       grid_.stage = SweepStage::kDocAccept;
       break;
@@ -544,6 +591,19 @@ void WarpLdaSampler::EndStage() {
       break;  // unreachable, checked above
   }
   std::fill(grid_.block_ran.begin(), grid_.block_ran.end(), 0);
+}
+
+void WarpLdaSampler::AbortSweep() {
+  if (!grid_.open) return;
+  // Discard the aborted stage's staged topics and unfolded deltas; the live
+  // state is whatever the last completed barrier applied, which keeps
+  // matrix_ and ck_live_ consistent with each other. Pending proposals may
+  // be stale — callers recover by running a fresh full sweep.
+  for (auto& s : scratch_) {
+    std::fill(s.ck_delta.begin(), s.ck_delta.end(), 0);
+  }
+  grid_.stage = SweepStage::kDone;
+  grid_.open = false;
 }
 
 void WarpLdaSampler::EndSweep() {

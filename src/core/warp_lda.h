@@ -50,7 +50,11 @@ struct WarpLdaOptions {
 /// Every (phase, token) pair draws from its own RNG stream derived from the
 /// seed, and delayed counts make tokens within a stage independent, so any
 /// block order — and Iterate() itself, the trivial 1×1 plan — produces
-/// identical assignments. Grid sweeps execute on the calling thread.
+/// identical assignments. Distinct blocks of a stage may run concurrently
+/// (e.g. under ParallelExecutor): each RunBlock call works out of the
+/// calling worker's ThreadScratch — including its partition of the c_k
+/// deltas, folded once at the EndStage barrier — and writes only its own
+/// tokens' staged state, so block bodies share no mutable memory.
 class WarpLdaSampler : public Sampler, public GridSampler {
  public:
   explicit WarpLdaSampler(const WarpLdaOptions& options = {})
@@ -70,12 +74,24 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   void DocPhase();
 
   /// GridSampler: block-wise sweep execution (see core/sweep_plan.h for the
-  /// protocol). Produces the same samples as Iterate() for any plan.
+  /// protocol). Produces the same samples as Iterate() for any plan, any
+  /// block schedule, and any worker count.
   void BeginSweep(const SweepPlan& plan) override;
-  void RunBlock(uint32_t doc_block, uint32_t word_block) override;
+  void RunBlock(uint32_t doc_block, uint32_t word_block,
+                uint32_t worker = 0) override;
   void EndStage() override;
   void EndSweep() override;
+  void AbortSweep() override;
   SweepStage sweep_stage() const override { return grid_.stage; }
+  /// Grows the per-worker scratch (counts, alias, ck-delta partition) so
+  /// RunBlock may be called with worker ids in [0, num_workers). Requires
+  /// Init() and no open sweep.
+  void ReserveWorkers(uint32_t num_workers) override;
+
+  /// Live global topic counts c_k (size K). Deltas are folded in at phase /
+  /// stage barriers, so between Iterate() calls (or outside an open sweep)
+  /// this is exactly the histogram of Assignments().
+  const std::vector<int64_t>& topic_counts() const { return ck_live_; }
 
   /// Snapshot-export hook for serving: aggregates the current assignments
   /// into a TopicModel ready for serve::ModelStore::Publish(). Safe to call
@@ -88,8 +104,13 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   struct ThreadScratch {
     HashCount counts;
     AliasTable alias;
+    /// This worker's partition of the c_k updates; folded into ck_live_ at
+    /// phase ends (fused path) and stage barriers (grid path).
     std::vector<int64_t> ck_delta;
     std::vector<std::pair<uint32_t, double>> alias_entries;
+    /// (from, to) net topic moves of the current column's acceptances; the
+    /// fused word phase replays them into `counts` instead of rescanning.
+    std::vector<std::pair<TopicId, TopicId>> moves;
   };
 
   /// State of an open grid sweep (BeginSweep .. EndSweep).
@@ -100,10 +121,9 @@ class WarpLdaSampler : public Sampler, public GridSampler {
     /// True when the plan-derived indices below match `plan`; BeginSweep
     /// skips rebuilding them for repeated sweeps of the same plan.
     bool indices_built = false;
-    uint64_t epoch_word = 0;
-    uint64_t epoch_doc = 0;
+    uint64_t base_word = 0;  // word-phase RNG stream base (see StreamBase)
+    uint64_t base_doc = 0;   // doc-phase RNG stream base
     std::vector<TopicId> staged;             // accepted topics, CSC order
-    std::vector<int64_t> ck_delta;           // folded at stage barriers
     std::vector<uint32_t> entry_doc_block;   // CSC position -> doc block
     std::vector<uint32_t> entry_word_block;  // CSC position -> word block
     std::vector<std::vector<uint32_t>> block_cols;  // word block -> columns
@@ -115,11 +135,20 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   static constexpr uint32_t kTagAccept = 0x51;
   static constexpr uint32_t kTagPropose = 0xA3;
 
+  /// Per-phase base of the token RNG streams. Hashed once when a phase (or
+  /// grid stage pair) opens, not once per token — the ROADMAP-flagged
+  /// batching of stream seeding: per token only the final mix in StreamRng
+  /// remains.
+  uint64_t StreamBase(uint64_t epoch) const {
+    return SplitMix64(config_.seed ^ (epoch * 0x9E3779B97F4A7C15ULL));
+  }
+
   /// Deterministic per-token RNG stream. Grid blocks may run in any order
-  /// (or on any thread), so each token's draws come from its own stream.
-  Rng StreamRng(uint64_t epoch, uint32_t tag, uint64_t token) const {
-    uint64_t h = SplitMix64(config_.seed ^ (epoch * 0x9E3779B97F4A7C15ULL));
-    return Rng(SplitMix64(h ^ (static_cast<uint64_t>(tag) << 56) ^ token));
+  /// (or on any thread), so each token's draws come from its own stream,
+  /// named by the (stream_base, tag, token) triple.
+  static Rng StreamRng(uint64_t stream_base, uint32_t tag, uint64_t token) {
+    return Rng(
+        SplitMix64(stream_base ^ (static_cast<uint64_t>(tag) << 56) ^ token));
   }
 
   /// Copies live global counts into the per-phase snapshot and clears the
@@ -142,29 +171,42 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   TopicId AcceptChain(const HashCount& counts, TopicId current,
                       const TopicId* props, uint32_t m,
                       const std::vector<double>* prior_vec, double prior,
-                      uint64_t epoch, uint64_t token, int64_t* ck_delta);
+                      uint64_t stream_base, uint64_t token, int64_t* ck_delta);
 
-  /// Rebuilds c_w from the post-acceptance column and loads the word-proposal
-  /// alias table over q_word ∝ C_wk (the count branch of the mixture).
-  void BuildWordAlias(ThreadScratch& scratch, std::span<const TopicId> z);
+  /// Loads the word-proposal alias table over q_word ∝ C_wk (the count
+  /// branch of the mixture) from scratch.counts, which must hold the
+  /// post-acceptance c_w. Entries are emitted in ascending-topic order, so
+  /// the table depends only on the count *values* — not on how the hash
+  /// table was filled — letting the fused path update counts incrementally
+  /// (replaying the acceptance moves) while the grid path rebuilds them from
+  /// the column after the stage barrier, bit-identically.
+  void BuildAliasFromCounts(ThreadScratch& scratch);
 
   /// Draws M word proposals for one token from the count/β mixture.
-  void DrawWordProposalsForToken(ThreadScratch& scratch, uint64_t epoch,
+  void DrawWordProposalsForToken(ThreadScratch& scratch, uint64_t stream_base,
                                  uint64_t token, double count_prob);
   /// Draws M doc proposals for one token by random positioning into the
   /// (updated) row, with the α branch as fallback (§4.3 mixture).
-  void DrawDocProposalsForToken(uint64_t epoch, uint64_t token,
+  void DrawDocProposalsForToken(uint64_t stream_base, uint64_t token,
                                 SparseMatrix<TopicId>::RowView row,
                                 double position_prob);
   /// Draws M doc proposals for every token of `row`.
-  void DrawDocProposals(uint64_t epoch, SparseMatrix<TopicId>::RowView row);
+  void DrawDocProposals(uint64_t stream_base,
+                        SparseMatrix<TopicId>::RowView row);
 
-  /// Grid helpers: per-stage block bodies (serial, scratch_[0]).
-  void RunWordAcceptBlock(uint32_t doc_block, uint32_t word_block);
-  void RunWordProposeBlock(uint32_t doc_block, uint32_t word_block);
-  void RunDocAcceptBlock(uint32_t doc_block, uint32_t word_block);
+  /// Grid helpers: per-stage block bodies. Concurrency-safe across distinct
+  /// blocks: they read the shared pre-stage state, write only their own
+  /// tokens' staged/proposal slots, and use scratch_[worker] for everything
+  /// else.
+  void RunWordAcceptBlock(uint32_t doc_block, uint32_t word_block,
+                          ThreadScratch& scratch);
+  void RunWordProposeBlock(uint32_t doc_block, uint32_t word_block,
+                           ThreadScratch& scratch);
+  void RunDocAcceptBlock(uint32_t doc_block, uint32_t word_block,
+                         ThreadScratch& scratch);
   void RunDocProposeBlock(uint32_t doc_block, uint32_t word_block);
-  /// Copies staged topics into z and folds grid ck deltas into ck_live_.
+  /// Copies staged topics into z and folds the per-worker ck-delta
+  /// partitions into ck_live_.
   void ApplyStaged();
 
   WarpLdaOptions options_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/parallel_executor.h"
 #include "util/rng.h"
 
 namespace warplda {
@@ -105,22 +106,34 @@ double ClusterSim::SimulatedSpeedup() const {
   return parallel > 0.0 ? serial / parallel : 1.0;
 }
 
-IterationTiming ClusterSim::RunSweep(GridSampler& sampler) const {
+IterationTiming ClusterSim::RunSweep(GridSampler& sampler,
+                                     ParallelExecutor* executor) const {
   const uint32_t p = workers_;
-  sampler.BeginSweep(plan_);
-  for (int stage = 0; stage < 4; ++stage) {
-    // Rotation schedule: in round r worker i holds word slice (i+r) mod P.
-    // Blocks within a stage are order-independent (the GridSampler
-    // contract), so this choice documents the deployment schedule without
-    // changing the samples.
-    for (uint32_t round = 0; round < p; ++round) {
-      for (uint32_t i = 0; i < p; ++i) {
-        sampler.RunBlock(i, (i + round) % p);
+  if (executor != nullptr) {
+    // ParallelExecutor's wavefront enqueue order is exactly the rotation
+    // schedule below, pulled by the pool's workers instead of looped.
+    executor->RunSweep(sampler, plan_);
+  } else {
+    sampler.BeginSweep(plan_);
+    try {
+      for (int stage = 0; stage < 4; ++stage) {
+        // Rotation schedule: in round r worker i holds word slice (i+r)
+        // mod P. Blocks within a stage are order-independent (the
+        // GridSampler contract), so this choice documents the deployment
+        // schedule without changing the samples.
+        for (uint32_t round = 0; round < p; ++round) {
+          for (uint32_t i = 0; i < p; ++i) {
+            sampler.RunBlock(i, (i + round) % p);
+          }
+        }
+        sampler.EndStage();
       }
+      sampler.EndSweep();
+    } catch (...) {
+      sampler.AbortSweep();  // same recovery contract as the other drivers
+      throw;
     }
-    sampler.EndStage();
   }
-  sampler.EndSweep();
   // Priced at the configured per-token cost, NOT at this call's wall time:
   // block-wise execution on one machine pays simulation-only overhead
   // (per-block column/row rescans, staged-write copies) that a real worker

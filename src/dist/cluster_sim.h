@@ -10,6 +10,8 @@
 
 namespace warplda {
 
+class ParallelExecutor;
+
 /// Parameters of the simulated cluster (Fig 6 / Fig 9b methodology).
 ///
 /// The compute terms come from measured single-machine throughput; the
@@ -95,7 +97,12 @@ class ClusterSim {
   /// not a fair compute cost (measure the fused Iterate() path for that, as
   /// fig6 does). The samples produced are identical to a serial Iterate() —
   /// grid execution is exact, see core/sweep_plan.h.
-  IterationTiming RunSweep(GridSampler& sampler) const;
+  ///
+  /// When `executor` is non-null the stage's blocks run concurrently on its
+  /// thread pool (the executor's wavefront order is this same rotation
+  /// schedule); the samples do not change, only the wall-clock of the call.
+  IterationTiming RunSweep(GridSampler& sampler,
+                           ParallelExecutor* executor = nullptr) const;
 
  private:
   IterationTiming Model(double per_token_ns) const;

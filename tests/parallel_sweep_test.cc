@@ -1,0 +1,287 @@
+#include "core/parallel_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "core/warp_lda.h"
+#include "corpus/synthetic.h"
+#include "dist/cluster_sim.h"
+#include "dist/partitioner.h"
+
+namespace warplda {
+namespace {
+
+Corpus TestCorpus() {
+  SyntheticConfig config;
+  config.num_docs = 140;
+  config.vocab_size = 260;
+  config.num_topics = 6;
+  config.mean_doc_length = 22;
+  config.alpha = 0.1;
+  config.seed = 91;
+  return GenerateLdaCorpus(config).corpus;
+}
+
+LdaConfig TestConfig() {
+  LdaConfig config = LdaConfig::PaperDefaults(10);
+  config.seed = 4242;
+  config.mh_steps = 2;
+  return config;
+}
+
+std::vector<int64_t> Histogram(const std::vector<TopicId>& assignments,
+                               uint32_t num_topics) {
+  std::vector<int64_t> counts(num_topics, 0);
+  for (TopicId t : assignments) ++counts[t];
+  return counts;
+}
+
+TEST(ParallelExecutorTest, RunsEveryTaskExactlyOnceWithValidWorkerIds) {
+  ParallelExecutor executor(4);
+  EXPECT_EQ(executor.num_threads(), 4u);
+  constexpr uint32_t kTasks = 223;  // more tasks than threads, odd count
+  std::vector<std::atomic<uint32_t>> ran(kTasks);
+  std::atomic<bool> worker_in_range{true};
+  executor.Run(kTasks, [&](uint32_t worker, uint32_t task) {
+    if (worker >= 4) worker_in_range = false;
+    ran[task].fetch_add(1);
+  });
+  EXPECT_TRUE(worker_in_range);
+  for (uint32_t t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(ran[t].load(), 1u) << "task " << t;
+  }
+  // The pool is reusable after a run.
+  std::atomic<uint32_t> total{0};
+  executor.Run(10, [&](uint32_t, uint32_t task) { total += task; });
+  EXPECT_EQ(total.load(), 45u);
+}
+
+TEST(ParallelExecutorTest, SingleThreadRunsInlineAndInOrder) {
+  ParallelExecutor executor(1);
+  std::vector<uint32_t> order;
+  executor.Run(8, [&](uint32_t worker, uint32_t task) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(task);  // no synchronization: must be the calling thread
+  });
+  std::vector<uint32_t> expected(8);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelExecutorTest, FirstTaskExceptionPropagatesAndPoolSurvives) {
+  ParallelExecutor executor(3);
+  EXPECT_THROW(
+      executor.Run(50,
+                   [&](uint32_t, uint32_t task) {
+                     if (task == 17) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  std::atomic<uint32_t> count{0};
+  executor.Run(50, [&](uint32_t, uint32_t) { ++count; });
+  EXPECT_EQ(count.load(), 50u);
+}
+
+// Inline (1-thread) execution honors the same contract: the remaining tasks
+// still run and the first exception is rethrown afterwards.
+TEST(ParallelExecutorTest, SingleThreadExceptionRunsRemainingTasks) {
+  ParallelExecutor executor(1);
+  std::vector<char> ran(10, 0);
+  EXPECT_THROW(
+      executor.Run(10,
+                   [&](uint32_t, uint32_t task) {
+                     ran[task] = 1;
+                     if (task == 3) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  EXPECT_EQ(std::count(ran.begin(), ran.end(), 1), 10);
+}
+
+// A sweep that throws mid-stage must not wedge the sampler: the driver
+// aborts the sweep and the sampler stays fully usable.
+TEST(ParallelSweepTest, AbortedSweepLeavesSamplerUsable) {
+  Corpus corpus = TestCorpus();
+  LdaConfig config = TestConfig();
+  WarpLdaSampler sampler;
+  sampler.Init(corpus, config);
+  SweepPlan plan = MakeSweepPlan(corpus, 2, 2);
+
+  // Worker 5 is out of range for the default 1-worker scratch, so the first
+  // RunBlock of ParallelExecutor-free manual driving throws mid-stage.
+  sampler.BeginSweep(plan);
+  sampler.RunBlock(0, 0);
+  EXPECT_THROW(sampler.RunBlock(0, 1, 5), std::invalid_argument);
+  sampler.AbortSweep();
+  EXPECT_EQ(sampler.sweep_stage(), SweepStage::kDone);
+  EXPECT_NO_THROW(sampler.Iterate());
+  EXPECT_EQ(sampler.topic_counts(),
+            Histogram(sampler.Assignments(), config.num_topics));
+
+  // AbortSweep with no open sweep is a no-op.
+  EXPECT_NO_THROW(sampler.AbortSweep());
+
+  // After recovery, grid sweeps still track the serial trajectory exactly.
+  WarpLdaSampler reference;
+  reference.Init(corpus, config);
+  reference.Iterate();
+  reference.Iterate();
+  WarpLdaSampler fresh;
+  fresh.Init(corpus, config);
+  ParallelExecutor executor(2);
+  executor.RunSweep(fresh, plan);
+  executor.RunSweep(fresh, plan);
+  EXPECT_EQ(reference.Assignments(), fresh.Assignments());
+}
+
+// The acceptance oracle of this PR: a multi-threaded grid sweep must
+// reproduce the serial fused Iterate() bit for bit — same assignments AND
+// same folded global topic counts.
+TEST(ParallelSweepTest, OneAndEightThreadsMatchIterateOn4x4Plan) {
+  Corpus corpus = TestCorpus();
+  LdaConfig config = TestConfig();
+  SweepPlan plan = MakeSweepPlan(corpus, 4, 4, PartitionStrategy::kGreedy);
+
+  WarpLdaSampler serial;
+  serial.Init(corpus, config);
+  WarpLdaSampler grid_one;
+  grid_one.Init(corpus, config);
+  WarpLdaSampler grid_eight;
+  grid_eight.Init(corpus, config);
+  ParallelExecutor one(1);
+  ParallelExecutor eight(8);
+
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    serial.Iterate();
+    one.RunSweep(grid_one, plan);
+    eight.RunSweep(grid_eight, plan);
+    ASSERT_EQ(serial.Assignments(), grid_one.Assignments())
+        << "1-thread grid diverged at sweep " << sweep;
+    ASSERT_EQ(serial.Assignments(), grid_eight.Assignments())
+        << "8-thread grid diverged at sweep " << sweep;
+    // The per-worker ck-delta partitions must fold to the serial counts,
+    // which in turn must equal the assignment histogram.
+    ASSERT_EQ(serial.topic_counts(), grid_eight.topic_counts());
+    ASSERT_EQ(grid_eight.topic_counts(),
+              Histogram(grid_eight.Assignments(), config.num_topics));
+  }
+}
+
+// Stress: many more blocks than threads, uneven rectangular grid, repeated
+// sweeps reusing the same executor and plan indices.
+TEST(ParallelSweepTest, MoreBlocksThanThreadsStress) {
+  Corpus corpus = TestCorpus();
+  LdaConfig config = TestConfig();
+  SweepPlan plan = MakeSweepPlan(corpus, 7, 5, PartitionStrategy::kDynamic);
+
+  WarpLdaSampler serial;
+  serial.Init(corpus, config);
+  WarpLdaSampler grid;
+  grid.Init(corpus, config);
+  ParallelExecutor executor(3);
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    serial.Iterate();
+    executor.RunSweep(grid, plan);
+  }
+  EXPECT_EQ(serial.Assignments(), grid.Assignments());
+  EXPECT_EQ(serial.topic_counts(), grid.topic_counts());
+}
+
+TEST(ParallelSweepTest, ClusterSimRunSweepWithExecutorMatchesSerial) {
+  Corpus corpus = TestCorpus();
+  LdaConfig config = TestConfig();
+  ClusterConfig cluster;
+  cluster.num_workers = 4;
+  ClusterSim sim(corpus, cluster);
+
+  WarpLdaSampler serial;
+  serial.Init(corpus, config);
+  WarpLdaSampler distributed;
+  distributed.Init(corpus, config);
+  ParallelExecutor executor(4);
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    serial.Iterate();
+    IterationTiming timing = sim.RunSweep(distributed, &executor);
+    EXPECT_GT(timing.wall_seconds, 0.0);
+  }
+  EXPECT_EQ(serial.Assignments(), distributed.Assignments());
+}
+
+TEST(ParallelSweepTest, TrainerGridExecutionMatchesFusedTraining) {
+  Corpus corpus = TestCorpus();
+  LdaConfig config = TestConfig();
+
+  WarpLdaSampler fused;
+  TrainOptions fused_options;
+  fused_options.iterations = 4;
+  fused_options.eval_every = 2;
+  TrainResult fused_result = Train(fused, corpus, config, fused_options);
+
+  WarpLdaSampler grid;
+  TrainOptions grid_options = fused_options;
+  grid_options.grid_execution = true;
+  grid_options.sweep_plan = MakeSweepPlan(corpus, 3, 3);
+  grid_options.sweep_threads = 4;
+  TrainResult grid_result = Train(grid, corpus, config, grid_options);
+
+  EXPECT_EQ(fused_result.assignments, grid_result.assignments);
+  ASSERT_EQ(fused_result.history.size(), grid_result.history.size());
+  for (size_t i = 0; i < fused_result.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fused_result.history[i].log_likelihood,
+                     grid_result.history[i].log_likelihood);
+  }
+}
+
+TEST(ParallelSweepTest, TrainerGridExecutionRequiresGridSampler) {
+  Corpus corpus = TestCorpus();
+  LdaConfig config = TestConfig();
+  auto sampler = CreateSampler("cgs");  // no GridSampler implementation
+  ASSERT_NE(sampler, nullptr);
+  TrainOptions options;
+  options.iterations = 1;
+  options.grid_execution = true;
+  EXPECT_THROW(Train(*sampler, corpus, config, options),
+               std::invalid_argument);
+}
+
+TEST(ParallelSweepTest, WorkerReservationIsEnforced) {
+  Corpus corpus = TestCorpus();
+  WarpLdaSampler sampler;
+  EXPECT_THROW(sampler.ReserveWorkers(2), std::logic_error);  // before Init
+
+  WarpLdaOptions two_threads;
+  two_threads.num_threads = 2;
+  WarpLdaSampler initialized(two_threads);
+  initialized.Init(corpus, TestConfig());
+  SweepPlan plan = MakeSweepPlan(corpus, 2, 2);
+  initialized.BeginSweep(plan);
+  EXPECT_THROW(initialized.ReserveWorkers(8), std::logic_error);  // mid-sweep
+  // Init sized scratch for 2 workers: worker 1 is usable, worker 2 is not.
+  initialized.RunBlock(0, 0, 1);
+  EXPECT_THROW(initialized.RunBlock(0, 1, 2), std::invalid_argument);
+  initialized.RunBlock(0, 1, 0);
+  initialized.RunBlock(1, 0, 1);
+  initialized.RunBlock(1, 1, 0);
+  for (int stage = 0; stage < 4; ++stage) {
+    if (stage > 0) {
+      for (uint32_t i = 0; i < 2; ++i) {
+        for (uint32_t j = 0; j < 2; ++j) initialized.RunBlock(i, j);
+      }
+    }
+    initialized.EndStage();
+  }
+  initialized.EndSweep();
+
+  initialized.ReserveWorkers(8);  // between sweeps: fine
+  ParallelExecutor executor(8);
+  executor.RunSweep(initialized, plan);  // 8 workers on a 2x2 grid
+  EXPECT_EQ(initialized.topic_counts(),
+            Histogram(initialized.Assignments(), TestConfig().num_topics));
+}
+
+}  // namespace
+}  // namespace warplda
