@@ -30,6 +30,23 @@ inline Corpus MakeShapedCorpus(const std::string& name, double scale,
   return GenerateLdaCorpus(config).corpus;
 }
 
+/// Peak resident set size of this process in bytes, read from
+/// /proc/self/status (VmHWM). Returns 0 where the file or the field is
+/// unavailable (non-Linux), so benches can report it unconditionally.
+/// Benches record this next to snapshot footprints so the perf trajectory
+/// tracks memory, not just throughput.
+inline uint64_t PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  unsigned long long kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return static_cast<uint64_t>(kb) * 1024;
+}
+
 /// Prints a separator + bench header so `for b in bench/*; do $b; done`
 /// output reads as one report.
 inline void PrintHeader(const char* title, const char* paper_ref) {
@@ -75,6 +92,11 @@ class BenchJson {
     Object& Str(const std::string& key, const std::string& value) {
       fields_.emplace_back(key, Quote(value));
       return *this;
+    }
+    /// Byte-count metric (snapshot footprint, peak RSS, …). Same JSON as
+    /// Int; exists so call sites say what the number means.
+    Object& Bytes(const std::string& key, uint64_t value) {
+      return Int(key, static_cast<int64_t>(value));
     }
 
    private:

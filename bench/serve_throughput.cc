@@ -1,10 +1,14 @@
-// Serving throughput of the concurrent inference subsystem: QPS as a
-// function of worker-thread count and of micro-batch size, on a synthetic
+// Serving throughput and memory of the concurrent inference subsystem:
+// QPS as a function of worker-thread count and of micro-batch size, plus
+// snapshot footprint (dense V×K φ̂ vs the tiered sparse layout) and publish
+// latency (full rebuild vs incremental PublishDelta), on a synthetic
 // NYTimes-shaped corpus. The worker sweep is the serving analogue of the
 // paper's Fig 9 scalability study; the batch sweep shows the cache-warmth
-// payoff of grouping requests against one snapshot.
+// payoff of grouping requests against one snapshot; the footprint section
+// tracks the O(V·K) → O(K + nnz) memory claim of the sparse snapshots.
 //
 //   ./serve_throughput [--scale 0.02] [--k 50] [--requests 4000]
+//                      [--footprint-k 400]
 #include <cstdio>
 #include <future>
 #include <thread>
@@ -13,6 +17,7 @@
 #include "bench/bench_common.h"
 #include "core/trainer.h"
 #include "core/warp_lda.h"
+#include "serve/engine.h"
 #include "serve/model_store.h"
 #include "serve/server.h"
 #include "util/flags.h"
@@ -47,16 +52,128 @@ RunResult RunLoad(const warplda::serve::ModelStore& store,
   return RunResult{load.size() / seconds, stats.p50_micros, stats.p99_micros};
 }
 
+// Dense vs tiered-sparse snapshot footprint and full vs delta publish
+// latency at serving-realistic K. Also spot-checks the bit-identity
+// contract end to end on a few documents.
+void RunSnapshotSection(const warplda::Corpus& corpus, uint32_t footprint_k,
+                        warplda::bench::BenchJson& json) {
+  using warplda::serve::ModelSnapshot;
+  using warplda::serve::ModelStore;
+  using warplda::serve::ModelStoreOptions;
+  using warplda::serve::SharedInferenceEngine;
+  using warplda::serve::SnapshotLayout;
+
+  std::printf("\nsnapshot footprint & publish latency (K=%u)\n", footprint_k);
+  warplda::LdaConfig config = warplda::LdaConfig::PaperDefaults(footprint_k);
+  warplda::WarpLdaSampler sampler;
+  warplda::TrainOptions train_options;
+  train_options.iterations = 20;
+  train_options.eval_every = 0;
+  Train(sampler, corpus, config, train_options);
+
+  auto model = sampler.ExportSharedModel();
+  size_t total_nnz = 0;
+  for (warplda::WordId w = 0; w < model->num_words(); ++w) {
+    total_nnz += model->word_topics(w).size();
+  }
+  std::printf("model: V=%u K=%u nnz=%zu (%.1f topics/word)\n",
+              model->num_words(), footprint_k, total_nnz,
+              static_cast<double>(total_nnz) / model->num_words());
+
+  ModelStore dense_store(ModelStoreOptions{.layout = SnapshotLayout::kDense});
+  warplda::Stopwatch dense_watch;
+  auto dense_snapshot = dense_store.Publish(model);
+  const double dense_ms = dense_watch.Millis();
+
+  ModelStore sparse_store;  // tiered sparse is the default layout
+  warplda::Stopwatch full_watch;
+  auto sparse_snapshot = sparse_store.Publish(model);
+  const double full_ms = full_watch.Millis();
+
+  // Steady-state republish: the same model with ~1% of the vocabulary
+  // listed as changed. Publish latency depends only on how many rows are
+  // rebuilt (plus the O(K) tier and the pointer-table copy), so this times
+  // the delta path realistically without needing genuinely moved counts.
+  std::vector<warplda::WordId> small_delta;
+  for (warplda::WordId w = 0; w < model->num_words(); w += 100) {
+    small_delta.push_back(w);
+  }
+  warplda::Stopwatch delta_watch;
+  auto delta_snapshot = sparse_store.PublishDelta(model, small_delta);
+  const double delta_ms = delta_watch.Millis();
+
+  const size_t dense_bytes = dense_snapshot->ApproxBytes();
+  const size_t sparse_bytes = sparse_snapshot->ApproxBytes();
+  std::printf("%-28s %12s %12s\n", "", "bytes", "publish(ms)");
+  std::printf("%-28s %12zu %12.1f\n", "dense VxK snapshot", dense_bytes,
+              dense_ms);
+  std::printf("%-28s %12zu %12.1f\n", "sparse tiered snapshot", sparse_bytes,
+              full_ms);
+  std::printf("%-28s %12zu %12.2f\n", "delta publish (1% words)",
+              delta_snapshot->ApproxBytes(), delta_ms);
+  std::printf("footprint reduction: %.1fx   delta publish speedup: %.1fx\n",
+              static_cast<double>(dense_bytes) / sparse_bytes,
+              full_ms / delta_ms);
+
+  // Bit-identity spot check across the three snapshots.
+  SharedInferenceEngine dense_engine(dense_snapshot);
+  SharedInferenceEngine sparse_engine(sparse_snapshot);
+  SharedInferenceEngine delta_engine(delta_snapshot);
+  bool identical = true;
+  for (warplda::DocId d = 0; d < std::min<warplda::DocId>(corpus.num_docs(), 8);
+       ++d) {
+    auto tokens = corpus.doc_tokens(d);
+    std::vector<warplda::WordId> doc(tokens.begin(), tokens.end());
+    const auto a = dense_engine.InferTheta(doc, d);
+    const auto b = sparse_engine.InferTheta(doc, d);
+    const auto c = delta_engine.InferTheta(doc, d);
+    for (size_t i = 0; i < a.size(); ++i) {
+      identical = identical && a[i] == b[i] && a[i] == c[i];
+    }
+  }
+  std::printf("dense/sparse/delta inference bit-identical: %s\n",
+              identical ? "yes" : "NO — regression!");
+  std::printf("peak RSS: %.1f MB (VmHWM)\n",
+              warplda::bench::PeakRssBytes() / (1024.0 * 1024.0));
+
+  json.AddRow()
+      .Str("sweep", "snapshot")
+      .Str("layout", "dense")
+      .Int("k", footprint_k)
+      .Bytes("snapshot_bytes", dense_bytes)
+      .Num("publish_ms", dense_ms);
+  json.AddRow()
+      .Str("sweep", "snapshot")
+      .Str("layout", "sparse_full")
+      .Int("k", footprint_k)
+      .Bytes("snapshot_bytes", sparse_bytes)
+      .Num("publish_ms", full_ms)
+      .Num("footprint_reduction", static_cast<double>(dense_bytes) /
+                                      sparse_bytes);
+  json.AddRow()
+      .Str("sweep", "snapshot")
+      .Str("layout", "sparse_delta")
+      .Int("k", footprint_k)
+      .Int("changed_words", static_cast<int64_t>(small_delta.size()))
+      .Bytes("snapshot_bytes", delta_snapshot->ApproxBytes())
+      .Num("publish_ms", delta_ms)
+      .Num("delta_speedup", full_ms / delta_ms)
+      .Str("bit_identical", identical ? "yes" : "no");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double scale = 0.02;
   int64_t k = 50;
   int64_t requests = 4000;
+  int64_t footprint_k = 400;
   warplda::FlagSet flags;
   flags.Double("scale", &scale, "corpus scale relative to NYTimes")
       .Int("k", &k, "number of topics")
-      .Int("requests", &requests, "requests per configuration");
+      .Int("requests", &requests, "requests per configuration")
+      .Int("footprint-k", &footprint_k,
+           "topics for the snapshot footprint/publish-latency section");
   if (!flags.Parse(argc, argv)) return 1;
 
   warplda::bench::PrintHeader(
@@ -76,10 +193,10 @@ int main(int argc, char** argv) {
   train_options.eval_every = 0;
   Train(sampler, corpus, config, train_options);
 
-  warplda::serve::ModelStore store;
+  warplda::serve::ModelStore store;  // tiered sparse snapshots (default)
   warplda::Stopwatch publish_watch;
   store.Publish(sampler.ExportSharedModel());
-  std::printf("snapshot publish (eager prebuild): %.1fms\n",
+  std::printf("snapshot publish (eager sparse prebuild): %.1fms\n",
               publish_watch.Millis());
 
   std::vector<std::vector<warplda::WordId>> load;
@@ -127,6 +244,10 @@ int main(int argc, char** argv) {
         .Num("p50_us", r.p50)
         .Num("p99_us", r.p99);
   }
+
+  RunSnapshotSection(corpus, static_cast<uint32_t>(footprint_k), json);
+
+  json.header().Bytes("peak_rss_bytes", warplda::bench::PeakRssBytes());
   json.Write("BENCH_serve_throughput.json");
   return 0;
 }

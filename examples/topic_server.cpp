@@ -8,7 +8,10 @@
 // Scenario 2 (train-while-serve): a StreamingWarpLda keeps learning on a
 // background thread and hot-publishes its running estimate every few
 // mini-batches while the server answers requests without interruption — the
-// RCU snapshot swap means zero downtime and no torn reads.
+// RCU snapshot swap means zero downtime and no torn reads. Republishes go
+// through the incremental path: the trainer exports its changed-word set
+// and ModelStore::PublishDelta rebuilds only those rows, sharing the rest
+// with the previous snapshot.
 //
 //   ./topic_server [--k 20] [--workers 4] [--requests 2000] [--batch 8]
 #include <atomic>
@@ -95,10 +98,14 @@ int main(int argc, char** argv) {
 
   warplda::serve::ModelStore store;
   warplda::Stopwatch publish_watch;
-  store.Publish(sampler.ExportSharedModel());
-  std::printf("published snapshot v%llu in %.1fms (eager alias+phi build)\n",
-              static_cast<unsigned long long>(store.version()),
-              publish_watch.Millis());
+  auto snapshot = store.Publish(sampler.ExportSharedModel());
+  std::printf(
+      "published snapshot v%llu in %.1fms (tiered sparse, %.1f MB resident; "
+      "a dense VxK phi row tier alone would be %.1f MB and grows with K)\n",
+      static_cast<unsigned long long>(store.version()), publish_watch.Millis(),
+      snapshot->ApproxBytes() / (1024.0 * 1024.0),
+      static_cast<double>(snapshot->num_words()) * snapshot->num_topics() *
+          sizeof(double) / (1024.0 * 1024.0));
 
   {
     warplda::serve::InferenceServer server(store, server_options);
@@ -126,15 +133,29 @@ int main(int argc, char** argv) {
   warplda::StreamingWarpLda streaming(synth.vocab_size, stream_options);
 
   // Bootstrap snapshot from the first mini-batches so the server never
-  // waits, then keep learning and publishing in the background.
+  // waits, then keep learning and publishing in the background. After the
+  // bootstrap, every republish is incremental: the trainer reports which
+  // words' rows actually changed and PublishDelta rebuilds only those
+  // (falling back to a compacting full rebuild when almost everything
+  // changed, as in the early epochs here). nullptr: the bootstrap publish
+  // is full anyway, it only needs to advance the delta tracking.
   streaming.ProcessCorpus(data.corpus, 1);
-  live_store.Publish(streaming.ExportSharedModel());
+  live_store.Publish(streaming.ExportSharedModel(nullptr));
 
   std::atomic<bool> training_done{false};
   std::thread trainer([&] {
+    std::vector<warplda::WordId> delta;
     for (int epoch = 0; epoch < 3; ++epoch) {
       streaming.ProcessCorpus(data.corpus, 1);
-      live_store.Publish(streaming.ExportSharedModel());
+      auto model = streaming.ExportSharedModel(&delta);
+      auto snapshot = live_store.PublishDelta(model, delta);
+      // arena_chain() == 1 means the store chose the compacting full
+      // rebuild (e.g. an oversized delta); > 1 means rows were shared.
+      std::printf("  epoch %d: %zu/%u words changed — %s\n", epoch + 1,
+                  delta.size(), static_cast<unsigned>(model->num_words()),
+                  snapshot->arena_chain() > 1
+                      ? "delta-published (unchanged rows shared)"
+                      : "full rebuild (compacted)");
     }
     training_done.store(true);
   });

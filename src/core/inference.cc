@@ -4,39 +4,51 @@
 
 namespace warplda {
 
+void DensePhiTable::Reset(WordId num_words, uint32_t num_topics) {
+  num_topics_ = num_topics;
+  // Uninitialized on purpose — see the phi_ declaration.
+  phi_.reset(new double[static_cast<size_t>(num_words) * num_topics]);
+  built_.assign(num_words, 0);
+  alias_.assign(num_words, AliasTable());
+  count_prob_.assign(num_words, 0.0);
+}
+
+void DensePhiTable::EnsureRow(const TopicModel& model, WordId w,
+                              double beta_bar) {
+  if (built_[w]) return;
+  FillPhiRow(model, w, beta_bar,
+             phi_.get() + static_cast<size_t>(w) * num_topics_);
+  count_prob_[w] = BuildWordProposal(model, w, &alias_[w]);
+  built_[w] = 1;
+}
+
+void DensePhiTable::BuildAll(const TopicModel& model, double beta_bar) {
+  for (WordId w = 0; w < num_words(); ++w) EnsureRow(model, w, beta_bar);
+}
+
+size_t DensePhiTable::MemoryBytes() const {
+  // phi_ is counted at its allocated (virtual) size; lazily used tables may
+  // have committed fewer physical pages.
+  size_t bytes = static_cast<size_t>(num_words()) * num_topics_ *
+                     sizeof(double) +
+                 built_.capacity() * sizeof(uint8_t) +
+                 count_prob_.capacity() * sizeof(double) +
+                 alias_.capacity() * sizeof(AliasTable);
+  for (const AliasTable& table : alias_) bytes += table.HeapBytes();
+  return bytes;
+}
+
 Inferencer::Inferencer(std::shared_ptr<const TopicModel> model,
                        const InferenceOptions& options)
     : model_(std::move(model)), options_(options), rng_(options.seed) {
   beta_bar_ = model_->beta() * model_->num_words();
-  word_alias_.resize(model_->num_words());
-  word_count_prob_.assign(model_->num_words(), 0.0);
-  phi_.resize(model_->num_words());
+  table_.Reset(model_->num_words(), model_->num_topics());
 }
 
 Inferencer::Inferencer(const TopicModel& model, const InferenceOptions& options)
     : Inferencer(std::make_shared<const TopicModel>(model), options) {}
 
-void Inferencer::Prebuild() {
-  for (WordId w = 0; w < model_->num_words(); ++w) {
-    BuildPhiRow(w);
-    WordAlias(w);
-  }
-}
-
-const AliasTable& Inferencer::WordAlias(WordId w) {
-  AliasTable& table = word_alias_[w];
-  if (table.empty()) {
-    word_count_prob_[w] = BuildWordProposal(*model_, w, &table);
-  }
-  return table;
-}
-
-void Inferencer::BuildPhiRow(WordId w) {
-  if (!phi_[w].empty()) return;
-  auto& row = phi_[w];
-  row.resize(model_->num_topics());
-  FillPhiRow(*model_, w, beta_bar_, row.data());
-}
+void Inferencer::Prebuild() { table_.BuildAll(*model_, beta_bar_); }
 
 /// Adapts the lazy caches to the MhInferTheta ModelView contract: Warm()
 /// materializes the φ̂ row and alias table, after which every read is O(1).
@@ -46,19 +58,16 @@ struct Inferencer::LazyView {
   uint32_t num_topics() const { return self.model_->num_topics(); }
   WordId num_words() const { return self.model_->num_words(); }
   double alpha() const { return self.model_->alpha(); }
-  void Warm(WordId w) {
-    self.BuildPhiRow(w);
-    self.WordAlias(w);
-  }
-  double Phi(WordId w, TopicId k) const { return self.phi_[w][k]; }
+  void Warm(WordId w) { self.table_.EnsureRow(*self.model_, w, self.beta_bar_); }
+  double Phi(WordId w, TopicId k) const { return self.table_.row(w)[k]; }
   double QWord(WordId w, TopicId k) const {
     // C_wk + β recovered from the materialized φ̂ row in O(1):
     // φ̂_wk·(C_k+β̄), instead of scanning the sparse model row.
-    return self.phi_[w][k] *
+    return self.table_.row(w)[k] *
            (self.model_->topic_counts()[k] + self.beta_bar_);
   }
-  double word_count_prob(WordId w) const { return self.word_count_prob_[w]; }
-  const AliasTable& word_alias(WordId w) const { return self.word_alias_[w]; }
+  double word_count_prob(WordId w) const { return self.table_.count_prob(w); }
+  const AliasTable& word_alias(WordId w) const { return self.table_.alias(w); }
 };
 
 std::vector<double> Inferencer::InferTheta(std::span<const WordId> words) {

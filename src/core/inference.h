@@ -14,6 +14,64 @@
 
 namespace warplda {
 
+/// Flat-arena store of dense φ̂ rows plus the per-word proposal state
+/// (alias table, count-branch probability).
+///
+/// One V×K allocation with implicit row offsets (row w starts at w·K)
+/// instead of V separate heap-allocated row vectors: no per-word allocation,
+/// no pointer chase to reach a row, and adjacent rows are adjacent in memory.
+/// Rows may be built lazily one word at a time (Inferencer) or eagerly all at
+/// once (the dense serve::ModelSnapshot layout); both paths funnel through
+/// the same FillPhiRow/BuildWordProposal builders, so the smoothing and the
+/// proposal mixture cannot drift between offline and serving inference.
+///
+/// The untouched tail of a lazily used table costs only virtual address
+/// space: pages of `phi_` are not committed until a row is written.
+class DensePhiTable {
+ public:
+  /// Sizes the arena for `num_words` rows of `num_topics` doubles and marks
+  /// every row unbuilt. Invalidates previously returned row/alias pointers.
+  void Reset(WordId num_words, uint32_t num_topics);
+
+  bool row_built(WordId w) const { return built_[w] != 0; }
+
+  /// Builds word w's φ̂ row and proposal alias if not yet built. Idempotent.
+  void EnsureRow(const TopicModel& model, WordId w, double beta_bar);
+
+  /// Builds every row eagerly (the publish-time prebuild).
+  void BuildAll(const TopicModel& model, double beta_bar);
+
+  /// Row w's dense φ̂ (length num_topics). Valid after EnsureRow/BuildAll;
+  /// stable until the next Reset.
+  const double* row(WordId w) const {
+    return phi_.get() + static_cast<size_t>(w) * num_topics_;
+  }
+
+  /// Probability that word w's proposal uses the count mass (alias branch).
+  double count_prob(WordId w) const { return count_prob_[w]; }
+
+  /// Prebuilt alias table over the count mass of q_word for word w. The
+  /// reference is stable until the next Reset.
+  const AliasTable& alias(WordId w) const { return alias_[w]; }
+
+  WordId num_words() const { return static_cast<WordId>(built_.size()); }
+  uint32_t num_topics() const { return num_topics_; }
+
+  /// Heap footprint of the arena and its alias tables, in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  uint32_t num_topics_ = 0;
+  /// V×K flat, row w at offset w·K. Deliberately uninitialized storage
+  /// (not a zero-filled vector): a row's bytes are first touched by
+  /// EnsureRow, so unbuilt rows never commit physical pages. `built_`
+  /// gates every read.
+  std::unique_ptr<double[]> phi_;
+  std::vector<uint8_t> built_;    // per row: has EnsureRow run?
+  std::vector<AliasTable> alias_;
+  std::vector<double> count_prob_;
+};
+
 /// Folds unseen documents into a trained model using WarpLDA's O(1)
 /// Metropolis-Hastings machinery with the topics held fixed: proposals come
 /// from q_word ∝ C_wk+β (a per-word alias table, built lazily and cached)
@@ -66,16 +124,11 @@ class Inferencer {
   /// ModelView over the lazy caches for the shared MhInferTheta sweep.
   struct LazyView;
 
-  const AliasTable& WordAlias(WordId w);
-  void BuildPhiRow(WordId w);
-
   std::shared_ptr<const TopicModel> model_;
   InferenceOptions options_;
   Rng rng_;
   double beta_bar_ = 0.0;
-  std::vector<AliasTable> word_alias_;    // lazy, one per seen word
-  std::vector<double> word_count_prob_;   // P(alias branch) per word
-  std::vector<std::vector<double>> phi_;  // lazy dense φ̂ rows
+  DensePhiTable table_;  // lazy flat-arena φ̂ + proposal caches
 };
 
 }  // namespace warplda

@@ -57,7 +57,11 @@ inline double BuildWordProposal(const TopicModel& model, WordId w,
 /// and serve::SharedInferenceEngine (concurrent, immutable snapshot).
 ///
 /// ModelView supplies the model reads; after Warm(w) has been called for a
-/// word, every accessor must be O(1):
+/// word, every accessor must be cheap: O(1) for dense views (Inferencer's
+/// flat φ̂ arena, the dense ModelSnapshot layout), or a short-span lookup
+/// over the word's nnz topics for the tiered sparse ModelSnapshot layout —
+/// never a scan proportional to K or to the corpus. The alias-table branch
+/// of the word proposal is O(1) on every view.
 ///   uint32_t num_topics();  WordId num_words();  double alpha();
 ///   void Warm(WordId w);                  // build/verify caches (may no-op)
 ///   double Phi(WordId w, TopicId k);      // φ̂_wk

@@ -221,4 +221,9 @@ TopicModel StreamingWarpLda::ExportModel() const {
                     options_.alpha, options_.beta);
 }
 
+std::shared_ptr<const TopicModel> StreamingWarpLda::ExportSharedModel(
+    std::vector<WordId>* changed_words) {
+  return TrackExportDelta(ExportSharedModel(), &last_export_, changed_words);
+}
+
 }  // namespace warplda

@@ -66,6 +66,16 @@ class StreamingWarpLda {
     return std::make_shared<const TopicModel>(ExportModel());
   }
 
+  /// As above, and additionally reports which words' rounded count rows
+  /// differ from the previous call to this overload (every word on the
+  /// first call) — the changed-word set for
+  /// serve::ModelStore::PublishDelta. The M-step rescales every λ row, but
+  /// rounding absorbs sub-half-count drift, so steady-state deltas list
+  /// only the words whose counts actually moved. Tracks the last export
+  /// internally; `changed_words` may be null to only advance that tracking.
+  std::shared_ptr<const TopicModel> ExportSharedModel(
+      std::vector<WordId>* changed_words);
+
   /// Number of batches processed so far.
   uint64_t batches_seen() const { return batches_seen_; }
 
@@ -96,6 +106,9 @@ class StreamingWarpLda {
   std::vector<double> alias_count_prob_;
   uint64_t batches_seen_ = 0;
   uint64_t docs_seen_ = 0;
+  /// Model returned by the last ExportSharedModel(changed_words) call; the
+  /// diff base for incremental publishing.
+  std::shared_ptr<const TopicModel> last_export_;
 };
 
 }  // namespace warplda

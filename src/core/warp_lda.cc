@@ -69,6 +69,11 @@ std::shared_ptr<const TopicModel> WarpLdaSampler::ExportSharedModel() const {
                                             config_.beta);
 }
 
+std::shared_ptr<const TopicModel> WarpLdaSampler::ExportSharedModel(
+    std::vector<WordId>* changed_words) {
+  return TrackExportDelta(ExportSharedModel(), &last_export_, changed_words);
+}
+
 void WarpLdaSampler::SetAssignments(const std::vector<TopicId>& assignments) {
   if (grid_.open) {
     throw std::logic_error(

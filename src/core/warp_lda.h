@@ -100,6 +100,15 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   /// Same name and contract as StreamingWarpLda::ExportSharedModel().
   std::shared_ptr<const TopicModel> ExportSharedModel() const;
 
+  /// As above, and additionally reports which words' sparse rows differ
+  /// from the model returned by the previous call to this overload (every
+  /// word on the first call) — exactly the changed-word set
+  /// serve::ModelStore::PublishDelta needs, so the trainer→server publish
+  /// loop can republish incrementally. Tracks the last export internally;
+  /// `changed_words` may be null to only advance that tracking.
+  std::shared_ptr<const TopicModel> ExportSharedModel(
+      std::vector<WordId>* changed_words);
+
  private:
   struct ThreadScratch {
     HashCount counts;
@@ -214,6 +223,10 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   LdaConfig config_;
   double alpha_bar_ = 0.0;
   double beta_bar_ = 0.0;
+
+  /// Model returned by the last ExportSharedModel(changed_words) call; the
+  /// diff base for incremental publishing.
+  std::shared_ptr<const TopicModel> last_export_;
 
   SparseMatrix<TopicId> matrix_;    // z, CSC order
   std::vector<TopicId> proposals_;  // M per token, CSC order

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <numeric>
 
 #include "util/hash_count.h"
 
@@ -40,6 +41,16 @@ double TopicModel::Phi(WordId w, TopicId k) const {
     }
   }
   return (cwk + beta_) / (ck_[k] + beta_bar);
+}
+
+std::vector<WordId> TopicModel::ChangedWords(const TopicModel& base) const {
+  std::vector<WordId> changed;
+  for (WordId w = 0; w < num_words(); ++w) {
+    if (w >= base.num_words() || rows_[w] != base.rows_[w]) {
+      changed.push_back(w);
+    }
+  }
+  return changed;
 }
 
 std::vector<std::pair<WordId, int32_t>> TopicModel::TopWords(
@@ -138,6 +149,10 @@ bool TopicModel::Load(const std::string& path, std::string* error) {
         return false;
       }
     }
+    // Ascending topic order is a class invariant (the sparse serving
+    // snapshot binary-searches rows); Save() writes sorted rows, but don't
+    // trust externally produced files.
+    std::sort(rows_[w].begin(), rows_[w].end());
   }
   ck_.assign(num_topics_, 0);
   for (auto& c : ck_) {
@@ -152,6 +167,22 @@ bool TopicModel::Load(const std::string& path, std::string* error) {
 bool TopicModel::operator==(const TopicModel& other) const {
   return num_topics_ == other.num_topics_ && alpha_ == other.alpha_ &&
          beta_ == other.beta_ && rows_ == other.rows_ && ck_ == other.ck_;
+}
+
+std::shared_ptr<const TopicModel> TrackExportDelta(
+    std::shared_ptr<const TopicModel> model,
+    std::shared_ptr<const TopicModel>* last_export,
+    std::vector<WordId>* changed_words) {
+  if (changed_words != nullptr) {
+    if (*last_export == nullptr) {
+      changed_words->resize(model->num_words());
+      std::iota(changed_words->begin(), changed_words->end(), 0);
+    } else {
+      *changed_words = model->ChangedWords(**last_export);
+    }
+  }
+  *last_export = model;
+  return model;
 }
 
 }  // namespace warplda

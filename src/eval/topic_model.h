@@ -2,6 +2,7 @@
 #define WARPLDA_EVAL_TOPIC_MODEL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,13 @@ class TopicModel {
   /// Smoothed topic-word probability φ̂_wk = (C_wk + β)/(C_k + β̄), Eq. (4).
   double Phi(WordId w, TopicId k) const;
 
+  /// Words whose sparse rows differ from `base`'s — the changed-word set an
+  /// incremental publish (serve::ModelStore::PublishDelta) must rebuild.
+  /// Words with id >= base.num_words() count as changed; words that exist
+  /// only in `base` are not reported (the publish layer falls back to a full
+  /// rebuild on vocabulary shrinkage). Sorted ascending; O(total nnz).
+  std::vector<WordId> ChangedWords(const TopicModel& base) const;
+
   /// Top `n` words of topic k by count (ties broken by word id).
   std::vector<std::pair<WordId, int32_t>> TopWords(TopicId k, uint32_t n) const;
 
@@ -59,6 +67,17 @@ class TopicModel {
   std::vector<std::vector<std::pair<TopicId, int32_t>>> rows_;  // per word
   std::vector<int64_t> ck_;
 };
+
+/// Shared body of the trainers' ExportSharedModel(changed_words) overloads:
+/// fills `changed_words` (when non-null) with `model`'s diff against
+/// `*last_export` — every word on the first export — then advances
+/// `*last_export` to `model` and returns it. Keeping this in one place
+/// keeps WarpLdaSampler's and StreamingWarpLda's delta contracts in
+/// lockstep.
+std::shared_ptr<const TopicModel> TrackExportDelta(
+    std::shared_ptr<const TopicModel> model,
+    std::shared_ptr<const TopicModel>* last_export,
+    std::vector<WordId>* changed_words);
 
 }  // namespace warplda
 

@@ -10,7 +10,11 @@ namespace warplda::serve {
 namespace {
 
 /// Adapts the immutable snapshot to the MhInferTheta ModelView contract.
-/// Everything is prebuilt, so Warm() is a no-op and all reads are O(1).
+/// Everything is prebuilt, so Warm() is a no-op. Reads are O(1) on the dense
+/// layout and floor + short-span search on the tiered sparse layout; the
+/// alias branch of the word proposal (the hot common case) is O(1) on both
+/// and never touches φ̂. The two layouts return bit-identical values, so the
+/// engine's pure-function contract is layout-independent.
 struct SnapshotView {
   const ModelSnapshot& snap;
 

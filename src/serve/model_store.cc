@@ -1,49 +1,194 @@
 #include "serve/model_store.h"
 
+#include <algorithm>
+#include <numeric>
 #include <utility>
 
 #include "core/mh_sweep.h"
 
 namespace warplda::serve {
 
+size_t ModelSnapshot::CorrectionArena::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + topics.capacity() * sizeof(TopicId) +
+                 values.capacity() * sizeof(double) +
+                 alias.capacity() * sizeof(AliasTable);
+  for (const AliasTable& table : alias) bytes += table.HeapBytes();
+  return bytes;
+}
+
 ModelSnapshot::ModelSnapshot(std::shared_ptr<const TopicModel> model,
+                             uint64_t version, SnapshotLayout layout)
+    : model_(std::move(model)),
+      version_(version),
+      layout_(layout),
+      num_topics_(model_->num_topics()),
+      num_words_(model_->num_words()) {
+  BuildTopicTier();
+  if (layout_ == SnapshotLayout::kDense) {
+    // Dense φ̂ rows and q_word proposals via the same flat-arena builder the
+    // lazy Inferencer uses (DensePhiTable), so smoothing cannot drift.
+    dense_.Reset(num_words_, num_topics_);
+    dense_.BuildAll(*model_, model_->beta() * num_words_);
+    word_alias_ptr_.assign(num_words_, nullptr);
+    word_count_prob_.assign(num_words_, 0.0);
+    for (WordId w = 0; w < num_words_; ++w) {
+      word_alias_ptr_[w] = &dense_.alias(w);
+      word_count_prob_[w] = dense_.count_prob(w);
+    }
+    return;
+  }
+  spans_.assign(num_words_, Span());
+  word_alias_ptr_.assign(num_words_, nullptr);
+  word_count_prob_.assign(num_words_, 0.0);
+  std::vector<WordId> all_words(num_words_);
+  std::iota(all_words.begin(), all_words.end(), 0);
+  BuildArenaRows(all_words);
+}
+
+ModelSnapshot::ModelSnapshot(std::shared_ptr<const TopicModel> model,
+                             const ModelSnapshot& base,
+                             std::span<const WordId> changed_words,
                              uint64_t version)
     : model_(std::move(model)),
       version_(version),
+      layout_(SnapshotLayout::kSparseTiered),
       num_topics_(model_->num_topics()),
       num_words_(model_->num_words()) {
+  // The O(K) tier is always fresh; everything per-word starts as a shared
+  // reference to the base snapshot's state and only the changed rows are
+  // repointed at the new arena below.
+  BuildTopicTier();
+  spans_ = base.spans_;
+  arenas_ = base.arenas_;
+  word_alias_ptr_ = base.word_alias_ptr_;
+  word_count_prob_ = base.word_count_prob_;
+
+  std::vector<WordId> rebuilt(changed_words.begin(), changed_words.end());
+  std::sort(rebuilt.begin(), rebuilt.end());
+  rebuilt.erase(std::unique(rebuilt.begin(), rebuilt.end()), rebuilt.end());
+  rebuilt.erase(
+      std::partition_point(rebuilt.begin(), rebuilt.end(),
+                           [this](WordId w) { return w < num_words_; }),
+      rebuilt.end());
+  BuildArenaRows(rebuilt);
+}
+
+void ModelSnapshot::BuildTopicTier() {
   const double beta = model_->beta();
   const double beta_bar = beta * num_words_;
-
   topic_denom_.resize(num_topics_);
   for (uint32_t k = 0; k < num_topics_; ++k) {
     topic_denom_[k] = model_->topic_counts()[k] + beta_bar;
   }
-
-  // Dense φ̂ rows and q_word proposals via the same builders the lazy
-  // Inferencer caches use (core/mh_sweep.h), so smoothing cannot drift.
-  phi_.assign(static_cast<size_t>(num_words_) * num_topics_, 0.0);
-  word_alias_.resize(num_words_);
-  word_count_prob_.assign(num_words_, 0.0);
-  for (WordId w = 0; w < num_words_; ++w) {
-    FillPhiRow(*model_, w, beta_bar,
-               phi_.data() + static_cast<size_t>(w) * num_topics_);
-    word_count_prob_[w] = BuildWordProposal(*model_, w, &word_alias_[w]);
+  if (layout_ == SnapshotLayout::kSparseTiered) {
+    floor_.resize(num_topics_);
+    for (uint32_t k = 0; k < num_topics_; ++k) {
+      // Identical operands and operations as FillPhiRow's floor entries, so
+      // the sparse lookup is bit-identical to the dense row.
+      floor_[k] = beta / topic_denom_[k];
+    }
   }
+}
+
+void ModelSnapshot::BuildArenaRows(std::span<const WordId> words) {
+  // An empty delta (republish with nothing changed) shares everything with
+  // the base and must not grow the arena chain.
+  if (words.empty() && !arenas_.empty()) return;
+  auto arena = std::make_shared<CorrectionArena>();
+  size_t total_nnz = 0;
+  for (WordId w : words) total_nnz += model_->word_topics(w).size();
+  arena->topics.reserve(total_nnz);
+  arena->values.reserve(total_nnz);
+  arena->alias.resize(words.size());
+
+  const double beta = model_->beta();
+  std::vector<size_t> offsets;
+  offsets.reserve(words.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    const WordId w = words[i];
+    offsets.push_back(arena->topics.size());
+    // TopicModel rows are sorted by topic, which is what FindTopic requires.
+    for (const auto& [k, c] : model_->word_topics(w)) {
+      arena->topics.push_back(k);
+      arena->values.push_back(c + beta);  // same sum FillPhiRow forms
+    }
+    word_count_prob_[w] = BuildWordProposal(*model_, w, &arena->alias[i]);
+  }
+
+  // Pointers are taken only now, when no arena vector can move again.
+  for (size_t i = 0; i < words.size(); ++i) {
+    const WordId w = words[i];
+    const size_t begin = offsets[i];
+    const size_t end =
+        i + 1 < words.size() ? offsets[i + 1] : arena->topics.size();
+    spans_[w] = Span{arena->topics.data() + begin, arena->values.data() + begin,
+                     static_cast<uint32_t>(end - begin)};
+    word_alias_ptr_[w] = &arena->alias[i];
+  }
+  arenas_.push_back(std::move(arena));
+}
+
+size_t ModelSnapshot::ApproxBytes() const {
+  size_t bytes = sizeof(*this) + topic_denom_.capacity() * sizeof(double) +
+                 floor_.capacity() * sizeof(double) +
+                 spans_.capacity() * sizeof(Span) +
+                 word_alias_ptr_.capacity() * sizeof(const AliasTable*) +
+                 word_count_prob_.capacity() * sizeof(double);
+  for (const auto& arena : arenas_) bytes += arena->MemoryBytes();
+  if (layout_ == SnapshotLayout::kDense) bytes += dense_.MemoryBytes();
+  return bytes;
+}
+
+bool ModelStore::Swap(const std::shared_ptr<ModelSnapshot>& snapshot,
+                      const ModelSnapshot* expected_base) {
+  // The version is stamped at swap time — while the publisher still holds
+  // the only reference — so the last swap to land carries the highest
+  // version even when publishers race, and version() never runs ahead of
+  // Current().
+  std::lock_guard<std::mutex> lock(swap_mutex_);
+  if (expected_base != nullptr && current_.get() != expected_base) {
+    return false;
+  }
+  snapshot->version_ = version_.load(std::memory_order_relaxed) + 1;
+  current_ = snapshot;
+  version_.fetch_add(1, std::memory_order_release);
+  return true;
 }
 
 std::shared_ptr<const ModelSnapshot> ModelStore::Publish(
     std::shared_ptr<const TopicModel> model) {
-  // The O(V·K) prebuild happens outside the lock; the version is stamped at
-  // swap time — while this thread still holds the only reference — so the
-  // last swap to land carries the highest version even when publishers race,
-  // and version() never runs ahead of Current().
-  auto snapshot = std::make_shared<ModelSnapshot>(std::move(model));
-  std::lock_guard<std::mutex> lock(swap_mutex_);
-  snapshot->version_ = version_.load(std::memory_order_relaxed) + 1;
-  current_ = snapshot;
-  version_.fetch_add(1, std::memory_order_release);
-  return current_;
+  // The O(nnz + K) (sparse) or O(V·K) (dense) prebuild happens outside the
+  // lock; only the pointer swap is serialized.
+  auto snapshot = std::make_shared<ModelSnapshot>(std::move(model),
+                                                  /*version=*/0,
+                                                  options_.layout);
+  Swap(snapshot, /*expected_base=*/nullptr);
+  return snapshot;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelStore::PublishDelta(
+    std::shared_ptr<const TopicModel> model,
+    std::span<const WordId> changed_words) {
+  const std::shared_ptr<const ModelSnapshot> base = Current();
+  const bool delta_applicable =
+      base != nullptr && options_.layout == SnapshotLayout::kSparseTiered &&
+      base->layout() == SnapshotLayout::kSparseTiered &&
+      base->num_words() == model->num_words() &&
+      base->num_topics() == model->num_topics() &&
+      base->beta() == model->beta() &&
+      base->arena_chain() < options_.max_arena_chain &&
+      // changed_words.size() may overcount (duplicates are allowed) — fine
+      // for a heuristic whose only effect is choosing the compacting path.
+      static_cast<double>(changed_words.size()) <=
+          options_.max_delta_fraction * model->num_words();
+  if (!delta_applicable) return Publish(std::move(model));
+
+  auto snapshot = std::make_shared<ModelSnapshot>(model, *base, changed_words);
+  if (Swap(snapshot, base.get())) return snapshot;
+  // A concurrent publisher swapped the base out mid-build: the rows shared
+  // from `base` may not match the published lineage anymore, so fall back
+  // to a full rebuild against the authoritative model.
+  return Publish(std::move(model));
 }
 
 }  // namespace warplda::serve

@@ -1,6 +1,7 @@
 #ifndef WARPLDA_UTIL_ALIAS_TABLE_H_
 #define WARPLDA_UTIL_ALIAS_TABLE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -47,6 +48,14 @@ class AliasTable {
 
   /// True until the first Build call.
   bool empty() const { return prob_.empty(); }
+
+  /// Heap footprint of the table's bins, in bytes (excludes sizeof(*this)).
+  /// Used by the serving layer's snapshot-memory accounting.
+  size_t HeapBytes() const {
+    return prob_.capacity() * sizeof(double) +
+           alias_.capacity() * sizeof(uint32_t) +
+           outcomes_.capacity() * sizeof(uint32_t);
+  }
 
  private:
   uint32_t Outcome(uint32_t bin) const {
