@@ -11,12 +11,22 @@
 // RCU snapshot swap means zero downtime and no torn reads. Republishes go
 // through the incremental path: the trainer exports its changed-word set
 // and ModelStore::PublishDelta rebuilds only those rows, sharing the rest
-// with the previous snapshot.
+// with the previous snapshot. With --ckpt-dir set, every publish is also
+// made durable: the store checkpoints the model chain (one base + small
+// per-publish deltas — the on-disk mirror of the delta publish) and the
+// streaming trainer persists its online state, both crash-safely.
+//
+// Scenario 3 (recover, --ckpt-dir only): simulates the restart after a
+// crash — a fresh ModelStore restores the delta chain and serves
+// immediately at the checkpointed version, and a fresh StreamingWarpLda
+// reloads its state and keeps learning where the dead process stopped.
 //
 //   ./topic_server [--k 20] [--workers 4] [--requests 2000] [--batch 8]
+//                  [--ckpt-dir DIR]
 #include <atomic>
 #include <cstdio>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -59,11 +69,15 @@ int main(int argc, char** argv) {
   int64_t workers = 4;
   int64_t requests = 2000;
   int64_t batch = 8;
+  std::string ckpt_dir;
   warplda::FlagSet flags;
   flags.Int("k", &k, "number of topics")
       .Int("workers", &workers, "inference worker threads")
       .Int("requests", &requests, "requests per scenario")
-      .Int("batch", &batch, "micro-batch size per worker pass");
+      .Int("batch", &batch, "micro-batch size per worker pass")
+      .String("ckpt-dir", &ckpt_dir,
+              "directory for crash-safe serving/trainer checkpoints "
+              "(empty = durability off)");
   if (!flags.Parse(argc, argv)) return 1;
 
   warplda::SyntheticConfig synth;
@@ -156,6 +170,17 @@ int main(int argc, char** argv) {
                   snapshot->arena_chain() > 1
                       ? "delta-published (unchanged rows shared)"
                       : "full rebuild (compacted)");
+      if (!ckpt_dir.empty()) {
+        // Durability rides along with every publish: the model chain on
+        // disk (first call a full base, then per-publish deltas) and the
+        // trainer's online state, each written atomically — a kill between
+        // any two lines here loses at most one publish.
+        std::string error;
+        if (!live_store.CheckpointTo(ckpt_dir, &error) ||
+            !streaming.SaveState(ckpt_dir + "/streaming.state", &error)) {
+          std::printf("  checkpoint failed: %s\n", error.c_str());
+        }
+      }
     }
     training_done.store(true);
   });
@@ -189,6 +214,49 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(min_version),
                 static_cast<unsigned long long>(max_version),
                 static_cast<unsigned long long>(live_store.version()));
+  }
+
+  // --------------------------------- 3. recover after a simulated crash ---
+  if (!ckpt_dir.empty()) {
+    std::printf("\n[3] recover from %s (fresh store + fresh trainer)\n",
+                ckpt_dir.c_str());
+    std::string error;
+    warplda::serve::ModelStore recovered_store;
+    if (!recovered_store.RestoreFrom(ckpt_dir, &error)) {
+      std::printf("restore failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf(
+        "restored serving snapshot v%llu from the base+delta chain\n",
+        static_cast<unsigned long long>(recovered_store.version()));
+    {
+      warplda::serve::InferenceServer server(recovered_store, server_options);
+      std::vector<std::future<warplda::serve::InferenceResult>> futures;
+      for (size_t i = 0; i < 256; ++i) {
+        futures.push_back(server.Submit(load[i % load.size()], i));
+      }
+      for (auto& future : futures) future.get();
+      PrintStats("serve (restored)", server.Stats());
+    }
+
+    warplda::StreamingWarpLda recovered_trainer(synth.vocab_size,
+                                                stream_options);
+    if (!recovered_trainer.LoadState(ckpt_dir + "/streaming.state", &error)) {
+      std::printf("trainer restore failed: %s\n", error.c_str());
+      return 1;
+    }
+    recovered_trainer.ProcessCorpus(data.corpus, 1);
+    // First post-restore export reports every word as changed (the delta
+    // base died with the old process), so this publish compacts to a full
+    // rebuild — subsequent ones are incremental again.
+    std::vector<warplda::WordId> delta;
+    auto model = recovered_trainer.ExportSharedModel(&delta);
+    recovered_store.PublishDelta(model, delta);
+    std::printf(
+        "streaming trainer resumed at batch %llu and published v%llu — "
+        "training continues where the dead process stopped\n",
+        static_cast<unsigned long long>(recovered_trainer.batches_seen()),
+        static_cast<unsigned long long>(recovered_store.version()));
   }
   return 0;
 }

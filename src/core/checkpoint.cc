@@ -1,71 +1,231 @@
 #include "core/checkpoint.h"
 
-#include <fstream>
+#include <cmath>
+#include <cstdint>
+
+#include "util/checkpoint_io.h"
 
 namespace warplda {
 
 namespace {
-constexpr uint64_t kMagic = 0x57415250'434B5031ULL;  // "WARPCKP1"
 
-template <typename T>
-void Put(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-template <typename T>
-bool Get(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
+// Structural sanity caps. Generous (the paper's largest run is K = 10^4,
+// M = 16) — their job is to reject nonsense from corrupt files with a clear
+// message, not to constrain real configurations.
+constexpr uint32_t kMaxTopics = 1u << 24;
+constexpr uint32_t kMaxMhSteps = 1u << 12;
+
 bool Fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
   return false;
 }
+
+bool FinitePositive(double v) { return std::isfinite(v) && v > 0.0; }
+
+void PutConfig(PayloadWriter& out, const LdaConfig& config) {
+  out.Put(config.num_topics);
+  out.Put(config.mh_steps);
+  out.Put(config.seed);
+  out.Put(config.alpha);
+  out.Put(config.beta);
+  out.PutVec(config.alpha_vector);
+}
+
+/// Parses and validates an LdaConfig: rejects non-finite or non-positive
+/// priors and a zero MH chain length at load time, before they can poison
+/// sampling (a NaN alpha silently corrupts every acceptance ratio; an
+/// mh_steps of 0 indexes nothing and draws nothing).
+bool GetConfig(PayloadReader& in, LdaConfig* config, const std::string& path,
+               std::string* error) {
+  if (!in.Get(&config->num_topics) || !in.Get(&config->mh_steps) ||
+      !in.Get(&config->seed) || !in.Get(&config->alpha) ||
+      !in.Get(&config->beta) ||
+      !in.GetVec(&config->alpha_vector, kMaxTopics)) {
+    return Fail(error, path + ": truncated config");
+  }
+  if (config->num_topics == 0 || config->num_topics > kMaxTopics) {
+    return Fail(error, path + ": num_topics " +
+                           std::to_string(config->num_topics) +
+                           " out of range [1, " + std::to_string(kMaxTopics) +
+                           "]");
+  }
+  if (config->mh_steps == 0 || config->mh_steps > kMaxMhSteps) {
+    return Fail(error, path + ": mh_steps " +
+                           std::to_string(config->mh_steps) +
+                           " out of range [1, " +
+                           std::to_string(kMaxMhSteps) + "]");
+  }
+  if (!FinitePositive(config->alpha)) {
+    return Fail(error, path + ": alpha " + std::to_string(config->alpha) +
+                           " is not finite and positive");
+  }
+  if (!FinitePositive(config->beta)) {
+    return Fail(error, path + ": beta " + std::to_string(config->beta) +
+                           " is not finite and positive");
+  }
+  if (!config->alpha_vector.empty()) {
+    if (config->alpha_vector.size() != config->num_topics) {
+      return Fail(error, path + ": alpha_vector has " +
+                             std::to_string(config->alpha_vector.size()) +
+                             " entries for " +
+                             std::to_string(config->num_topics) + " topics");
+    }
+    for (double a : config->alpha_vector) {
+      if (!FinitePositive(a)) {
+        return Fail(error,
+                    path + ": alpha_vector entry is not finite and positive");
+      }
+    }
+  }
+  return true;
+}
+
+bool TopicsInRange(const std::vector<TopicId>& topics, uint32_t num_topics) {
+  for (TopicId z : topics) {
+    if (z >= num_topics) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool SaveCheckpoint(const TrainingCheckpoint& checkpoint,
                     const std::string& path, std::string* error) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Fail(error, "cannot open " + path + " for writing");
-  Put(out, kMagic);
-  Put(out, checkpoint.config.num_topics);
-  Put(out, checkpoint.config.alpha);
-  Put(out, checkpoint.config.beta);
-  Put(out, checkpoint.config.mh_steps);
-  Put(out, checkpoint.config.seed);
-  Put(out, checkpoint.iteration);
-  Put(out, static_cast<uint64_t>(checkpoint.assignments.size()));
-  out.write(reinterpret_cast<const char*>(checkpoint.assignments.data()),
-            static_cast<std::streamsize>(checkpoint.assignments.size() *
-                                         sizeof(TopicId)));
-  if (!out.good()) return Fail(error, "write error on " + path);
-  return true;
+  PayloadWriter out;
+  PutConfig(out, checkpoint.config);
+  out.Put(checkpoint.iteration);
+  out.PutVec(checkpoint.assignments);
+  return WriteFrame(path, FrameKind::kTrainingCheckpoint, out.bytes(), error);
 }
 
 bool LoadCheckpoint(const std::string& path, TrainingCheckpoint* checkpoint,
                     std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Fail(error, "cannot open " + path);
-  uint64_t magic = 0;
-  if (!Get(in, &magic) || magic != kMagic) {
-    return Fail(error, path + ": bad magic");
+  std::vector<uint8_t> payload;
+  if (!ReadFrame(path, FrameKind::kTrainingCheckpoint, &payload, error)) {
+    return false;
   }
-  uint64_t count = 0;
-  if (!Get(in, &checkpoint->config.num_topics) ||
-      !Get(in, &checkpoint->config.alpha) ||
-      !Get(in, &checkpoint->config.beta) ||
-      !Get(in, &checkpoint->config.mh_steps) ||
-      !Get(in, &checkpoint->config.seed) ||
-      !Get(in, &checkpoint->iteration) || !Get(in, &count)) {
-    return Fail(error, path + ": truncated header");
+  PayloadReader in(payload);
+  if (!GetConfig(in, &checkpoint->config, path, error)) return false;
+  if (!in.Get(&checkpoint->iteration) ||
+      // GetVec bounds the stored count against the remaining payload before
+      // resizing, so a corrupt count cannot provoke a huge allocation.
+      !in.GetVec(&checkpoint->assignments)) {
+    return Fail(error, path + ": truncated assignments");
   }
-  checkpoint->assignments.resize(count);
-  in.read(reinterpret_cast<char*>(checkpoint->assignments.data()),
-          static_cast<std::streamsize>(count * sizeof(TopicId)));
-  if (!in.good()) return Fail(error, path + ": truncated assignments");
-  for (TopicId z : checkpoint->assignments) {
-    if (z >= checkpoint->config.num_topics) {
-      return Fail(error, path + ": assignment out of range");
+  if (!in.exhausted()) {
+    return Fail(error, path + ": trailing bytes after assignments");
+  }
+  if (!TopicsInRange(checkpoint->assignments,
+                     checkpoint->config.num_topics)) {
+    return Fail(error, path + ": assignment out of range");
+  }
+  return true;
+}
+
+bool SaveSweepCheckpoint(const SweepCheckpoint& checkpoint,
+                         const std::string& path, std::string* error) {
+  PayloadWriter out;
+  PutConfig(out, checkpoint.config);
+  out.Put(checkpoint.iteration);
+  out.Put(static_cast<uint32_t>(checkpoint.next_stage));
+  out.Put(checkpoint.phase_epoch);
+  out.Put(checkpoint.base_word);
+  out.Put(checkpoint.base_doc);
+  out.Put(checkpoint.plan.num_doc_blocks);
+  out.Put(checkpoint.plan.num_word_blocks);
+  out.PutVec(checkpoint.plan.doc_block);
+  out.PutVec(checkpoint.plan.word_block);
+  out.PutVec(checkpoint.ck_fixed);
+  out.PutVec(checkpoint.assignments);
+  out.PutVec(checkpoint.proposals);
+  return WriteFrame(path, FrameKind::kSweepCheckpoint, out.bytes(), error);
+}
+
+bool LoadSweepCheckpoint(const std::string& path, SweepCheckpoint* checkpoint,
+                         std::string* error) {
+  std::vector<uint8_t> payload;
+  if (!ReadFrame(path, FrameKind::kSweepCheckpoint, &payload, error)) {
+    return false;
+  }
+  PayloadReader in(payload);
+  if (!GetConfig(in, &checkpoint->config, path, error)) return false;
+
+  uint32_t stage = 0;
+  if (!in.Get(&checkpoint->iteration) || !in.Get(&stage) ||
+      !in.Get(&checkpoint->phase_epoch) || !in.Get(&checkpoint->base_word) ||
+      !in.Get(&checkpoint->base_doc)) {
+    return Fail(error, path + ": truncated sweep header");
+  }
+  if (stage >= static_cast<uint32_t>(SweepStage::kDone)) {
+    return Fail(error, path + ": invalid sweep stage " +
+                           std::to_string(stage));
+  }
+  checkpoint->next_stage = static_cast<SweepStage>(stage);
+
+  SweepPlan& plan = checkpoint->plan;
+  if (!in.Get(&plan.num_doc_blocks) || !in.Get(&plan.num_word_blocks) ||
+      !in.GetVec(&plan.doc_block) || !in.GetVec(&plan.word_block)) {
+    return Fail(error, path + ": truncated sweep plan");
+  }
+  if (plan.num_doc_blocks == 0 || plan.num_word_blocks == 0) {
+    return Fail(error, path + ": sweep plan with zero blocks");
+  }
+  if (plan.doc_block.empty() && plan.num_doc_blocks != 1) {
+    return Fail(error, path + ": sweep plan doc blocks without a doc map");
+  }
+  if (plan.word_block.empty() && plan.num_word_blocks != 1) {
+    return Fail(error, path + ": sweep plan word blocks without a word map");
+  }
+  for (uint32_t b : plan.doc_block) {
+    if (b >= plan.num_doc_blocks) {
+      return Fail(error, path + ": doc block id out of range");
     }
+  }
+  for (uint32_t b : plan.word_block) {
+    if (b >= plan.num_word_blocks) {
+      return Fail(error, path + ": word block id out of range");
+    }
+  }
+
+  if (!in.GetVec(&checkpoint->ck_fixed, kMaxTopics) ||
+      !in.GetVec(&checkpoint->assignments) ||
+      !in.GetVec(&checkpoint->proposals)) {
+    return Fail(error, path + ": truncated sweep state");
+  }
+  if (!in.exhausted()) {
+    return Fail(error, path + ": trailing bytes after sweep state");
+  }
+
+  const uint32_t k = checkpoint->config.num_topics;
+  const uint64_t tokens = checkpoint->assignments.size();
+  if (checkpoint->ck_fixed.size() != k) {
+    return Fail(error, path + ": ck snapshot has " +
+                           std::to_string(checkpoint->ck_fixed.size()) +
+                           " entries for " + std::to_string(k) + " topics");
+  }
+  if (checkpoint->proposals.size() !=
+      tokens * static_cast<uint64_t>(checkpoint->config.mh_steps)) {
+    return Fail(error, path + ": proposal count " +
+                           std::to_string(checkpoint->proposals.size()) +
+                           " is not mh_steps × token count");
+  }
+  if (!TopicsInRange(checkpoint->assignments, k) ||
+      !TopicsInRange(checkpoint->proposals, k)) {
+    return Fail(error, path + ": topic id out of range");
+  }
+  // The c_k snapshot is a histogram of `tokens` assignments at some earlier
+  // barrier: entries must be non-negative and sum to the token count.
+  int64_t ck_sum = 0;
+  for (int64_t c : checkpoint->ck_fixed) {
+    if (c < 0 || static_cast<uint64_t>(c) > tokens) {
+      return Fail(error, path + ": ck snapshot entry out of range");
+    }
+    ck_sum += c;
+  }
+  if (static_cast<uint64_t>(ck_sum) != tokens) {
+    return Fail(error, path + ": ck snapshot sums to " +
+                           std::to_string(ck_sum) + " over " +
+                           std::to_string(tokens) + " tokens");
   }
   return true;
 }

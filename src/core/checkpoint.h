@@ -5,9 +5,33 @@
 #include <vector>
 
 #include "baselines/sampler.h"
+#include "core/sweep_plan.h"
 #include "corpus/corpus.h"
 
 namespace warplda {
+
+/// Durability subsystem: crash-safe, versioned, CRC-validated checkpoints
+/// for every long-running training mode.
+///
+/// All files use the shared frame of util/checkpoint_io.h — magic, format
+/// version, endianness tag, payload size (validated against the real file
+/// size before any allocation), and a CRC-32 over the payload — and are
+/// written atomically (temp file + fsync + rename), so a kill at any instant
+/// leaves either the previous complete checkpoint or the new one, never a
+/// torn file. Loads are strictly bounded and fully validated: every count is
+/// checked against the remaining payload before memory is sized, priors must
+/// be finite and positive, mh_steps nonzero, and every topic id in range.
+///
+/// Three artifact families build on the frame:
+///  * TrainingCheckpoint — between-iterations state of any Sampler
+///    (Save/LoadCheckpoint, RestoreSampler).
+///  * SweepCheckpoint — the mid-sweep state of a grid-execution run,
+///    captured at a stage barrier (GridSampler::CaptureSweepState via
+///    ParallelExecutor's barrier hook) so a restored run resumes
+///    bit-identical to an uninterrupted one (Save/LoadSweepCheckpoint,
+///    GridSampler::RestoreSweepState).
+///  * serving model chains — serve/ModelStore::CheckpointTo/RestoreFrom
+///    persist the published model once plus small per-publish deltas.
 
 /// Training checkpoint: everything needed to resume a run — the sampler
 /// configuration, the iteration counter, and the full topic-assignment
@@ -18,11 +42,50 @@ struct TrainingCheckpoint {
   std::vector<TopicId> assignments;
 };
 
-/// Binary serialization. Returns false and fills *error on failure.
+/// Mid-sweep state of a grid-execution training run, captured at a stage
+/// barrier — the instant EndStage() has applied a stage's staged writes and
+/// folded every worker's ck-delta partition, so no per-worker state is in
+/// flight. `next_stage == kWordAccept` means "between sweeps": the sweep
+/// either has not begun or has fully completed; any other value names the
+/// stage the restored sweep resumes at.
+///
+/// Restoring (GridSampler::RestoreSweepState) reproduces the uninterrupted
+/// run bit-identically because everything the remaining stages read is here:
+/// the applied assignments, the pending MH proposals, the acceptance-time
+/// c_k snapshot, and the per-token RNG stream bases (phase epoch plus the
+/// word/doc-phase bases), which is all a per-token-stream sampler needs —
+/// per-worker scratch is empty at a barrier by construction.
+struct SweepCheckpoint {
+  LdaConfig config;        ///< sampler config, with the *current* priors
+  uint32_t iteration = 0;  ///< fully completed sweeps before the open one
+  SweepStage next_stage = SweepStage::kWordAccept;
+  SweepPlan plan;  ///< the open sweep's grid (unused between sweeps)
+  uint64_t phase_epoch = 0;  ///< RNG stream epoch counter
+  uint64_t base_word = 0;    ///< word-phase per-token stream base
+  uint64_t base_doc = 0;     ///< doc-phase per-token stream base
+  /// Topic assignments in the sampler's internal CSC (word-major) entry
+  /// order — NOT document-major like TrainingCheckpoint::assignments.
+  std::vector<TopicId> assignments;
+  /// Pending MH proposals, mh_steps per token, CSC entry order.
+  std::vector<TopicId> proposals;
+  /// Acceptance-time snapshot of the global topic counts c_k (size K).
+  std::vector<int64_t> ck_fixed;
+};
+
+/// Binary serialization (frame kind kTrainingCheckpoint). Returns false and
+/// fills *error on failure; Save leaves any existing file at `path` intact
+/// when it fails.
 bool SaveCheckpoint(const TrainingCheckpoint& checkpoint,
                     const std::string& path, std::string* error);
 bool LoadCheckpoint(const std::string& path, TrainingCheckpoint* checkpoint,
                     std::string* error);
+
+/// Binary serialization of a mid-sweep checkpoint (frame kind
+/// kSweepCheckpoint). Same atomicity and validation contract.
+bool SaveSweepCheckpoint(const SweepCheckpoint& checkpoint,
+                         const std::string& path, std::string* error);
+bool LoadSweepCheckpoint(const std::string& path, SweepCheckpoint* checkpoint,
+                         std::string* error);
 
 /// Restores a sampler from a checkpoint: Init() with the stored config,
 /// then SetAssignments. The corpus must be the one the checkpoint was

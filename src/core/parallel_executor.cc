@@ -85,13 +85,22 @@ void ParallelExecutor::WorkerLoop(uint32_t worker) {
   }
 }
 
-void ParallelExecutor::RunSweep(GridSampler& sampler, const SweepPlan& plan) {
+void ParallelExecutor::RunSweep(GridSampler& sampler, const SweepPlan& plan,
+                                const StageHook& barrier_hook) {
+  // FinishSweep reserves the worker pool (legal at the BeginSweep barrier).
+  sampler.BeginSweep(plan);
+  FinishSweep(sampler, plan, barrier_hook);
+}
+
+void ParallelExecutor::FinishSweep(GridSampler& sampler, const SweepPlan& plan,
+                                   const StageHook& barrier_hook) {
   const uint32_t doc_blocks = plan.num_doc_blocks;
   const uint32_t word_blocks = plan.num_word_blocks;
   sampler.ReserveWorkers(num_threads_);
-  sampler.BeginSweep(plan);
   try {
-    for (int stage = 0; stage < 4; ++stage) {
+    // Loop from the sampler's current stage — kWordAccept for a fresh
+    // sweep, later for one reopened by RestoreSweepState — to completion.
+    while (sampler.sweep_stage() != SweepStage::kDone) {
       // Wavefront order: task t is block (i, j) with i = t mod D and
       // j = (i + t/D) mod W — round r = t/D rotates the word slice, so the D
       // earliest-enqueued tasks pair distinct rows with distinct columns.
@@ -101,6 +110,9 @@ void ParallelExecutor::RunSweep(GridSampler& sampler, const SweepPlan& plan) {
         sampler.RunBlock(i, j, worker);
       });
       sampler.EndStage();
+      if (barrier_hook && sampler.sweep_stage() != SweepStage::kDone) {
+        barrier_hook(sampler.sweep_stage());
+      }
     }
     sampler.EndSweep();
   } catch (...) {

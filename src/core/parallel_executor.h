@@ -58,12 +58,31 @@ class ParallelExecutor {
   /// tasks still run and the first exception is rethrown here.
   void Run(uint32_t num_tasks, const Task& fn);
 
+  /// Called on the driver thread at each stage barrier, right after
+  /// EndStage() returned and before any block of the next stage is
+  /// scheduled, with the stage about to run. The sampler is quiescent —
+  /// staged writes applied, per-worker deltas folded — which is exactly when
+  /// GridSampler::CaptureSweepState is legal; the trainer's mid-sweep
+  /// checkpoints hook in here. Not invoked after the final stage (the sweep
+  /// is complete then; checkpoint between sweeps instead).
+  using StageHook = std::function<void(SweepStage next_stage)>;
+
   /// One full grid sweep of `plan`: ReserveWorkers(num_threads()), then
   /// BeginSweep and, per stage, one Run() over the stage's blocks in
-  /// wavefront order followed by the EndStage barrier on the calling thread.
-  /// Produces exactly the samples of GridSampler::RunSweep (and, for a
-  /// conforming sampler, of Iterate()).
-  void RunSweep(GridSampler& sampler, const SweepPlan& plan);
+  /// wavefront order followed by the EndStage barrier on the calling thread
+  /// (where `barrier_hook`, when set, fires). Produces exactly the samples
+  /// of GridSampler::RunSweep (and, for a conforming sampler, of Iterate()).
+  void RunSweep(GridSampler& sampler, const SweepPlan& plan,
+                const StageHook& barrier_hook = nullptr);
+
+  /// Drives an already-open sweep from the sampler's current stage to
+  /// completion (EndSweep included) — the resume path after
+  /// GridSampler::RestoreSweepState reopened a checkpointed sweep
+  /// mid-flight. `plan` must be the open sweep's plan. Grows the sampler's
+  /// worker pool to num_threads() first; any thread count finishes the
+  /// sweep bit-identically. RunSweep is BeginSweep + FinishSweep.
+  void FinishSweep(GridSampler& sampler, const SweepPlan& plan,
+                   const StageHook& barrier_hook = nullptr);
 
  private:
   /// One Run() invocation. Heap-allocated and shared with workers so a

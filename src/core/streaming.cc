@@ -1,8 +1,10 @@
 #include "core/streaming.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
+#include "util/checkpoint_io.h"
 #include "util/hash_count.h"
 
 namespace warplda {
@@ -224,6 +226,102 @@ TopicModel StreamingWarpLda::ExportModel() const {
 std::shared_ptr<const TopicModel> StreamingWarpLda::ExportSharedModel(
     std::vector<WordId>* changed_words) {
   return TrackExportDelta(ExportSharedModel(), &last_export_, changed_words);
+}
+
+bool StreamingWarpLda::SaveState(const std::string& path,
+                                 std::string* error) const {
+  PayloadWriter out;
+  out.Put(vocab_size_);
+  out.Put(options_.num_topics);
+  out.Put(options_.batch_size);
+  out.Put(options_.inner_iterations);
+  out.Put(options_.mh_steps);
+  out.Put(options_.alpha);
+  out.Put(options_.beta);
+  out.Put(options_.kappa);
+  out.Put(options_.tau);
+  out.Put(options_.seed);
+  out.Put(batches_seen_);
+  out.Put(docs_seen_);
+  for (uint64_t s : rng_.State()) out.Put(s);
+  out.PutVec(lambda_);
+  out.PutVec(lambda_k_);
+  return WriteFrame(path, FrameKind::kStreamingState, out.bytes(), error);
+}
+
+bool StreamingWarpLda::LoadState(const std::string& path, std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = path + ": " + message;
+    return false;
+  };
+  std::vector<uint8_t> payload;
+  if (!ReadFrame(path, FrameKind::kStreamingState, &payload, error)) {
+    return false;
+  }
+  PayloadReader in(payload);
+  WordId vocab = 0;
+  StreamingOptions stored;
+  uint64_t batches = 0;
+  uint64_t docs = 0;
+  std::array<uint64_t, 4> rng_state{};
+  if (!in.Get(&vocab) || !in.Get(&stored.num_topics) ||
+      !in.Get(&stored.batch_size) || !in.Get(&stored.inner_iterations) ||
+      !in.Get(&stored.mh_steps) || !in.Get(&stored.alpha) ||
+      !in.Get(&stored.beta) || !in.Get(&stored.kappa) ||
+      !in.Get(&stored.tau) || !in.Get(&stored.seed) || !in.Get(&batches) ||
+      !in.Get(&docs) || !in.Get(&rng_state[0]) || !in.Get(&rng_state[1]) ||
+      !in.Get(&rng_state[2]) || !in.Get(&rng_state[3])) {
+    return fail("truncated streaming header");
+  }
+  // The state only makes sense on an identically configured instance: the
+  // statistics are shaped by (V, K) and the trajectory by everything else.
+  if (vocab != vocab_size_ || stored.num_topics != options_.num_topics) {
+    return fail("state is for vocab " + std::to_string(vocab) + " × " +
+                std::to_string(stored.num_topics) +
+                " topics, this trainer is " + std::to_string(vocab_size_) +
+                " × " + std::to_string(options_.num_topics));
+  }
+  if (stored.batch_size != options_.batch_size ||
+      stored.inner_iterations != options_.inner_iterations ||
+      stored.mh_steps != options_.mh_steps ||
+      stored.alpha != options_.alpha || stored.beta != options_.beta ||
+      stored.kappa != options_.kappa || stored.tau != options_.tau ||
+      stored.seed != options_.seed) {
+    return fail("streaming options do not match this trainer's");
+  }
+  std::vector<double> lambda;
+  std::vector<double> lambda_k;
+  if (!in.GetVec(&lambda) || !in.GetVec(&lambda_k) || !in.exhausted()) {
+    return fail("truncated statistics");
+  }
+  if (lambda.size() !=
+          static_cast<size_t>(vocab_size_) * options_.num_topics ||
+      lambda_k.size() != options_.num_topics) {
+    return fail("statistics are mis-sized");
+  }
+  for (double v : lambda) {
+    if (!std::isfinite(v) || v < 0.0) return fail("non-finite λ entry");
+  }
+  for (double v : lambda_k) {
+    if (!std::isfinite(v) || v < 0.0) return fail("non-finite λ_k entry");
+  }
+
+  lambda_ = std::move(lambda);
+  lambda_k_ = std::move(lambda_k);
+  batches_seen_ = batches;
+  docs_seen_ = docs;
+  rng_.SetState(rng_state);
+  // Derived caches restart cold: alias tables rebuild lazily on first use,
+  // batch scratch is per-batch anyway, and the export-delta base resets so
+  // the next ExportSharedModel(&changed) reports every word (correct for a
+  // fresh serving store; a restored one reconciles via PublishDelta's
+  // fallback).
+  std::fill(batch_counts_.begin(), batch_counts_.end(), 0.0);
+  std::fill(batch_ck_.begin(), batch_ck_.end(), 0.0);
+  batch_words_.clear();
+  alias_epoch_.assign(vocab_size_, ~0ull);
+  last_export_.reset();
+  return true;
 }
 
 }  // namespace warplda

@@ -76,6 +76,18 @@ class StreamingWarpLda {
   std::shared_ptr<const TopicModel> ExportSharedModel(
       std::vector<WordId>* changed_words);
 
+  /// Crash-safe persistence of the online training state — the running λ
+  /// statistics, step counters, and RNG state — through the shared
+  /// checkpoint frame (util/checkpoint_io.h: atomic temp+fsync+rename
+  /// write, CRC-validated size-bounded load). LoadState requires an
+  /// instance constructed with the same vocabulary size and options; on
+  /// success the trainer continues the exact pre-save batch sequence (the
+  /// generator state travels along), with proposal alias caches rebuilt
+  /// lazily. On failure returns false, fills *error, and — for LoadState —
+  /// leaves the instance unchanged.
+  bool SaveState(const std::string& path, std::string* error) const;
+  bool LoadState(const std::string& path, std::string* error);
+
   /// Number of batches processed so far.
   uint64_t batches_seen() const { return batches_seen_; }
 

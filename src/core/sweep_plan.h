@@ -61,6 +61,8 @@ enum class SweepStage {
 
 const char* ToString(SweepStage stage);
 
+struct SweepCheckpoint;  // core/checkpoint.h
+
 /// Grid-execution interface of a sampler whose sweep can run block-by-block.
 ///
 /// Protocol: BeginSweep(plan), then for each of the four stages call
@@ -94,8 +96,11 @@ class GridSampler {
                         uint32_t worker = 0) = 0;
 
   /// Hints that workers [0, num_workers) may call RunBlock concurrently, so
-  /// per-worker scratch must exist for each. Called between sweeps (not
-  /// while one is open); the default accepts any count and keeps no scratch.
+  /// per-worker scratch must exist for each. Called between sweeps or at a
+  /// stage barrier of an open sweep — ParallelExecutor::FinishSweep reserves
+  /// at the barrier it starts from, including the one BeginSweep opens and
+  /// the one RestoreSweepState reopens — but never while the current stage
+  /// has blocks in flight. The default accepts any count, keeps no scratch.
   virtual void ReserveWorkers(uint32_t num_workers) { (void)num_workers; }
 
   /// Barrier: checks every block of the current stage ran, applies the
@@ -115,6 +120,35 @@ class GridSampler {
 
   /// Stage the active sweep is in, or kDone when no sweep is active.
   virtual SweepStage sweep_stage() const = 0;
+
+  /// Durability hook (see core/checkpoint.h): fills `out` with the sampler's
+  /// complete sweep state — assignments, pending proposals, RNG stream
+  /// bases, count snapshots — so a fresh process can resume bit-identically.
+  /// Only legal at a quiescent point: between sweeps, or at a stage barrier
+  /// of an open sweep (after EndStage() returned, before any block of the
+  /// next stage runs — exactly when ParallelExecutor's barrier hook fires).
+  /// Returns false when called mid-stage or when the sampler does not
+  /// support sweep checkpointing (the default).
+  virtual bool CaptureSweepState(SweepCheckpoint* out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Durability hook: restores state captured by CaptureSweepState. The
+  /// sampler must be Init()ed on the same corpus with a matching config and
+  /// have no open sweep. When `state.next_stage` is not kWordAccept this
+  /// leaves the sampler *inside* an open sweep at that stage — drive the
+  /// remaining stages with ParallelExecutor::FinishSweep (or RunBlock/
+  /// EndStage by hand). Returns false and fills `*error` on any mismatch or
+  /// when unsupported (the default).
+  virtual bool RestoreSweepState(const SweepCheckpoint& state,
+                                 std::string* error) {
+    (void)state;
+    if (error != nullptr) {
+      *error = "this sampler does not support sweep checkpointing";
+    }
+    return false;
+  }
 
   /// Convenience: one full sweep of `plan`, blocks in row-major order.
   void RunSweep(const SweepPlan& plan);

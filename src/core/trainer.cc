@@ -4,9 +4,11 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/checkpoint.h"
 #include "core/parallel_executor.h"
 #include "eval/hyperparams.h"
 #include "eval/log_likelihood.h"
+#include "util/checkpoint_io.h"
 #include "util/stopwatch.h"
 
 namespace warplda {
@@ -28,6 +30,121 @@ TrainResult Train(Sampler& sampler, const Corpus& corpus,
                                   "implementing GridSampler");
     }
     executor = std::make_unique<ParallelExecutor>(options.sweep_threads);
+  }
+
+  // ------------------------------------------------------------ durability
+  const bool durable = !options.checkpoint_dir.empty();
+  const std::string sweep_path = options.checkpoint_dir + "/sweep.ckpt";
+  const std::string train_path = options.checkpoint_dir + "/train.ckpt";
+  if (durable) {
+    std::string err;
+    if (!EnsureDirectory(options.checkpoint_dir, &err)) {
+      throw std::runtime_error("Train: " + err);
+    }
+  }
+
+  // Iteration-boundary checkpoint: in grid mode a between-sweeps
+  // SweepCheckpoint (pending proposals + RNG epoch travel along, so the
+  // resumed trajectory is bit-identical); otherwise — or when the grid
+  // sampler does not support capture — a TrainingCheckpoint.
+  auto save_iteration_checkpoint = [&](uint32_t completed) {
+    std::string err;
+    SweepCheckpoint sweep_ckpt;
+    if (grid != nullptr && grid->CaptureSweepState(&sweep_ckpt)) {
+      sweep_ckpt.iteration = completed;
+      if (!SaveSweepCheckpoint(sweep_ckpt, sweep_path, &err)) {
+        throw std::runtime_error("Train: checkpoint save failed: " + err);
+      }
+    } else {
+      TrainingCheckpoint ckpt;
+      ckpt.config = config;
+      ckpt.config.alpha = alpha;  // current priors, not the initial ones
+      ckpt.config.beta = beta;
+      ckpt.iteration = completed;
+      ckpt.assignments = sampler.Assignments();
+      if (!SaveCheckpoint(ckpt, train_path, &err)) {
+        throw std::runtime_error("Train: checkpoint save failed: " + err);
+      }
+    }
+    if (options.checkpoint_hook) {
+      options.checkpoint_hook(completed, SweepStage::kWordAccept);
+    }
+  };
+
+  // Mid-sweep checkpoints at every stage barrier (checkpoint_stages): fired
+  // by the executor on the driver thread, where the sampler is quiescent.
+  uint32_t completed_before_sweep = 0;
+  ParallelExecutor::StageHook stage_hook;
+  if (durable && options.checkpoint_stages && grid != nullptr) {
+    stage_hook = [&](SweepStage next_stage) {
+      SweepCheckpoint ckpt;
+      if (!grid->CaptureSweepState(&ckpt)) return;  // capture unsupported
+      ckpt.iteration = completed_before_sweep;
+      std::string err;
+      if (!SaveSweepCheckpoint(ckpt, sweep_path, &err)) {
+        throw std::runtime_error("Train: checkpoint save failed: " + err);
+      }
+      if (options.checkpoint_hook) {
+        options.checkpoint_hook(completed_before_sweep, next_stage);
+      }
+    };
+  }
+
+  // ---------------------------------------------------------------- resume
+  uint32_t start_iter = 1;
+  bool finish_restored_sweep = false;
+  SweepPlan restored_plan;
+  if (options.resume && durable) {
+    std::string err;
+    if (grid != nullptr && FileExists(sweep_path)) {
+      SweepCheckpoint ckpt;
+      if (!LoadSweepCheckpoint(sweep_path, &ckpt, &err)) {
+        throw std::runtime_error("Train: cannot resume: " + err);
+      }
+      if (!grid->RestoreSweepState(ckpt, &err)) {
+        throw std::runtime_error("Train: cannot resume: " + err);
+      }
+      alpha = ckpt.config.alpha;
+      beta = ckpt.config.beta;
+      start_iter = ckpt.iteration + 1;
+      finish_restored_sweep = ckpt.next_stage != SweepStage::kWordAccept;
+      restored_plan = ckpt.plan;
+    } else if (FileExists(train_path)) {
+      TrainingCheckpoint ckpt;
+      if (!LoadCheckpoint(train_path, &ckpt, &err)) {
+        throw std::runtime_error("Train: cannot resume: " + err);
+      }
+      if (ckpt.config.num_topics != config.num_topics) {
+        throw std::runtime_error(
+            "Train: cannot resume: checkpoint has " +
+            std::to_string(ckpt.config.num_topics) + " topics, run has " +
+            std::to_string(config.num_topics));
+      }
+      if (ckpt.assignments.size() != corpus.num_tokens()) {
+        throw std::runtime_error(
+            "Train: cannot resume: checkpoint token count " +
+            std::to_string(ckpt.assignments.size()) +
+            " does not match the corpus (" +
+            std::to_string(corpus.num_tokens()) + ")");
+      }
+      if (ckpt.config.alpha_vector != config.alpha_vector) {
+        throw std::runtime_error(
+            "Train: cannot resume: checkpoint asymmetric-prior vector does "
+            "not match the run's");
+      }
+      sampler.SetAssignments(ckpt.assignments);
+      alpha = ckpt.config.alpha;
+      beta = ckpt.config.beta;
+      // Only push drifted (hyper-optimized) priors into the sampler:
+      // SetPriors is symmetric-only, so calling it with the Init values
+      // would clobber an asymmetric prior's ᾱ for no gain.
+      if (alpha != config.alpha || beta != config.beta) {
+        sampler.SetPriors(alpha, beta);
+      }
+      start_iter = ckpt.iteration + 1;
+    }
+    // No checkpoint on disk: fall through to a fresh run, so the same
+    // command line serves the first launch and every restart.
   }
 
   double sampling_seconds = 0.0;
@@ -57,10 +174,19 @@ TrainResult Train(Sampler& sampler, const Corpus& corpus,
     if (callback) callback(stat);
   };
 
-  for (uint32_t iter = 1; iter <= options.iterations; ++iter) {
+  for (uint32_t iter = start_iter; iter <= options.iterations; ++iter) {
     Stopwatch watch;
+    completed_before_sweep = iter - 1;
     if (grid != nullptr) {
-      executor->RunSweep(*grid, options.sweep_plan);
+      if (finish_restored_sweep) {
+        // First iteration after a mid-sweep restore: finish the in-flight
+        // sweep from the checkpointed stage (bit-identical to the schedule
+        // the killed run would have executed), then proceed normally.
+        executor->FinishSweep(*grid, restored_plan, stage_hook);
+        finish_restored_sweep = false;
+      } else {
+        executor->RunSweep(*grid, options.sweep_plan, stage_hook);
+      }
     } else {
       sampler.Iterate();
     }
@@ -86,6 +212,19 @@ TrainResult Train(Sampler& sampler, const Corpus& corpus,
     if (last || (options.eval_every != 0 && iter % options.eval_every == 0)) {
       evaluate(iter);
     }
+    if (durable &&
+        (last ||
+         (options.checkpoint_every != 0 &&
+          iter % options.checkpoint_every == 0) ||
+         (options.checkpoint_stages && grid != nullptr))) {
+      save_iteration_checkpoint(iter);
+    }
+  }
+
+  if (result.history.empty() && start_iter > 1) {
+    // Resumed past the final iteration (the checkpointed run had already
+    // finished): score the restored state so the result is still complete.
+    evaluate(options.iterations);
   }
 
   result.final_alpha = alpha;

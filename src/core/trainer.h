@@ -32,6 +32,39 @@ struct TrainOptions {
   bool grid_execution = false;
   SweepPlan sweep_plan;        ///< plan swept when grid_execution is set
   uint32_t sweep_threads = 1;  ///< executor size, calling thread included
+
+  /// Durability (core/checkpoint.h). When non-empty, Train() writes
+  /// crash-safe checkpoints into this directory (created if missing):
+  ///  * every `checkpoint_every` iterations (0 disables the cadence), and
+  ///    always after the final iteration, a full checkpoint — in grid mode a
+  ///    between-sweeps SweepCheckpoint ("sweep.ckpt", preserving the pending
+  ///    proposals and RNG stream epoch so the resumed run is bit-identical
+  ///    to an uninterrupted one), otherwise a TrainingCheckpoint
+  ///    ("train.ckpt", resuming the exact assignments; the continued
+  ///    trajectory is statistically equivalent, not bit-identical);
+  ///  * with `checkpoint_stages` set (grid mode only), additionally at every
+  ///    stage barrier of every sweep, so a kill loses at most one stage of
+  ///    work.
+  /// All writes are atomic (temp + fsync + rename): a kill at any instant
+  /// leaves the previous complete checkpoint or the new one, never a torn
+  /// file. A failed write throws std::runtime_error — durability failures
+  /// must not pass silently.
+  std::string checkpoint_dir;
+  uint32_t checkpoint_every = 0;
+  bool checkpoint_stages = false;
+  /// Resume from the newest checkpoint in `checkpoint_dir` before training.
+  /// Missing files mean a fresh start (so the same command line serves both
+  /// the first launch and every restart); a corrupt or mismatched checkpoint
+  /// throws std::runtime_error rather than silently retraining. A run
+  /// restored mid-sweep finishes the in-flight sweep first, bit-identically
+  /// to the uninterrupted schedule. `history` restarts at the resume point.
+  bool resume = false;
+  /// Test/telemetry hook: called after each checkpoint file is durably on
+  /// disk, with the number of fully completed iterations and the stage the
+  /// in-flight sweep will resume at (kWordAccept for an iteration-boundary
+  /// checkpoint). The kill-and-resume harness SIGKILLs inside this hook.
+  std::function<void(uint32_t completed_iterations, SweepStage next_stage)>
+      checkpoint_hook;
 };
 
 /// One row of a convergence trace (the data behind Fig 5's panels).

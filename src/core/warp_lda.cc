@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/checkpoint.h"
+
 namespace warplda {
 
 // Determinism invariant: the fused phases (Iterate) and the grid stages
@@ -352,8 +354,15 @@ void WarpLdaSampler::ReserveWorkers(uint32_t num_workers) {
         "WarpLdaSampler: Init() must precede ReserveWorkers()");
   }
   if (grid_.open) {
-    throw std::logic_error(
-        "WarpLdaSampler: ReserveWorkers() during an active grid sweep");
+    // Growing the pool is safe whenever no block is in flight — between
+    // sweeps or at a stage barrier (where FinishSweep resumes a restored
+    // sweep, possibly with more workers than the checkpointing run had).
+    for (char ran : grid_.block_ran) {
+      if (ran) {
+        throw std::logic_error(
+            "WarpLdaSampler: ReserveWorkers() with stage blocks in flight");
+      }
+    }
   }
   while (scratch_.size() < num_workers) {
     scratch_.emplace_back().ck_delta.assign(config_.num_topics, 0);
@@ -373,29 +382,7 @@ void WarpLdaSampler::BeginSweep(const SweepPlan& plan) {
   }
   const uint32_t doc_blocks = plan.num_doc_blocks;
   const uint32_t word_blocks = plan.num_word_blocks;
-  if (!grid_.indices_built || !(plan == grid_.plan)) {
-    grid_.plan = plan;
-    grid_.block_rows.assign(doc_blocks, {});
-    grid_.block_cols.assign(word_blocks, {});
-    grid_.entry_doc_block.assign(matrix_.num_entries(), 0);
-    grid_.entry_word_block.assign(matrix_.num_entries(), 0);
-    for (DocId d = 0; d < corpus_->num_docs(); ++d) {
-      const uint32_t b = plan.doc_block.empty() ? 0 : plan.doc_block[d];
-      grid_.block_rows[b].push_back(d);
-      auto row = matrix_.row(d);
-      for (uint32_t i = 0; i < row.size(); ++i) {
-        grid_.entry_doc_block[row.entry_index(i)] = b;
-      }
-    }
-    for (WordId w = 0; w < corpus_->num_words(); ++w) {
-      const uint32_t b = plan.word_block.empty() ? 0 : plan.word_block[w];
-      grid_.block_cols[b].push_back(w);
-      const uint64_t base = matrix_.col_offset(w);
-      const uint64_t len = matrix_.col_data(w).size();
-      for (uint64_t p = 0; p < len; ++p) grid_.entry_word_block[base + p] = b;
-    }
-    grid_.indices_built = true;
-  }
+  BuildGridIndices(plan);
   grid_.staged.assign(matrix_.num_entries(), 0);
   for (auto& s : scratch_) {
     std::fill(s.ck_delta.begin(), s.ck_delta.end(), 0);
@@ -405,6 +392,31 @@ void WarpLdaSampler::BeginSweep(const SweepPlan& plan) {
   ck_fixed_ = ck_live_;
   grid_.stage = SweepStage::kWordAccept;
   grid_.open = true;
+}
+
+void WarpLdaSampler::BuildGridIndices(const SweepPlan& plan) {
+  if (grid_.indices_built && plan == grid_.plan) return;
+  grid_.plan = plan;
+  grid_.block_rows.assign(plan.num_doc_blocks, {});
+  grid_.block_cols.assign(plan.num_word_blocks, {});
+  grid_.entry_doc_block.assign(matrix_.num_entries(), 0);
+  grid_.entry_word_block.assign(matrix_.num_entries(), 0);
+  for (DocId d = 0; d < corpus_->num_docs(); ++d) {
+    const uint32_t b = plan.doc_block.empty() ? 0 : plan.doc_block[d];
+    grid_.block_rows[b].push_back(d);
+    auto row = matrix_.row(d);
+    for (uint32_t i = 0; i < row.size(); ++i) {
+      grid_.entry_doc_block[row.entry_index(i)] = b;
+    }
+  }
+  for (WordId w = 0; w < corpus_->num_words(); ++w) {
+    const uint32_t b = plan.word_block.empty() ? 0 : plan.word_block[w];
+    grid_.block_cols[b].push_back(w);
+    const uint64_t base = matrix_.col_offset(w);
+    const uint64_t len = matrix_.col_data(w).size();
+    for (uint64_t p = 0; p < len; ++p) grid_.entry_word_block[base + p] = b;
+  }
+  grid_.indices_built = true;
 }
 
 void WarpLdaSampler::RunBlock(uint32_t doc_block, uint32_t word_block,
@@ -621,6 +633,135 @@ void WarpLdaSampler::EndSweep() {
         ToString(grid_.stage) + " stage");
   }
   grid_.open = false;
+}
+
+bool WarpLdaSampler::CaptureSweepState(SweepCheckpoint* out) const {
+  if (corpus_ == nullptr) return false;
+  if (grid_.open) {
+    // Only quiescent points are capturable: at a barrier every worker's
+    // staged writes are applied and every ck-delta partition is folded (and
+    // zeroed), so the live arrays below are the *whole* state. Mid-stage
+    // they are not, and a checkpoint here would silently drop work.
+    for (char ran : grid_.block_ran) {
+      if (ran) return false;
+    }
+  }
+  out->config = config_;
+  // The sampler treats mh_steps == 0 as 1 everywhere; normalize so the
+  // checkpoint's proposal count is self-consistent under validation.
+  out->config.mh_steps = std::max(1u, config_.mh_steps);
+  // An open sweep whose four stages all completed (EndSweep still pending)
+  // is state-identical to "between sweeps": everything is applied.
+  const bool mid_sweep = grid_.open && grid_.stage != SweepStage::kDone;
+  out->next_stage = mid_sweep ? grid_.stage : SweepStage::kWordAccept;
+  out->plan = mid_sweep ? grid_.plan : SweepPlan::Trivial();
+  out->phase_epoch = phase_epoch_;
+  out->base_word = grid_.base_word;
+  out->base_doc = grid_.base_doc;
+  out->ck_fixed = ck_fixed_;
+  out->assignments.resize(matrix_.num_entries());
+  for (uint64_t e = 0; e < matrix_.num_entries(); ++e) {
+    out->assignments[e] = matrix_.entry_data(e);  // CSC entry order
+  }
+  out->proposals = proposals_;
+  return true;
+}
+
+bool WarpLdaSampler::RestoreSweepState(const SweepCheckpoint& state,
+                                       std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = "WarpLdaSampler: " + message;
+    return false;
+  };
+  if (corpus_ == nullptr) return fail("Init() must precede restore");
+  if (grid_.open) return fail("restore during an active grid sweep");
+  // Identity parameters must match the Init() config exactly — they shape
+  // the RNG streams and the proposal layout, so a mismatch could not resume
+  // the same trajectory. Priors are taken *from* the checkpoint (they drift
+  // under hyper-parameter optimization).
+  if (state.config.num_topics != config_.num_topics) {
+    return fail("checkpoint has " + std::to_string(state.config.num_topics) +
+                " topics, sampler has " + std::to_string(config_.num_topics));
+  }
+  if (state.config.mh_steps != std::max(1u, config_.mh_steps)) {
+    return fail("checkpoint mh_steps " +
+                std::to_string(state.config.mh_steps) +
+                " does not match the sampler's");
+  }
+  if (state.config.seed != config_.seed) {
+    return fail("checkpoint seed does not match the sampler's");
+  }
+  if (state.config.alpha_vector != config_.alpha_vector) {
+    return fail("checkpoint asymmetric-prior vector does not match");
+  }
+  const uint64_t n = matrix_.num_entries();
+  const uint64_t m = std::max(1u, config_.mh_steps);
+  if (state.assignments.size() != n) {
+    return fail("checkpoint token count " +
+                std::to_string(state.assignments.size()) +
+                " does not match the corpus (" + std::to_string(n) + ")");
+  }
+  if (state.proposals.size() != n * m) {
+    return fail("checkpoint proposal count does not match");
+  }
+  if (state.ck_fixed.size() != config_.num_topics) {
+    return fail("checkpoint ck snapshot size does not match");
+  }
+  for (TopicId z : state.assignments) {
+    if (z >= config_.num_topics) return fail("assignment out of range");
+  }
+  for (TopicId z : state.proposals) {
+    if (z >= config_.num_topics) return fail("proposal out of range");
+  }
+  const bool mid_sweep = state.next_stage != SweepStage::kWordAccept;
+  if (mid_sweep) {
+    std::string plan_error;
+    if (!state.plan.Validate(corpus_->num_docs(), corpus_->num_words(),
+                             &plan_error)) {
+      return fail("checkpoint sweep plan does not fit the corpus: " +
+                  plan_error);
+    }
+  }
+
+  // Vector-aware prior refresh (SetPriors would overwrite the asymmetric ᾱ
+  // with the symmetric product).
+  config_.alpha = state.config.alpha;
+  config_.beta = state.config.beta;
+  alpha_bar_ = config_.alpha_bar();
+  beta_bar_ = config_.beta * corpus_->num_words();
+  std::fill(ck_live_.begin(), ck_live_.end(), 0);
+  for (uint64_t e = 0; e < n; ++e) {
+    matrix_.entry_data(e) = state.assignments[e];
+    ++ck_live_[state.assignments[e]];
+  }
+  proposals_ = state.proposals;
+  ck_fixed_ = state.ck_fixed;
+  phase_epoch_ = state.phase_epoch;
+  grid_.base_word = state.base_word;
+  grid_.base_doc = state.base_doc;
+  for (auto& s : scratch_) {
+    std::fill(s.ck_delta.begin(), s.ck_delta.end(), 0);
+  }
+  if (!mid_sweep) {
+    // Between sweeps: proposals are the pending doc proposals the next word
+    // phase consumes; nothing else to reopen.
+    grid_.stage = SweepStage::kDone;
+    grid_.open = false;
+    return true;
+  }
+  // Reopen the sweep at the checkpointed barrier. The staged buffer starts
+  // clear — every accept stage overwrites all of it before the barrier
+  // applies it — and block_ran starts empty, exactly the post-EndStage
+  // state the checkpoint was captured in.
+  BuildGridIndices(state.plan);
+  grid_.staged.assign(n, 0);
+  grid_.block_ran.assign(
+      static_cast<size_t>(state.plan.num_doc_blocks) *
+          state.plan.num_word_blocks,
+      0);
+  grid_.stage = state.next_stage;
+  grid_.open = true;
+  return true;
 }
 
 }  // namespace warplda

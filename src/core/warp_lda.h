@@ -85,8 +85,22 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   SweepStage sweep_stage() const override { return grid_.stage; }
   /// Grows the per-worker scratch (counts, alias, ck-delta partition) so
   /// RunBlock may be called with worker ids in [0, num_workers). Requires
-  /// Init() and no open sweep.
+  /// Init(); legal between sweeps and at a stage barrier of an open sweep
+  /// (the restore path grows the pool before finishing a restored sweep),
+  /// but never while a stage has blocks in flight.
   void ReserveWorkers(uint32_t num_workers) override;
+
+  /// Durability hooks (core/checkpoint.h): capture is legal between sweeps
+  /// and at stage barriers (deltas folded, staged writes applied — the
+  /// per-worker state is empty, so the checkpoint is just assignments,
+  /// proposals, c_k snapshot, and RNG stream bases); restore reproduces that
+  /// exact state in a fresh process, mid-sweep when the checkpoint was. Any
+  /// thread count may finish a restored sweep bit-identically to the
+  /// uninterrupted run — per-token RNG streams make worker count and block
+  /// schedule irrelevant to the samples.
+  bool CaptureSweepState(SweepCheckpoint* out) const override;
+  bool RestoreSweepState(const SweepCheckpoint& state,
+                         std::string* error) override;
 
   /// Live global topic counts c_k (size K). Deltas are folded in at phase /
   /// stage barriers, so between Iterate() calls (or outside an open sweep)
@@ -202,6 +216,11 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   /// Draws M doc proposals for every token of `row`.
   void DrawDocProposals(uint64_t stream_base,
                         SparseMatrix<TopicId>::RowView row);
+
+  /// (Re)builds the plan-derived grid indices (entry→block maps, per-block
+  /// row/column lists) unless they already match `plan`. Shared by
+  /// BeginSweep and RestoreSweepState.
+  void BuildGridIndices(const SweepPlan& plan);
 
   /// Grid helpers: per-stage block bodies. Concurrency-safe across distinct
   /// blocks: they read the shared pre-stage state, write only their own

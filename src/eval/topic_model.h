@@ -23,6 +23,20 @@ class TopicModel {
   TopicModel(const Corpus& corpus, const std::vector<TopicId>& assignments,
              uint32_t num_topics, double alpha, double beta);
 
+  /// Assembles a model directly from its components — the checkpoint-restore
+  /// path (serve::ModelStore::RestoreFrom replays delta rows onto a base)
+  /// and tests. `rows` must hold per-word (topic, count > 0) pairs in
+  /// ascending topic order (the class invariant the sparse serving snapshot
+  /// binary-searches on) and `ck` the K global topic counts.
+  TopicModel(uint32_t num_topics, double alpha, double beta,
+             std::vector<std::vector<std::pair<TopicId, int32_t>>> rows,
+             std::vector<int64_t> ck)
+      : num_topics_(num_topics),
+        alpha_(alpha),
+        beta_(beta),
+        rows_(std::move(rows)),
+        ck_(std::move(ck)) {}
+
   uint32_t num_topics() const { return num_topics_; }
   WordId num_words() const { return static_cast<WordId>(rows_.size()); }
   double alpha() const { return alpha_; }

@@ -1,10 +1,15 @@
 #include "serve/model_store.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
 #include <numeric>
 #include <utility>
 
 #include "core/mh_sweep.h"
+#include "util/checkpoint_io.h"
 
 namespace warplda::serve {
 
@@ -189,6 +194,330 @@ std::shared_ptr<const ModelSnapshot> ModelStore::PublishDelta(
   // from `base` may not match the published lineage anymore, so fall back
   // to a full rebuild against the authoritative model.
   return Publish(std::move(model));
+}
+
+// ------------------------------------------------------- durable snapshots
+
+namespace {
+
+constexpr uint32_t kMaxTopicsOnDisk = 1u << 24;
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+std::string ChainFileName(uint64_t version, bool full) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "model-%020llu.%s",
+                static_cast<unsigned long long>(version),
+                full ? "base" : "delta");
+  return name;
+}
+
+/// Shared scalar prefix of base and delta payloads.
+void PutModelHeader(PayloadWriter& out, const TopicModel& model,
+                    uint64_t version) {
+  out.Put(model.num_topics());
+  out.Put(model.num_words());
+  out.Put(model.alpha());
+  out.Put(model.beta());
+  out.Put(version);
+}
+
+void PutRow(PayloadWriter& out,
+            const std::vector<std::pair<TopicId, int32_t>>& row) {
+  out.Put(static_cast<uint32_t>(row.size()));
+  for (const auto& [k, c] : row) {
+    out.Put(k);
+    out.Put(c);
+  }
+}
+
+/// Reads one sparse row: length-prefixed (topic, count) pairs, validated
+/// strictly ascending, in range, and positive — the invariants the serving
+/// snapshot's binary search and the alias builders rely on.
+bool GetRow(PayloadReader& in, uint32_t num_topics,
+            std::vector<std::pair<TopicId, int32_t>>* row) {
+  uint32_t len = 0;
+  if (!in.Get(&len)) return false;
+  if (len > num_topics || static_cast<uint64_t>(len) * 8 > in.remaining()) {
+    return false;
+  }
+  row->clear();
+  row->reserve(len);
+  TopicId prev = 0;
+  for (uint32_t i = 0; i < len; ++i) {
+    TopicId k = 0;
+    int32_t c = 0;
+    if (!in.Get(&k) || !in.Get(&c)) return false;
+    if (k >= num_topics || c <= 0 || (i > 0 && k <= prev)) return false;
+    prev = k;
+    row->emplace_back(k, c);
+  }
+  return true;
+}
+
+struct ModelHeader {
+  uint32_t num_topics = 0;
+  uint32_t num_words = 0;
+  double alpha = 0.0;
+  double beta = 0.0;
+  uint64_t version = 0;
+};
+
+bool GetModelHeader(PayloadReader& in, ModelHeader* h, const std::string& path,
+                    std::string* error) {
+  if (!in.Get(&h->num_topics) || !in.Get(&h->num_words) ||
+      !in.Get(&h->alpha) || !in.Get(&h->beta) || !in.Get(&h->version)) {
+    return Fail(error, path + ": truncated model header");
+  }
+  if (h->num_topics == 0 || h->num_topics > kMaxTopicsOnDisk) {
+    return Fail(error, path + ": num_topics out of range");
+  }
+  if (!std::isfinite(h->alpha) || h->alpha <= 0.0 ||
+      !std::isfinite(h->beta) || h->beta <= 0.0) {
+    return Fail(error, path + ": priors not finite and positive");
+  }
+  return true;
+}
+
+bool GetTopicCounts(PayloadReader& in, uint32_t num_topics,
+                    std::vector<int64_t>* ck, const std::string& path,
+                    std::string* error) {
+  if (!in.GetVec(ck, kMaxTopicsOnDisk) || ck->size() != num_topics) {
+    return Fail(error, path + ": truncated or mis-sized topic counts");
+  }
+  for (int64_t c : *ck) {
+    if (c < 0) return Fail(error, path + ": negative topic count");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ModelStore::CheckpointTo(const std::string& dir, std::string* error) {
+  std::lock_guard<std::mutex> lock(ckpt_mutex_);
+  // Read the snapshot under ckpt_mutex_ (Current() takes swap_mutex_
+  // briefly; the two are never held nested the other way): two racing
+  // CheckpointTo calls then serialize on a consistent view, and the stale
+  // one below becomes a no-op instead of writing an out-of-order delta
+  // that would break the on-disk chain for every future restore.
+  const auto snapshot = Current();
+  if (snapshot == nullptr) {
+    return Fail(error, "ModelStore::CheckpointTo: nothing published yet");
+  }
+  const std::shared_ptr<const TopicModel> model = snapshot->model_ptr();
+  const uint64_t version = snapshot->version();
+
+  if (!EnsureDirectory(dir, error)) return false;
+  if (dir != ckpt_dir_) {
+    // New target directory: the delta base (if any) lives elsewhere, so the
+    // first write here must be a full base.
+    ckpt_dir_ = dir;
+    ckpt_model_.reset();
+    ckpt_version_ = 0;
+    ckpt_chain_ = 0;
+  }
+  if (ckpt_model_ != nullptr && version <= ckpt_version_) return true;
+
+  bool full = ckpt_model_ == nullptr ||
+              ckpt_chain_ >= options_.max_arena_chain ||
+              model->num_topics() != ckpt_model_->num_topics() ||
+              model->num_words() < ckpt_model_->num_words() ||
+              model->beta() != ckpt_model_->beta();
+  std::vector<WordId> changed;
+  if (!full) {
+    changed = model->ChangedWords(*ckpt_model_);
+    // Same heuristic as PublishDelta: a near-vocabulary-sized delta is not
+    // meaningfully smaller than a base but leaves a long chain to replay.
+    if (static_cast<double>(changed.size()) >
+        options_.max_delta_fraction * model->num_words()) {
+      full = true;
+    }
+  }
+
+  PayloadWriter out;
+  PutModelHeader(out, *model, version);
+  if (full) {
+    out.PutVec(model->topic_counts());
+    for (WordId w = 0; w < model->num_words(); ++w) {
+      PutRow(out, model->word_topics(w));
+    }
+  } else {
+    out.Put(ckpt_version_);  // predecessor in the chain
+    out.PutVec(model->topic_counts());
+    out.Put(static_cast<uint64_t>(changed.size()));
+    for (WordId w : changed) {
+      out.Put(w);
+      PutRow(out, model->word_topics(w));
+    }
+  }
+  const std::string path = dir + "/" + ChainFileName(version, full);
+  if (!WriteFrame(path, full ? FrameKind::kModelBase : FrameKind::kModelDelta,
+                  out.bytes(), error)) {
+    return false;
+  }
+  ckpt_model_ = model;
+  ckpt_version_ = version;
+  ckpt_chain_ = full ? 1 : ckpt_chain_ + 1;
+  return true;
+}
+
+bool ModelStore::RestoreFrom(const std::string& dir, std::string* error) {
+  // Discover the chain: the newest base plus every delta past it, in
+  // version order (versions are zero-padded in the names, but we order by
+  // the parsed number, not the string).
+  uint64_t base_version = 0;
+  bool have_base = false;
+  std::map<uint64_t, std::string> deltas;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long v = 0;
+    char kind[8] = {0};
+    if (std::sscanf(name.c_str(), "model-%20llu.%5s", &v, kind) != 2) {
+      continue;
+    }
+    if (std::string(kind) == "base") {
+      if (!have_base || v > base_version) base_version = v;
+      have_base = true;
+    } else if (std::string(kind) == "delta") {
+      deltas[v] = entry.path().string();
+    }
+  }
+  if (ec) {
+    return Fail(error, "cannot read checkpoint directory " + dir + ": " +
+                           ec.message());
+  }
+  if (!have_base) {
+    return Fail(error, "no model base checkpoint in " + dir);
+  }
+
+  // Load and validate the base.
+  const std::string base_path = dir + "/" + ChainFileName(base_version, true);
+  std::vector<uint8_t> payload;
+  if (!ReadFrame(base_path, FrameKind::kModelBase, &payload, error)) {
+    return false;
+  }
+  PayloadReader in(payload);
+  ModelHeader header;
+  std::vector<int64_t> ck;
+  if (!GetModelHeader(in, &header, base_path, error) ||
+      !GetTopicCounts(in, header.num_topics, &ck, base_path, error)) {
+    return false;
+  }
+  if (header.version != base_version) {
+    return Fail(error, base_path + ": stored version disagrees with name");
+  }
+  // Bound the row-table allocation before sizing it: every word costs at
+  // least a 4-byte length field, so num_words can't exceed remaining/4.
+  if (header.num_words > in.remaining() / 4) {
+    return Fail(error, base_path + ": word count " +
+                           std::to_string(header.num_words) +
+                           " exceeds what the payload can hold");
+  }
+  std::vector<std::vector<std::pair<TopicId, int32_t>>> rows(header.num_words);
+  for (WordId w = 0; w < header.num_words; ++w) {
+    if (!GetRow(in, header.num_topics, &rows[w])) {
+      return Fail(error, base_path + ": corrupt row for word " +
+                             std::to_string(w));
+    }
+  }
+  if (!in.exhausted()) {
+    return Fail(error, base_path + ": trailing bytes");
+  }
+
+  // Replay the delta chain on top.
+  uint64_t version = base_version;
+  double alpha = header.alpha;
+  double beta = header.beta;
+  uint32_t chain = 1;
+  for (const auto& [delta_version, delta_path] : deltas) {
+    if (delta_version <= base_version) continue;  // superseded by the base
+    if (!ReadFrame(delta_path, FrameKind::kModelDelta, &payload, error)) {
+      return false;
+    }
+    PayloadReader din(payload);
+    ModelHeader dh;
+    uint64_t prev_version = 0;
+    if (!GetModelHeader(din, &dh, delta_path, error)) return false;
+    if (!din.Get(&prev_version)) {
+      return Fail(error, delta_path + ": truncated predecessor version");
+    }
+    if (dh.version != delta_version) {
+      return Fail(error, delta_path + ": stored version disagrees with name");
+    }
+    if (prev_version != version) {
+      return Fail(error, delta_path + ": broken chain (expects base v" +
+                             std::to_string(prev_version) + ", have v" +
+                             std::to_string(version) + ")");
+    }
+    if (dh.num_topics != header.num_topics) {
+      return Fail(error, delta_path + ": topic count changed mid-chain");
+    }
+    if (dh.num_words < rows.size()) {
+      return Fail(error, delta_path + ": vocabulary shrank mid-chain");
+    }
+    if (!GetTopicCounts(din, dh.num_topics, &ck, delta_path, error)) {
+      return false;
+    }
+    uint64_t changed_count = 0;
+    if (!din.Get(&changed_count)) {
+      return Fail(error, delta_path + ": truncated changed-word count");
+    }
+    // Every vocabulary-growth word must appear in the delta with at least a
+    // word id and a row length (8 bytes) — bounds the resize below.
+    if (dh.num_words - rows.size() > din.remaining() / 8) {
+      return Fail(error, delta_path + ": grown word count exceeds what the "
+                                      "payload can hold");
+    }
+    rows.resize(dh.num_words);
+    for (uint64_t i = 0; i < changed_count; ++i) {
+      WordId w = 0;
+      if (!din.Get(&w) || w >= rows.size()) {
+        return Fail(error, delta_path + ": changed word id out of range");
+      }
+      if (!GetRow(din, dh.num_topics, &rows[w])) {
+        return Fail(error, delta_path + ": corrupt row for word " +
+                               std::to_string(w));
+      }
+    }
+    if (!din.exhausted()) {
+      return Fail(error, delta_path + ": trailing bytes");
+    }
+    version = delta_version;
+    alpha = dh.alpha;
+    beta = dh.beta;
+    ++chain;
+  }
+
+  auto model = std::make_shared<const TopicModel>(
+      header.num_topics, alpha, beta, std::move(rows), std::move(ck));
+  auto snapshot =
+      std::make_shared<ModelSnapshot>(model, version, options_.layout);
+  {
+    std::lock_guard<std::mutex> lock(swap_mutex_);
+    if (version_.load(std::memory_order_relaxed) >= version) {
+      return Fail(error,
+                  "ModelStore::RestoreFrom: store already published v" +
+                      std::to_string(version_.load()) +
+                      ", refusing to go back to checkpointed v" +
+                      std::to_string(version));
+    }
+    current_ = snapshot;
+    version_.store(version, std::memory_order_release);
+  }
+  {
+    // Prime the delta bookkeeping so the next CheckpointTo(dir) extends the
+    // restored chain instead of rewriting a base.
+    std::lock_guard<std::mutex> lock(ckpt_mutex_);
+    ckpt_dir_ = dir;
+    ckpt_model_ = model;
+    ckpt_version_ = version;
+    ckpt_chain_ = chain;
+  }
+  return true;
 }
 
 }  // namespace warplda::serve

@@ -290,6 +290,33 @@ class ModelStore {
       std::shared_ptr<const TopicModel> model,
       std::span<const WordId> changed_words);
 
+  /// Delta-aware durability (core/checkpoint.h frame format, atomic
+  /// temp+fsync+rename writes). Persists the currently published model into
+  /// `dir`: the first call (per store, per directory) writes the full model
+  /// as `model-<version>.base`; each later call writes only the rows that
+  /// changed since the previous checkpoint as `model-<version>.delta`
+  /// chained onto it — the on-disk mirror of PublishDelta's arena sharing,
+  /// so steady-state checkpoints cost O(Δnnz + K) bytes, not O(nnz). The
+  /// same compaction policy as the in-memory chain applies: a fresh base is
+  /// written when the chain reaches max_arena_chain, when the delta would
+  /// exceed max_delta_fraction of the vocabulary, or when the model shape
+  /// changed. Calling again at an unchanged version is a no-op. Returns
+  /// false and fills *error when nothing is published or a write fails (the
+  /// previous checkpoint files stay intact).
+  bool CheckpointTo(const std::string& dir, std::string* error);
+
+  /// Restores the newest checkpointed model from `dir`: loads the highest-
+  /// version base file, replays every subsequent delta in version order
+  /// (validating chain continuity via each delta's recorded predecessor),
+  /// rebuilds the live snapshot, and publishes it with the checkpointed
+  /// version — store.version() continues where the checkpointing process
+  /// left off. Also primes the delta-checkpoint state, so a restored
+  /// trainer's next CheckpointTo(dir) extends the existing chain. Fails
+  /// (false + *error) on a missing/corrupt/broken chain or when this store
+  /// has already published at or past the checkpointed version; the store
+  /// is left unchanged on failure.
+  bool RestoreFrom(const std::string& dir, std::string* error);
+
   /// The latest published snapshot, or nullptr before the first Publish().
   std::shared_ptr<const ModelSnapshot> Current() const {
     std::lock_guard<std::mutex> lock(swap_mutex_);
@@ -314,6 +341,17 @@ class ModelStore {
   std::atomic<uint64_t> version_{0};
   mutable std::mutex swap_mutex_;
   std::shared_ptr<const ModelSnapshot> current_;
+
+  /// Delta-checkpoint bookkeeping (guarded by ckpt_mutex_; lock order is
+  /// ckpt_mutex_ → swap_mutex_ — CheckpointTo reads Current() while holding
+  /// ckpt_mutex_, and nothing acquires them in the reverse order): the last
+  /// model written to ckpt_dir_, its version, and the current on-disk chain
+  /// length (1 = base only).
+  mutable std::mutex ckpt_mutex_;
+  std::string ckpt_dir_;
+  std::shared_ptr<const TopicModel> ckpt_model_;
+  uint64_t ckpt_version_ = 0;
+  uint32_t ckpt_chain_ = 0;
 };
 
 }  // namespace warplda::serve

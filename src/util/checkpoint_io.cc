@@ -1,0 +1,213 @@
+#include "util/checkpoint_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "util/crc32.h"
+
+namespace warplda {
+
+namespace {
+
+// "WARPCKP2": same byte spelling convention as the retired v1 magic, bumped
+// because v1 files carried no version, endianness, size, or CRC fields.
+constexpr uint64_t kMagic = 0x57415250'434B5032ULL;
+constexpr uint64_t kMagicV1 = 0x57415250'434B5031ULL;  // recognized, rejected
+constexpr uint32_t kEndianTag = 0x01020304u;
+
+struct FrameHeader {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t endian;
+  uint32_t kind;
+  uint32_t reserved;
+  uint64_t payload_size;
+  uint32_t payload_crc;
+} __attribute__((packed));
+static_assert(sizeof(FrameHeader) == 36);
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// write() until done; short writes are legal for regular files under signal
+/// interruption, so loop.
+bool WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// fsync() the directory containing `path`, making a completed rename()
+/// durable. Best effort: some filesystems reject directory fsync; a failure
+/// there narrows the durability window but never corrupts, so it is not
+/// treated as a save failure.
+void SyncParentDir(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+bool WriteFrame(const std::string& path, FrameKind kind,
+                const std::vector<uint8_t>& payload, std::string* error) {
+  FrameHeader header;
+  header.magic = kMagic;
+  header.version = kFrameVersion;
+  header.endian = kEndianTag;
+  header.kind = static_cast<uint32_t>(kind);
+  header.reserved = 0;
+  header.payload_size = payload.size();
+  header.payload_crc = Crc32(payload.data(), payload.size());
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Fail(error, Errno("cannot open " + tmp + " for writing"));
+  }
+  bool ok = WriteAll(fd, reinterpret_cast<const uint8_t*>(&header),
+                     sizeof(header)) &&
+            WriteAll(fd, payload.data(), payload.size());
+  // fsync before rename: the data must be on disk before the name points at
+  // it, or a crash could expose a complete-looking but empty file.
+  ok = ok && ::fsync(fd) == 0;
+  if (::close(fd) != 0) ok = false;
+  if (!ok) {
+    const std::string message = Errno("write error on " + tmp);
+    ::unlink(tmp.c_str());
+    return Fail(error, message);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string message =
+        Errno("cannot rename " + tmp + " over " + path);
+    ::unlink(tmp.c_str());
+    return Fail(error, message);
+  }
+  SyncParentDir(path);
+  return true;
+}
+
+bool ReadFrame(const std::string& path, FrameKind expected_kind,
+               std::vector<uint8_t>* payload, std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Fail(error, Errno("cannot open " + path));
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Fail(error, path + ": not a regular file");
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+
+  auto fail = [&](const std::string& message) {
+    ::close(fd);
+    return Fail(error, message);
+  };
+
+  FrameHeader header;
+  if (file_size < sizeof(header)) {
+    return fail(path + ": truncated header (" + std::to_string(file_size) +
+                " of " + std::to_string(sizeof(header)) + " bytes)");
+  }
+  ssize_t n = ::read(fd, &header, sizeof(header));
+  if (n != static_cast<ssize_t>(sizeof(header))) {
+    return fail(Errno("read error on " + path));
+  }
+  if (header.magic != kMagic) {
+    if (header.magic == kMagicV1) {
+      return fail(path +
+                  ": unversioned v1 checkpoint (WARPCKP1) — re-save with "
+                  "this build; v1 files carry no CRC and are no longer "
+                  "trusted");
+    }
+    return fail(path + ": bad magic");
+  }
+  if (header.endian != kEndianTag) {
+    return fail(path + ": endianness mismatch (written on a byte-swapped "
+                       "host)");
+  }
+  if (header.version != kFrameVersion) {
+    return fail(path + ": unsupported format version " +
+                std::to_string(header.version) + " (expected " +
+                std::to_string(kFrameVersion) + ")");
+  }
+  if (header.kind != static_cast<uint32_t>(expected_kind)) {
+    return fail(path + ": wrong payload kind " +
+                std::to_string(header.kind) + " (expected " +
+                std::to_string(static_cast<uint32_t>(expected_kind)) + ")");
+  }
+  if (header.reserved != 0) {
+    return fail(path + ": nonzero reserved field");
+  }
+  // The load-bearing bound: the stored payload size must agree with the real
+  // on-disk size, checked before the payload buffer is sized. A corrupt or
+  // truncated header can therefore never provoke an allocation larger than
+  // the bytes actually present.
+  if (header.payload_size != file_size - sizeof(header)) {
+    return fail(path + ": payload size " +
+                std::to_string(header.payload_size) +
+                " disagrees with file size " + std::to_string(file_size) +
+                " − " + std::to_string(sizeof(header)) + " header bytes");
+  }
+
+  payload->resize(static_cast<size_t>(header.payload_size));
+  size_t done = 0;
+  while (done < payload->size()) {
+    n = ::read(fd, payload->data() + done, payload->size() - done);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return fail(Errno("read error on " + path));
+    }
+    done += static_cast<size_t>(n);
+  }
+  ::close(fd);
+
+  const uint32_t crc = Crc32(payload->data(), payload->size());
+  if (crc != header.payload_crc) {
+    return Fail(error, path + ": payload CRC mismatch (stored " +
+                           std::to_string(header.payload_crc) +
+                           ", computed " + std::to_string(crc) + ")");
+  }
+  return true;
+}
+
+bool EnsureDirectory(const std::string& dir, std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Fail(error, "cannot create directory " + dir + ": " + ec.message());
+  }
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Fail(error, dir + " exists but is not a directory");
+  }
+  return true;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace warplda

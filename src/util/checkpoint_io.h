@@ -1,0 +1,143 @@
+#ifndef WARPLDA_UTIL_CHECKPOINT_IO_H_
+#define WARPLDA_UTIL_CHECKPOINT_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace warplda {
+
+/// Crash-safe framed file format shared by every durable artifact in the
+/// library (training checkpoints, in-flight sweep checkpoints, serving model
+/// chains, streaming trainer state). One file is:
+///
+///   offset  size  field
+///   ------  ----  --------------------------------------------------------
+///        0     8  magic "WARPCKP2" (0x57415250434B5032, big-endian bytes)
+///        8     4  format version (kFrameVersion)
+///       12     4  endianness tag 0x01020304, written natively — a reader on
+///                 a byte-swapped host sees 0x04030201 and rejects the file
+///                 instead of silently mis-parsing it
+///       16     4  payload kind (FrameKind) — what the payload encodes
+///       20     4  reserved, must be 0
+///       24     8  payload size in bytes; must equal file size − 36, which
+///                 is validated against the real on-disk size BEFORE any
+///                 allocation, so a corrupt header can never trigger an
+///                 unbounded resize
+///       32     4  CRC-32 (util/crc32.h) over the payload bytes
+///       36     …  payload
+///
+/// Writes are atomic: the frame goes to `path + ".tmp"`, is flushed and
+/// fsync()ed, then rename()d over `path` (and the containing directory is
+/// fsync()ed so the rename itself is durable). A crash at any instant leaves
+/// either the old complete file or the new complete file — never a torn one.
+/// Reads validate magic, version, endianness, kind, size, and CRC before a
+/// single payload field is trusted.
+
+/// What a frame's payload encodes. Stored in the header so a file of one
+/// kind handed to another loader fails loudly instead of mis-parsing.
+enum class FrameKind : uint32_t {
+  kTrainingCheckpoint = 1,  ///< core/checkpoint.h TrainingCheckpoint
+  kSweepCheckpoint = 2,     ///< core/checkpoint.h SweepCheckpoint
+  kModelBase = 3,           ///< serve/model_store.h full model checkpoint
+  kModelDelta = 4,          ///< serve/model_store.h changed-rows delta
+  kStreamingState = 5,      ///< core/streaming.h online trainer state
+};
+
+inline constexpr uint32_t kFrameVersion = 2;
+
+/// Accumulates a payload in memory. Only trivially copyable scalar types may
+/// be written (they are memcpy'd in native byte order; the frame's endian tag
+/// guards cross-host reads).
+class PayloadWriter {
+ public:
+  template <typename T>
+  void Put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const uint8_t*>(&v);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+  }
+
+  template <typename T>
+  void PutVec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Put(static_cast<uint64_t>(v.size()));
+    const auto* p = reinterpret_cast<const uint8_t*>(v.data());
+    bytes_.insert(bytes_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounded cursor over a validated payload. Every Get checks the remaining
+/// byte count first; GetVec additionally validates the stored element count
+/// against the remaining bytes BEFORE resizing the destination, so a
+/// corrupt length can never cause an oversized allocation.
+class PayloadReader {
+ public:
+  PayloadReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit PayloadReader(const std::vector<uint8_t>& payload)
+      : PayloadReader(payload.data(), payload.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+  template <typename T>
+  bool Get(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (remaining() < sizeof(T)) return false;
+    __builtin_memcpy(v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  /// Reads a u64 element count followed by that many elements. The count is
+  /// range-checked against the remaining payload (and `max_count`) before
+  /// any memory is reserved.
+  template <typename T>
+  bool GetVec(std::vector<T>* out, uint64_t max_count = UINT64_MAX) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    if (!Get(&count)) return false;
+    if (count > max_count || count > remaining() / sizeof(T)) return false;
+    out->resize(static_cast<size_t>(count));
+    __builtin_memcpy(out->data(), data_ + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Atomically replaces `path` with a frame of `kind` wrapping `payload`:
+/// temp file + fsync + rename + directory fsync. On failure returns false,
+/// fills `*error` (when non-null), and removes the temp file; `path` is left
+/// untouched, so the previous checkpoint survives a failed save.
+bool WriteFrame(const std::string& path, FrameKind kind,
+                const std::vector<uint8_t>& payload, std::string* error);
+
+/// Loads and fully validates a frame: magic, format version, endianness,
+/// kind, header-vs-file size agreement, and payload CRC. Returns the payload
+/// bytes; the caller parses them with a PayloadReader. Never allocates more
+/// than the file's real on-disk size.
+bool ReadFrame(const std::string& path, FrameKind expected_kind,
+               std::vector<uint8_t>* payload, std::string* error);
+
+/// Creates `dir` (and parents) if missing. Returns false + `*error` when the
+/// path exists as a non-directory or creation fails.
+bool EnsureDirectory(const std::string& dir, std::string* error);
+
+/// True when `path` names an existing regular file.
+bool FileExists(const std::string& path);
+
+}  // namespace warplda
+
+#endif  // WARPLDA_UTIL_CHECKPOINT_IO_H_

@@ -1,11 +1,26 @@
 #include "core/checkpoint.h"
 
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include <gtest/gtest.h>
 
+#include "core/parallel_executor.h"
+#include "core/streaming.h"
+#include "core/trainer.h"
+#include "core/warp_lda.h"
 #include "corpus/synthetic.h"
+#include "dist/partitioner.h"
 #include "eval/log_likelihood.h"
+#include "serve/model_store.h"
+#include "util/checkpoint_io.h"
 
 namespace warplda {
 namespace {
@@ -19,13 +34,40 @@ Corpus MakeCorpus() {
   return GenerateLdaCorpus(config).corpus;
 }
 
+/// Small corpus for the byte-level fuzz loops (every prefix / every byte),
+/// keeping the checkpoint files a few hundred bytes.
+Corpus MakeTinyCorpus() {
+  SyntheticConfig config;
+  config.num_docs = 12;
+  config.vocab_size = 30;
+  config.mean_doc_length = 6;
+  config.seed = 9;
+  return GenerateLdaCorpus(config).corpus;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
 TEST(CheckpointTest, SaveLoadRoundTrip) {
   TrainingCheckpoint checkpoint;
   checkpoint.config = LdaConfig::PaperDefaults(8);
   checkpoint.config.mh_steps = 3;
   checkpoint.iteration = 17;
   checkpoint.assignments = {0, 1, 2, 7, 3, 3};
-  std::string path = testing::TempDir() + "/ckpt.bin";
+  std::string path = TempPath("ckpt.bin");
   std::string error;
   ASSERT_TRUE(SaveCheckpoint(checkpoint, path, &error)) << error;
 
@@ -38,8 +80,21 @@ TEST(CheckpointTest, SaveLoadRoundTrip) {
   EXPECT_EQ(loaded.assignments, checkpoint.assignments);
 }
 
+TEST(CheckpointTest, AsymmetricPriorRoundTrips) {
+  TrainingCheckpoint checkpoint;
+  checkpoint.config = LdaConfig::PaperDefaults(4);
+  checkpoint.config.alpha_vector = {0.4, 0.3, 0.2, 0.1};
+  checkpoint.assignments = {0, 3, 1};
+  std::string path = TempPath("ckpt_asym.bin");
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(checkpoint, path, &error)) << error;
+  TrainingCheckpoint loaded;
+  ASSERT_TRUE(LoadCheckpoint(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.config.alpha_vector, checkpoint.config.alpha_vector);
+}
+
 TEST(CheckpointTest, LoadRejectsGarbage) {
-  std::string path = testing::TempDir() + "/ckpt_garbage.bin";
+  std::string path = TempPath("ckpt_garbage.bin");
   {
     std::ofstream out(path, std::ios::binary);
     out << "nonsense";
@@ -47,18 +102,653 @@ TEST(CheckpointTest, LoadRejectsGarbage) {
   TrainingCheckpoint checkpoint;
   std::string error;
   EXPECT_FALSE(LoadCheckpoint(path, &checkpoint, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CheckpointTest, LoadRejectsLegacyV1FilesWithClearMessage) {
+  // The retired WARPCKP1 format had no version, size, or CRC fields.
+  std::string path = TempPath("ckpt_v1.bin");
+  std::vector<uint8_t> bytes(64, 0);
+  const uint64_t v1_magic = 0x57415250'434B5031ULL;
+  std::memcpy(bytes.data(), &v1_magic, sizeof(v1_magic));
+  WriteAll(path, bytes);
+  TrainingCheckpoint checkpoint;
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(path, &checkpoint, &error));
+  EXPECT_NE(error.find("WARPCKP1"), std::string::npos) << error;
 }
 
 TEST(CheckpointTest, LoadRejectsOutOfRangeAssignments) {
   TrainingCheckpoint checkpoint;
   checkpoint.config = LdaConfig::PaperDefaults(4);
   checkpoint.assignments = {0, 9};  // 9 >= K
-  std::string path = testing::TempDir() + "/ckpt_range.bin";
+  std::string path = TempPath("ckpt_range.bin");
   std::string error;
   ASSERT_TRUE(SaveCheckpoint(checkpoint, path, &error)) << error;
   TrainingCheckpoint loaded;
   EXPECT_FALSE(LoadCheckpoint(path, &loaded, &error));
 }
+
+// Save() serializes whatever it is given; Load() is the validation gate.
+// Poisonous hyper-parameters must be rejected at load time with a message,
+// never allowed to reach a sampler.
+TEST(CheckpointTest, LoadRejectsPoisonedConfigs) {
+  const std::string path = TempPath("ckpt_poison.bin");
+  auto save_and_expect_rejected = [&](TrainingCheckpoint bad) {
+    std::string error;
+    ASSERT_TRUE(SaveCheckpoint(bad, path, &error)) << error;
+    TrainingCheckpoint loaded;
+    EXPECT_FALSE(LoadCheckpoint(path, &loaded, &error));
+    EXPECT_FALSE(error.empty());
+  };
+  TrainingCheckpoint base;
+  base.config = LdaConfig::PaperDefaults(4);
+  base.assignments = {0, 1};
+
+  TrainingCheckpoint bad = base;
+  bad.config.alpha = std::numeric_limits<double>::quiet_NaN();
+  save_and_expect_rejected(bad);
+  bad = base;
+  bad.config.alpha = -0.5;
+  save_and_expect_rejected(bad);
+  bad = base;
+  bad.config.beta = std::numeric_limits<double>::infinity();
+  save_and_expect_rejected(bad);
+  bad = base;
+  bad.config.beta = 0.0;
+  save_and_expect_rejected(bad);
+  bad = base;
+  bad.config.mh_steps = 0;
+  save_and_expect_rejected(bad);
+  bad = base;
+  bad.config.alpha_vector = {0.1, 0.2};  // wrong length for K=4
+  save_and_expect_rejected(bad);
+}
+
+TEST(CheckpointTest, AtomicSaveLeavesOldCheckpointOnFailedWrite) {
+  TrainingCheckpoint checkpoint;
+  checkpoint.config = LdaConfig::PaperDefaults(4);
+  checkpoint.assignments = {1, 2, 3};
+  std::string path = TempPath("ckpt_atomic.bin");
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(checkpoint, path, &error)) << error;
+  const std::vector<uint8_t> original = ReadAll(path);
+
+  // A save into an unwritable location fails without touching `path`.
+  EXPECT_FALSE(SaveCheckpoint(checkpoint,
+                              "/nonexistent-dir-zz/ckpt.bin", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(ReadAll(path), original);
+  // And no stray temp file is left beside the target.
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+// ---------------------------------------------------------------------------
+// Corruption fuzzing: a checkpoint truncated at ANY byte boundary or with
+// ANY single-byte corruption must be rejected with an error — never a crash,
+// a hang, or a multi-gigabyte allocation.
+
+TEST(CheckpointFuzzTest, TruncationAtEveryByteIsRejected) {
+  TrainingCheckpoint checkpoint;
+  checkpoint.config = LdaConfig::PaperDefaults(6);
+  checkpoint.config.alpha_vector = {0.1, 0.2, 0.3, 0.1, 0.2, 0.3};
+  checkpoint.iteration = 3;
+  checkpoint.assignments = {0, 1, 2, 3, 4, 5, 0, 1};
+  const std::string path = TempPath("ckpt_trunc.bin");
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(checkpoint, path, &error)) << error;
+  const std::vector<uint8_t> bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 36u);
+
+  const std::string cut = TempPath("ckpt_trunc_cut.bin");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteAll(cut, std::vector<uint8_t>(bytes.begin(), bytes.begin() + len));
+    TrainingCheckpoint loaded;
+    error.clear();
+    EXPECT_FALSE(LoadCheckpoint(cut, &loaded, &error))
+        << "accepted a checkpoint truncated to " << len << " bytes";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(CheckpointFuzzTest, EverySingleByteCorruptionIsRejected) {
+  TrainingCheckpoint checkpoint;
+  checkpoint.config = LdaConfig::PaperDefaults(5);
+  checkpoint.iteration = 2;
+  checkpoint.assignments = {0, 1, 2, 3, 4};
+  const std::string path = TempPath("ckpt_flip.bin");
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(checkpoint, path, &error)) << error;
+  const std::vector<uint8_t> bytes = ReadAll(path);
+
+  const std::string flipped = TempPath("ckpt_flip_mut.bin");
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (uint8_t bit : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::vector<uint8_t> mutated = bytes;
+      mutated[pos] ^= bit;
+      WriteAll(flipped, mutated);
+      TrainingCheckpoint loaded;
+      EXPECT_FALSE(LoadCheckpoint(flipped, &loaded, &error))
+          << "accepted corruption at byte " << pos << " bit " << int(bit);
+    }
+  }
+}
+
+TEST(CheckpointFuzzTest, OversizedCountIsRejectedWithoutAllocation) {
+  // Hand-craft a frame whose assignment count claims 2^50 entries. The
+  // header and CRC are valid — only the bounded reader can catch it, and it
+  // must do so BEFORE sizing the vector (the original bug resize()d first).
+  PayloadWriter out;
+  out.Put(uint32_t{4});                       // num_topics
+  out.Put(uint32_t{2});                       // mh_steps
+  out.Put(uint64_t{7});                       // seed
+  out.Put(double{0.5});                       // alpha
+  out.Put(double{0.01});                      // beta
+  out.Put(uint64_t{0});                       // alpha_vector count
+  out.Put(uint32_t{1});                       // iteration
+  out.Put(uint64_t{1} << 50);                 // assignment count: absurd
+  out.Put(uint32_t{0});                       // ...backed by 4 bytes
+  const std::string path = TempPath("ckpt_oversized.bin");
+  std::string error;
+  ASSERT_TRUE(WriteFrame(path, FrameKind::kTrainingCheckpoint, out.bytes(),
+                         &error))
+      << error;
+  TrainingCheckpoint loaded;
+  EXPECT_FALSE(LoadCheckpoint(path, &loaded, &error));
+  EXPECT_TRUE(loaded.assignments.empty());  // nothing was ever allocated
+}
+
+TEST(CheckpointFuzzTest, WrongFrameKindIsRejected) {
+  // A sweep checkpoint handed to the training loader (and vice versa) must
+  // fail on the kind field, not mis-parse.
+  SweepCheckpoint sweep;
+  sweep.config = LdaConfig::PaperDefaults(4);
+  sweep.assignments = {0, 1};
+  sweep.proposals = {0, 0, 1, 1};
+  sweep.ck_fixed = {1, 1, 0, 0};
+  const std::string path = TempPath("ckpt_kind.bin");
+  std::string error;
+  ASSERT_TRUE(SaveSweepCheckpoint(sweep, path, &error)) << error;
+  TrainingCheckpoint loaded;
+  EXPECT_FALSE(LoadCheckpoint(path, &loaded, &error));
+  EXPECT_NE(error.find("kind"), std::string::npos) << error;
+}
+
+TEST(CheckpointFuzzTest, SweepCheckpointValidatesInvariants) {
+  SweepCheckpoint good;
+  good.config = LdaConfig::PaperDefaults(4);
+  good.config.mh_steps = 2;
+  good.assignments = {0, 1, 2, 3};
+  good.proposals = std::vector<TopicId>(8, 1);
+  good.ck_fixed = {1, 1, 1, 1};
+  const std::string path = TempPath("sweep_invariants.bin");
+  std::string error;
+  ASSERT_TRUE(SaveSweepCheckpoint(good, path, &error)) << error;
+  SweepCheckpoint loaded;
+  ASSERT_TRUE(LoadSweepCheckpoint(path, &loaded, &error)) << error;
+
+  auto expect_rejected = [&](const SweepCheckpoint& bad) {
+    ASSERT_TRUE(SaveSweepCheckpoint(bad, path, &error)) << error;
+    SweepCheckpoint out;
+    EXPECT_FALSE(LoadSweepCheckpoint(path, &out, &error));
+    EXPECT_FALSE(error.empty());
+  };
+  SweepCheckpoint bad = good;
+  bad.ck_fixed = {2, 1, 1, 1};  // sums to 5 over 4 tokens
+  expect_rejected(bad);
+  bad = good;
+  bad.ck_fixed = {-1, 3, 1, 1};  // negative count
+  expect_rejected(bad);
+  bad = good;
+  bad.proposals.pop_back();  // no longer mh_steps × tokens
+  expect_rejected(bad);
+  bad = good;
+  bad.proposals[3] = 9;  // out-of-range topic
+  expect_rejected(bad);
+  bad = good;
+  bad.plan.num_doc_blocks = 3;  // block map missing for a 3-block plan
+  expect_rejected(bad);
+}
+
+TEST(CheckpointFuzzTest, SweepTruncationAtEveryByteIsRejected) {
+  Corpus corpus = MakeTinyCorpus();
+  LdaConfig config = LdaConfig::PaperDefaults(4);
+  WarpLdaSampler sampler;
+  sampler.Init(corpus, config);
+  SweepPlan plan = MakeSweepPlan(corpus, 2, 2);
+  ParallelExecutor executor(2);
+  const std::string path = TempPath("sweep_trunc.bin");
+  std::string error;
+  bool saved = false;
+  executor.RunSweep(sampler, plan, [&](SweepStage next) {
+    if (next != SweepStage::kDocAccept || saved) return;
+    SweepCheckpoint captured;
+    ASSERT_TRUE(sampler.CaptureSweepState(&captured));
+    captured.iteration = 0;
+    ASSERT_TRUE(SaveSweepCheckpoint(captured, path, &error)) << error;
+    saved = true;
+  });
+  ASSERT_TRUE(saved);
+  const std::vector<uint8_t> bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 36u);
+
+  const std::string cut = TempPath("sweep_trunc_cut.bin");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteAll(cut, std::vector<uint8_t>(bytes.begin(), bytes.begin() + len));
+    SweepCheckpoint loaded;
+    EXPECT_FALSE(LoadSweepCheckpoint(cut, &loaded, &error))
+        << "accepted a sweep checkpoint truncated to " << len << " bytes";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// In-flight sweep checkpointing: capture at a stage barrier, restore in a
+// fresh sampler ("fresh process" state-wise), finish, and continue — the
+// final assignments must be bit-identical to an uninterrupted run, at every
+// combination of capture/resume thread widths.
+
+class SweepRestoreBitIdentityTest
+    : public ::testing::TestWithParam<std::pair<uint32_t, uint32_t>> {};
+
+TEST_P(SweepRestoreBitIdentityTest, MidSweepRestoreMatchesUninterrupted) {
+  const auto [capture_threads, resume_threads] = GetParam();
+  Corpus corpus = MakeCorpus();
+  LdaConfig config = LdaConfig::PaperDefaults(8);
+  config.alpha = 0.1;
+  SweepPlan plan = MakeSweepPlan(corpus, 3, 2);
+  constexpr uint32_t kTotalSweeps = 6;
+  constexpr uint32_t kInterruptedSweep = 3;  // capture mid-sweep 3
+
+  // Uninterrupted serial reference.
+  WarpLdaSampler reference;
+  reference.Init(corpus, config);
+  ParallelExecutor serial(1);
+  for (uint32_t i = 0; i < kTotalSweeps; ++i) {
+    serial.RunSweep(reference, plan);
+  }
+
+  // Every barrier of the interrupted sweep is a legal capture point; check
+  // them all (word-propose, doc-accept, doc-propose).
+  for (SweepStage barrier : {SweepStage::kWordPropose, SweepStage::kDocAccept,
+                             SweepStage::kDocPropose}) {
+    WarpLdaSampler victim;
+    victim.Init(corpus, config);
+    ParallelExecutor capture_exec(capture_threads);
+    for (uint32_t i = 0; i + 1 < kInterruptedSweep; ++i) {
+      capture_exec.RunSweep(victim, plan);
+    }
+    const std::string path = TempPath(
+        "sweep_resume_" + std::to_string(capture_threads) + "_" +
+        std::to_string(resume_threads) + "_" +
+        std::to_string(static_cast<int>(barrier)) + ".bin");
+    std::string error;
+    bool saved = false;
+    capture_exec.RunSweep(victim, plan, [&](SweepStage next) {
+      if (next != barrier || saved) return;
+      SweepCheckpoint captured;
+      ASSERT_TRUE(victim.CaptureSweepState(&captured));
+      captured.iteration = kInterruptedSweep - 1;
+      ASSERT_TRUE(SaveSweepCheckpoint(captured, path, &error)) << error;
+      saved = true;
+    });
+    ASSERT_TRUE(saved);
+    // `victim` dies here (the simulated kill); everything below uses only
+    // the file.
+
+    SweepCheckpoint loaded;
+    ASSERT_TRUE(LoadSweepCheckpoint(path, &loaded, &error)) << error;
+    EXPECT_EQ(loaded.next_stage, barrier);
+    WarpLdaSampler resumed;
+    resumed.Init(corpus, config);
+    ASSERT_TRUE(resumed.RestoreSweepState(loaded, &error)) << error;
+    ParallelExecutor resume_exec(resume_threads);
+    resume_exec.FinishSweep(resumed, loaded.plan);
+    for (uint32_t i = kInterruptedSweep; i < kTotalSweeps; ++i) {
+      resume_exec.RunSweep(resumed, plan);
+    }
+    EXPECT_EQ(resumed.Assignments(), reference.Assignments())
+        << "diverged after restoring at " << ToString(barrier) << " with "
+        << capture_threads << "->" << resume_threads << " threads";
+    EXPECT_EQ(resumed.topic_counts(), reference.topic_counts());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadWidths, SweepRestoreBitIdentityTest,
+    ::testing::Values(std::pair<uint32_t, uint32_t>{1, 8},
+                      std::pair<uint32_t, uint32_t>{2, 2},
+                      std::pair<uint32_t, uint32_t>{8, 1}),
+    [](const auto& info) {
+      return "capture" + std::to_string(info.param.first) + "_resume" +
+             std::to_string(info.param.second);
+    });
+
+TEST(SweepRestoreTest, RestoreRejectsMismatchedRun) {
+  Corpus corpus = MakeCorpus();
+  LdaConfig config = LdaConfig::PaperDefaults(8);
+  WarpLdaSampler sampler;
+  sampler.Init(corpus, config);
+  SweepCheckpoint captured;
+  ASSERT_TRUE(sampler.CaptureSweepState(&captured));
+
+  std::string error;
+  WarpLdaSampler other;
+  LdaConfig other_config = config;
+  other_config.seed = config.seed + 1;
+  other.Init(corpus, other_config);
+  EXPECT_FALSE(other.RestoreSweepState(captured, &error));  // seed mismatch
+  EXPECT_FALSE(error.empty());
+
+  Corpus tiny = MakeTinyCorpus();
+  WarpLdaSampler wrong_corpus;
+  wrong_corpus.Init(tiny, config);
+  EXPECT_FALSE(wrong_corpus.RestoreSweepState(captured, &error));
+}
+
+// ---------------------------------------------------------------------------
+// Trainer-level durability: checkpoint_every in grid mode writes
+// between-sweeps checkpoints that resume bit-identically; non-grid samplers
+// resume their exact assignments through train.ckpt.
+
+TEST(TrainerDurabilityTest, GridResumeFromIterationCheckpointIsBitIdentical) {
+  Corpus corpus = MakeCorpus();
+  LdaConfig config = LdaConfig::PaperDefaults(8);
+  config.alpha = 0.1;
+
+  TrainOptions base_options;
+  base_options.iterations = 9;
+  base_options.eval_every = 0;
+  base_options.grid_execution = true;
+  base_options.sweep_plan = MakeSweepPlan(corpus, 2, 2);
+  base_options.sweep_threads = 2;
+
+  WarpLdaSampler uninterrupted;
+  TrainResult reference = Train(uninterrupted, corpus, config, base_options);
+
+  const std::string dir = TempPath("train_grid_resume");
+  std::filesystem::remove_all(dir);
+  TrainOptions first_leg = base_options;
+  first_leg.iterations = 6;
+  first_leg.checkpoint_dir = dir;
+  first_leg.checkpoint_every = 3;
+  WarpLdaSampler killed;
+  Train(killed, corpus, config, first_leg);
+
+  TrainOptions second_leg = base_options;  // full 9 iterations
+  second_leg.checkpoint_dir = dir;
+  second_leg.checkpoint_every = 3;
+  second_leg.resume = true;
+  WarpLdaSampler resumed;
+  TrainResult continued = Train(resumed, corpus, config, second_leg);
+  EXPECT_EQ(continued.assignments, reference.assignments);
+  // Resume history restarts after the checkpointed iteration.
+  ASSERT_FALSE(continued.history.empty());
+  EXPECT_EQ(continued.history.front().iteration, 9u);
+}
+
+TEST(TrainerDurabilityTest, NonGridResumeRestoresExactCheckpointState) {
+  Corpus corpus = MakeCorpus();
+  LdaConfig config = LdaConfig::PaperDefaults(8);
+  const std::string dir = TempPath("train_cgs_resume");
+  std::filesystem::remove_all(dir);
+
+  TrainOptions options;
+  options.iterations = 4;
+  options.eval_every = 0;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every = 2;
+  auto first = CreateSampler("cgs");
+  TrainResult run = Train(*first, corpus, config, options);
+
+  // Resuming with the same target: the loop is already complete, so the
+  // result is exactly the checkpointed state.
+  options.resume = true;
+  auto second = CreateSampler("cgs");
+  TrainResult resumed = Train(*second, corpus, config, options);
+  EXPECT_EQ(resumed.assignments, run.assignments);
+}
+
+TEST(TrainerDurabilityTest, ResumeWithCorruptCheckpointThrows) {
+  Corpus corpus = MakeCorpus();
+  LdaConfig config = LdaConfig::PaperDefaults(8);
+  const std::string dir = TempPath("train_corrupt_resume");
+  std::filesystem::remove_all(dir);
+  TrainOptions options;
+  options.iterations = 2;
+  options.eval_every = 0;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every = 1;
+  options.grid_execution = true;
+  options.sweep_plan = MakeSweepPlan(corpus, 2, 2);
+  WarpLdaSampler sampler;
+  Train(sampler, corpus, config, options);
+
+  // Flip a payload byte: resume must fail loudly, not retrain silently.
+  std::vector<uint8_t> bytes = ReadAll(dir + "/sweep.ckpt");
+  bytes[bytes.size() - 1] ^= 0x20;
+  WriteAll(dir + "/sweep.ckpt", bytes);
+  options.resume = true;
+  WarpLdaSampler resumed;
+  EXPECT_THROW(Train(resumed, corpus, config, options), std::runtime_error);
+}
+
+// The CI smoke test: a real SIGKILL mid-sweep (no destructors, no flushes —
+// the closest a test gets to a power cut), then a resume in a fresh
+// trainer, asserting the final model is bit-identical to a run that was
+// never killed. Checkpoints at every stage barrier via checkpoint_stages.
+TEST(CheckpointKillAndResumeTest, SigkillMidSweepResumesBitIdentical) {
+  Corpus corpus = MakeCorpus();
+  LdaConfig config = LdaConfig::PaperDefaults(8);
+  config.alpha = 0.1;
+
+  TrainOptions options;
+  options.iterations = 6;
+  options.eval_every = 0;
+  options.grid_execution = true;
+  options.sweep_plan = MakeSweepPlan(corpus, 2, 2);
+  options.sweep_threads = 2;
+
+  WarpLdaSampler uninterrupted;
+  TrainResult reference = Train(uninterrupted, corpus, config, options);
+
+  const std::string dir = TempPath("kill_resume");
+  std::filesystem::remove_all(dir);
+  options.checkpoint_dir = dir;
+  options.checkpoint_stages = true;
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: train until the doc-accept barrier of sweep 4, then die hard.
+    TrainOptions child_options = options;
+    child_options.checkpoint_hook = [](uint32_t completed,
+                                       SweepStage next_stage) {
+      if (completed == 3 && next_stage == SweepStage::kDocAccept) {
+        kill(getpid(), SIGKILL);
+      }
+    };
+    WarpLdaSampler victim;
+    Train(victim, corpus, config, child_options);
+    _exit(3);  // reaching here means the kill never fired
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of being killed";
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+  ASSERT_TRUE(FileExists(dir + "/sweep.ckpt"));
+
+  options.resume = true;
+  WarpLdaSampler resumed;
+  TrainResult continued = Train(resumed, corpus, config, options);
+  EXPECT_EQ(continued.assignments, reference.assignments);
+  EXPECT_EQ(continued.final_log_likelihood, reference.final_log_likelihood);
+}
+
+// ---------------------------------------------------------------------------
+// Delta-aware serving checkpoints: a base + delta chain on disk restores to
+// exactly the model a full publish would serve.
+
+TEST(ModelStoreCheckpointTest, DeltaChainRestoreEqualsFullPublishRestore) {
+  Corpus corpus = MakeCorpus();
+  LdaConfig config = LdaConfig::PaperDefaults(8);
+  WarpLdaSampler sampler;
+  sampler.Init(corpus, config);
+
+  serve::ModelStoreOptions store_options;
+  store_options.max_delta_fraction = 1.0;  // keep deltas deltas for the test
+  serve::ModelStore store(store_options);
+  const std::string dir = TempPath("model_chain");
+  std::filesystem::remove_all(dir);
+  std::string error;
+
+  std::vector<WordId> changed;
+  std::shared_ptr<const TopicModel> latest;
+  for (int leg = 0; leg < 3; ++leg) {
+    for (int i = 0; i < 2; ++i) sampler.Iterate();
+    latest = sampler.ExportSharedModel(&changed);
+    store.PublishDelta(latest, changed);
+    ASSERT_TRUE(store.CheckpointTo(dir, &error)) << error;
+  }
+  // One base + two deltas on disk.
+  size_t bases = 0;
+  size_t deltas = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    bases += name.ends_with(".base");
+    deltas += name.ends_with(".delta");
+  }
+  EXPECT_EQ(bases, 1u);
+  EXPECT_EQ(deltas, 2u);
+
+  serve::ModelStore restored(store_options);
+  ASSERT_TRUE(restored.RestoreFrom(dir, &error)) << error;
+  ASSERT_NE(restored.Current(), nullptr);
+  // The replayed chain reconstructs the last published model exactly, and
+  // the version continues where the checkpointing process stopped.
+  EXPECT_TRUE(restored.Current()->model() == *latest);
+  EXPECT_EQ(restored.version(), store.version());
+
+  // Serving reads agree with a direct full publish of the same model.
+  serve::ModelStore direct(store_options);
+  auto direct_snapshot = direct.Publish(latest);
+  auto restored_snapshot = restored.Current();
+  for (WordId w = 0; w < latest->num_words(); w += 7) {
+    for (uint32_t k = 0; k < latest->num_topics(); ++k) {
+      EXPECT_EQ(restored_snapshot->Phi(w, k), direct_snapshot->Phi(w, k));
+    }
+  }
+
+  // A restored store continues the chain: the next checkpoint of a new
+  // publish is a delta, not a fresh base.
+  for (int i = 0; i < 2; ++i) sampler.Iterate();
+  latest = sampler.ExportSharedModel(&changed);
+  restored.PublishDelta(latest, changed);
+  ASSERT_TRUE(restored.CheckpointTo(dir, &error)) << error;
+  deltas = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    deltas += entry.path().filename().string().ends_with(".delta");
+  }
+  EXPECT_EQ(deltas, 3u);
+
+  // And the extended chain still restores, matching the newest model.
+  serve::ModelStore again(store_options);
+  ASSERT_TRUE(again.RestoreFrom(dir, &error)) << error;
+  EXPECT_TRUE(again.Current()->model() == *latest);
+}
+
+TEST(ModelStoreCheckpointTest, RestoreRejectsBrokenChains) {
+  serve::ModelStore empty_store;
+  std::string error;
+  const std::string missing = TempPath("no_such_chain");
+  std::filesystem::remove_all(missing);
+  EXPECT_FALSE(empty_store.RestoreFrom(missing, &error));
+  EXPECT_FALSE(error.empty());
+
+  EXPECT_FALSE(empty_store.CheckpointTo(missing, &error));  // nothing published
+
+  // Corrupt one delta in an otherwise valid chain.
+  Corpus corpus = MakeCorpus();
+  LdaConfig config = LdaConfig::PaperDefaults(8);
+  WarpLdaSampler sampler;
+  sampler.Init(corpus, config);
+  serve::ModelStoreOptions store_options;
+  store_options.max_delta_fraction = 1.0;
+  serve::ModelStore store(store_options);
+  const std::string dir = TempPath("model_chain_broken");
+  std::filesystem::remove_all(dir);
+  std::vector<WordId> changed;
+  for (int leg = 0; leg < 2; ++leg) {
+    sampler.Iterate();
+    // Two statements: the export resizes `changed`, so the span handed to
+    // PublishDelta must be formed only afterwards.
+    auto model = sampler.ExportSharedModel(&changed);
+    store.PublishDelta(model, changed);
+    ASSERT_TRUE(store.CheckpointTo(dir, &error)) << error;
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().ends_with(".delta")) {
+      std::vector<uint8_t> bytes = ReadAll(entry.path().string());
+      bytes[bytes.size() / 2] ^= 0x10;
+      WriteAll(entry.path().string(), bytes);
+    }
+  }
+  serve::ModelStore restored(store_options);
+  EXPECT_FALSE(restored.RestoreFrom(dir, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(restored.Current(), nullptr);  // left unchanged on failure
+}
+
+// ---------------------------------------------------------------------------
+// Streaming trainer state: save/load round-trips the exact online state,
+// including the RNG, so a restored trainer walks the same trajectory.
+
+TEST(StreamingStateTest, SaveLoadContinuesExactTrajectory) {
+  Corpus corpus = MakeCorpus();
+  StreamingOptions options;
+  options.num_topics = 6;
+  options.batch_size = 32;
+  options.seed = 41;
+
+  StreamingWarpLda original(corpus.num_words(), options);
+  original.ProcessCorpus(corpus, 1);
+  const std::string path = TempPath("streaming_state.bin");
+  std::string error;
+  ASSERT_TRUE(original.SaveState(path, &error)) << error;
+
+  StreamingWarpLda restored(corpus.num_words(), options);
+  ASSERT_TRUE(restored.LoadState(path, &error)) << error;
+  EXPECT_EQ(restored.batches_seen(), original.batches_seen());
+  EXPECT_TRUE(restored.ExportModel() == original.ExportModel());
+
+  // Both continue identically: the RNG state traveled with the checkpoint.
+  original.ProcessCorpus(corpus, 1);
+  restored.ProcessCorpus(corpus, 1);
+  EXPECT_TRUE(restored.ExportModel() == original.ExportModel());
+}
+
+TEST(StreamingStateTest, LoadRejectsMismatchedTrainer) {
+  Corpus corpus = MakeCorpus();
+  StreamingOptions options;
+  options.num_topics = 6;
+  StreamingWarpLda trainer(corpus.num_words(), options);
+  trainer.ProcessCorpus(corpus, 1);
+  const std::string path = TempPath("streaming_mismatch.bin");
+  std::string error;
+  ASSERT_TRUE(trainer.SaveState(path, &error)) << error;
+
+  StreamingOptions other = options;
+  other.num_topics = 8;
+  StreamingWarpLda wrong_topics(corpus.num_words(), other);
+  EXPECT_FALSE(wrong_topics.LoadState(path, &error));
+
+  StreamingOptions reseeded = options;
+  reseeded.seed = 999;
+  StreamingWarpLda wrong_seed(corpus.num_words(), reseeded);
+  EXPECT_FALSE(wrong_seed.LoadState(path, &error));
+}
+
+// ---------------------------------------------------------------------------
+// The original cross-sampler resume property suite.
 
 TEST(CheckpointTest, RestoreRejectsWrongCorpus) {
   Corpus corpus = MakeCorpus();
@@ -92,7 +782,7 @@ TEST_P(CheckpointResumeTest, RestoredStateMatchesAndTrainingContinues) {
   checkpoint.config = config;
   checkpoint.iteration = 20;
   checkpoint.assignments = original->Assignments();
-  std::string path = testing::TempDir() + "/resume_" + GetParam() + ".bin";
+  std::string path = TempPath("resume_" + GetParam() + ".bin");
   std::string error;
   ASSERT_TRUE(SaveCheckpoint(checkpoint, path, &error)) << error;
 

@@ -259,11 +259,14 @@ TEST(ParallelSweepTest, WorkerReservationIsEnforced) {
   initialized.Init(corpus, TestConfig());
   SweepPlan plan = MakeSweepPlan(corpus, 2, 2);
   initialized.BeginSweep(plan);
-  EXPECT_THROW(initialized.ReserveWorkers(8), std::logic_error);  // mid-sweep
-  // Init sized scratch for 2 workers: worker 1 is usable, worker 2 is not.
+  // At a stage barrier (BeginSweep opens one) the pool may grow — the
+  // mid-sweep restore path relies on this; with blocks in flight it may not.
+  initialized.ReserveWorkers(3);
   initialized.RunBlock(0, 0, 1);
-  EXPECT_THROW(initialized.RunBlock(0, 1, 2), std::invalid_argument);
-  initialized.RunBlock(0, 1, 0);
+  EXPECT_THROW(initialized.ReserveWorkers(8), std::logic_error);  // in flight
+  // Scratch exists for 3 workers: worker 2 is usable, worker 3 is not.
+  EXPECT_THROW(initialized.RunBlock(0, 1, 3), std::invalid_argument);
+  initialized.RunBlock(0, 1, 2);
   initialized.RunBlock(1, 0, 1);
   initialized.RunBlock(1, 1, 0);
   for (int stage = 0; stage < 4; ++stage) {
