@@ -22,10 +22,18 @@
 // reloads its state and keeps learning where the dead process stopped.
 //
 //   ./topic_server [--k 20] [--workers 4] [--requests 2000] [--batch 8]
-//                  [--ckpt-dir DIR]
+//                  [--ckpt-dir DIR] [--metrics-every SEC]
+//
+// --metrics-every SEC turns on the obs metrics layer and dumps the full
+// Prometheus-style exposition (serve_*, store_*, trainer_*, ...) to stdout
+// every SEC seconds plus once at exit — the scrape loop a sidecar exporter
+// would run.
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,12 +42,55 @@
 #include "core/trainer.h"
 #include "core/warp_lda.h"
 #include "corpus/synthetic.h"
+#include "obs/metrics.h"
 #include "serve/model_store.h"
 #include "serve/server.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
 namespace {
+
+/// Periodically prints the global metrics exposition, like a /metrics scrape
+/// loop. Joined (with one final dump) at destruction.
+class MetricsDumper {
+ public:
+  explicit MetricsDumper(int64_t every_seconds) {
+    if (every_seconds <= 0) return;
+    warplda::obs::SetMetricsEnabled(true);
+    thread_ = std::thread([this, every_seconds] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!stop_) {
+        cv_.wait_for(lock, std::chrono::seconds(every_seconds),
+                     [this] { return stop_; });
+        if (stop_) return;
+        Dump();
+      }
+    });
+  }
+
+  ~MetricsDumper() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    Dump();  // final scrape so short runs still show the exposition
+  }
+
+ private:
+  static void Dump() {
+    std::printf("==== metrics ====\n%s==== end metrics ====\n",
+                warplda::obs::MetricsRegistry::Global().TextSnapshot().c_str());
+    std::fflush(stdout);
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 std::vector<std::vector<warplda::WordId>> RequestLoad(
     const warplda::Corpus& corpus, uint32_t count) {
@@ -69,16 +120,22 @@ int main(int argc, char** argv) {
   int64_t workers = 4;
   int64_t requests = 2000;
   int64_t batch = 8;
+  int64_t metrics_every = 0;
   std::string ckpt_dir;
   warplda::FlagSet flags;
   flags.Int("k", &k, "number of topics")
       .Int("workers", &workers, "inference worker threads")
       .Int("requests", &requests, "requests per scenario")
       .Int("batch", &batch, "micro-batch size per worker pass")
+      .Int("metrics-every", &metrics_every,
+           "dump the metrics exposition to stdout every SEC seconds "
+           "(0 = off; also enables hot-path metric recording)")
       .String("ckpt-dir", &ckpt_dir,
               "directory for crash-safe serving/trainer checkpoints "
               "(empty = durability off)");
   if (!flags.Parse(argc, argv)) return 1;
+
+  MetricsDumper metrics_dumper(metrics_every);
 
   warplda::SyntheticConfig synth;
   synth.num_docs = 2000;

@@ -1,13 +1,22 @@
 #include "core/checkpoint.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "util/checkpoint_io.h"
 
 namespace warplda {
 
 namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Structural sanity caps. Generous (the paper's largest run is K = 10^4,
 // M = 16) — their job is to reject nonsense from corrupt files with a clear
@@ -226,6 +235,129 @@ bool LoadSweepCheckpoint(const std::string& path, SweepCheckpoint* checkpoint,
     return Fail(error, path + ": ck snapshot sums to " +
                            std::to_string(ck_sum) + " over " +
                            std::to_string(tokens) + " tokens");
+  }
+  return true;
+}
+
+AsyncCheckpointWriter::AsyncCheckpointWriter(size_t max_pending)
+    : max_pending_(std::max<size_t>(1, max_pending)),
+      writer_([this] { WriterLoop(); }) {}
+
+AsyncCheckpointWriter::~AsyncCheckpointWriter() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;  // writer drains the remaining queue before exiting
+  }
+  cv_work_.notify_all();
+  writer_.join();
+}
+
+void AsyncCheckpointWriter::Enqueue(Item item) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool metrics = obs::MetricsEnabled();
+    const int64_t wait_start = metrics ? NowUs() : 0;
+    cv_space_.wait(lock, [&] { return queue_.size() < max_pending_; });
+    if (metrics) {
+      obs::MetricsRegistry::Global()
+          .GetHistogram("ckpt_submit_wait_us",
+                        "Trainer wait for checkpoint-writer queue room")
+          ->Observe(static_cast<double>(NowUs() - wait_start));
+    }
+    queue_.push_back(std::move(item));
+  }
+  cv_work_.notify_one();
+}
+
+void AsyncCheckpointWriter::Submit(SweepCheckpoint checkpoint,
+                                   std::string path, Completion done) {
+  Item item;
+  item.is_sweep = true;
+  item.sweep = std::move(checkpoint);
+  item.path = std::move(path);
+  item.done = std::move(done);
+  Enqueue(std::move(item));
+}
+
+void AsyncCheckpointWriter::Submit(TrainingCheckpoint checkpoint,
+                                   std::string path, Completion done) {
+  Item item;
+  item.is_sweep = false;
+  item.training = std::move(checkpoint);
+  item.path = std::move(path);
+  item.done = std::move(done);
+  Enqueue(std::move(item));
+}
+
+void AsyncCheckpointWriter::WriterLoop() {
+  obs::Histogram* save_us = nullptr;
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with nothing left to drain
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      writing_ = true;
+    }
+    cv_space_.notify_one();
+
+    const bool metrics = obs::MetricsEnabled();
+    const int64_t save_start = metrics ? NowUs() : 0;
+    std::string err;
+    const bool saved =
+        item.is_sweep ? SaveSweepCheckpoint(item.sweep, item.path, &err)
+                      : SaveCheckpoint(item.training, item.path, &err);
+    if (metrics) {
+      if (save_us == nullptr) {
+        save_us = obs::MetricsRegistry::Global().GetHistogram(
+            "ckpt_save_us",
+            "Background serialize + write + fsync of one checkpoint");
+      }
+      save_us->Observe(static_cast<double>(NowUs() - save_start));
+    }
+    // The completion runs only for durable files and BEFORE the next item is
+    // dequeued: at callback time the newest checkpoint on disk is this one.
+    std::string callback_error;
+    if (saved && item.done) {
+      try {
+        item.done();
+      } catch (const std::exception& e) {
+        callback_error = std::string("checkpoint completion threw: ") +
+                         e.what();
+      } catch (...) {
+        callback_error = "checkpoint completion threw";
+      }
+    }
+
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      writing_ = false;
+      if (!saved && first_error_.empty()) first_error_ = err;
+      if (!callback_error.empty() && first_error_.empty()) {
+        first_error_ = callback_error;
+      }
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+bool AsyncCheckpointWriter::Flush(std::string* error) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [&] { return queue_.empty() && !writing_; });
+  if (!first_error_.empty()) {
+    if (error != nullptr) *error = first_error_;
+    return false;
+  }
+  return true;
+}
+
+bool AsyncCheckpointWriter::ok(std::string* error) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_error_.empty()) {
+    if (error != nullptr) *error = first_error_;
+    return false;
   }
   return true;
 }

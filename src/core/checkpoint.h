@@ -1,7 +1,12 @@
 #ifndef WARPLDA_CORE_CHECKPOINT_H_
 #define WARPLDA_CORE_CHECKPOINT_H_
 
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/sampler.h"
@@ -92,6 +97,80 @@ bool LoadSweepCheckpoint(const std::string& path, SweepCheckpoint* checkpoint,
 /// trained on (token count is validated).
 bool RestoreSampler(Sampler& sampler, const Corpus& corpus,
                     const TrainingCheckpoint& checkpoint, std::string* error);
+
+/// Background checkpoint writer: moves the serialize + write + fsync of
+/// checkpoint saves off the training thread onto one dedicated writer
+/// thread, so a stage barrier pays only the in-memory capture (the moved-in
+/// checkpoint IS the write buffer — Submit takes it by value and the barrier
+/// returns while the writer owns it).
+///
+/// Ordering and durability semantics match the synchronous path exactly:
+///  * one writer thread, FIFO — files land on disk in submit order, through
+///    the same atomic WriteFrame (temp + fsync + rename);
+///  * each item's `done` callback runs on the writer thread immediately
+///    after ITS file is durable and before the next item is dequeued, so at
+///    callback time the newest file on disk is that very checkpoint (the
+///    kill-and-resume harness SIGKILLs inside this callback and relies on
+///    exactly that); a failed write skips its callback, mirroring the sync
+///    path where the save threw before the hook ran;
+///  * at most `max_pending` submissions are in flight (double buffering by
+///    default) — Submit blocks when the queue is full, which also bounds
+///    how far training can run ahead of durability.
+///
+/// The first write failure is latched: ok()/Flush() report it, and every
+/// later submission is still written (a transient disk error should not
+/// discard subsequent checkpoints). Callbacks must not throw — a throwing
+/// callback is caught and latched as an error. The destructor drains the
+/// queue silently (exception-path safety); call Flush() and check it on the
+/// success path.
+class AsyncCheckpointWriter {
+ public:
+  using Completion = std::function<void()>;
+
+  explicit AsyncCheckpointWriter(size_t max_pending = 2);
+  ~AsyncCheckpointWriter();
+
+  AsyncCheckpointWriter(const AsyncCheckpointWriter&) = delete;
+  AsyncCheckpointWriter& operator=(const AsyncCheckpointWriter&) = delete;
+
+  /// Enqueues a checkpoint for writing to `path`. Blocks while `max_pending`
+  /// submissions are already in flight. `done` (optional) runs on the writer
+  /// thread once the file is durable.
+  void Submit(SweepCheckpoint checkpoint, std::string path,
+              Completion done = nullptr);
+  void Submit(TrainingCheckpoint checkpoint, std::string path,
+              Completion done = nullptr);
+
+  /// Blocks until every submitted checkpoint is durable (or failed). Returns
+  /// false and fills `*error` (when non-null) if any write has failed.
+  bool Flush(std::string* error);
+
+  /// Non-blocking: false (and `*error`) once any write has failed.
+  bool ok(std::string* error = nullptr) const;
+
+ private:
+  struct Item {
+    bool is_sweep = false;
+    SweepCheckpoint sweep;
+    TrainingCheckpoint training;
+    std::string path;
+    Completion done;
+  };
+
+  void WriterLoop();
+  void Enqueue(Item item);
+
+  size_t max_pending_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_space_;  // Submit waits for queue room
+  std::condition_variable cv_idle_;   // Flush waits for queue empty + idle
+  std::condition_variable cv_work_;   // writer waits for items
+  std::deque<Item> queue_;            // guarded by mutex_
+  bool writing_ = false;              // an item is being written
+  bool shutdown_ = false;
+  std::string first_error_;           // latched first failure, "" = none
+  std::thread writer_;
+};
 
 }  // namespace warplda
 

@@ -1,8 +1,59 @@
 #include "core/parallel_executor.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace warplda {
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Registry handles are resolved once (first use) and cached; the recording
+// sites only pay a relaxed MetricsEnabled() check per stage, never a lookup.
+struct ExecutorMetrics {
+  obs::Counter* blocks_claimed;
+  obs::Counter* blocks_stolen;
+  obs::Histogram* worker_blocks;
+  obs::Histogram* barrier_wait_us;
+  obs::Histogram* end_stage_us;
+
+  static const ExecutorMetrics& Get() {
+    static const ExecutorMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      ExecutorMetrics em;
+      em.blocks_claimed = reg.GetCounter(
+          "executor_blocks_claimed_total",
+          "Grid blocks executed across all sweep stages");
+      em.blocks_stolen = reg.GetCounter(
+          "executor_blocks_stolen_total",
+          "Blocks run by a different worker than a static round-robin "
+          "schedule would have assigned (dynamic load balancing at work)");
+      em.worker_blocks = reg.GetHistogram(
+          "executor_worker_blocks",
+          "Blocks one worker executed in one stage",
+          obs::DefaultCountBuckets());
+      em.barrier_wait_us = reg.GetHistogram(
+          "executor_barrier_wait_us",
+          "Driver idle time at the end-of-run barrier after finishing its "
+          "own share of tasks");
+      em.end_stage_us = reg.GetHistogram(
+          "executor_end_stage_us",
+          "EndStage barrier work: staged-write apply plus delta fold");
+      return em;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 ParallelExecutor::ParallelExecutor(uint32_t num_threads)
     : num_threads_(std::max(1u, num_threads)) {
@@ -47,8 +98,14 @@ void ParallelExecutor::Run(uint32_t num_tasks, const Task& fn) {
   }
   cv_work_.notify_all();
   RunTasks(*job, 0);  // the caller works too, as worker 0
+  const bool metrics = obs::MetricsEnabled();
+  const int64_t wait_start = metrics ? NowUs() : 0;
   std::unique_lock<std::mutex> lock(mutex_);
   cv_done_.wait(lock, [&] { return job->remaining == 0; });
+  if (metrics) {
+    ExecutorMetrics::Get().barrier_wait_us->Observe(
+        static_cast<double>(NowUs() - wait_start));
+  }
   job_.reset();
   if (job->error) std::rethrow_exception(job->error);
 }
@@ -97,19 +154,58 @@ void ParallelExecutor::FinishSweep(GridSampler& sampler, const SweepPlan& plan,
   const uint32_t doc_blocks = plan.num_doc_blocks;
   const uint32_t word_blocks = plan.num_word_blocks;
   sampler.ReserveWorkers(num_threads_);
+  // Per-worker block tallies for the current stage. Workers write only
+  // their own slot (padded to a cache line); the driver folds them into the
+  // registry at each barrier, where workers are quiescent.
+  struct alignas(64) WorkerTally {
+    uint64_t claimed = 0;
+    uint64_t stolen = 0;
+  };
+  std::vector<WorkerTally> tallies(num_threads_);
   try {
     // Loop from the sampler's current stage — kWordAccept for a fresh
     // sweep, later for one reopened by RestoreSweepState — to completion.
     while (sampler.sweep_stage() != SweepStage::kDone) {
-      // Wavefront order: task t is block (i, j) with i = t mod D and
-      // j = (i + t/D) mod W — round r = t/D rotates the word slice, so the D
-      // earliest-enqueued tasks pair distinct rows with distinct columns.
-      Run(doc_blocks * word_blocks, [&](uint32_t worker, uint32_t t) {
-        const uint32_t i = t % doc_blocks;
-        const uint32_t j = (i + t / doc_blocks) % word_blocks;
-        sampler.RunBlock(i, j, worker);
-      });
-      sampler.EndStage();
+      const SweepStage stage = sampler.sweep_stage();
+      const bool metrics = obs::MetricsEnabled();
+      {
+        // The stage span covers block execution and the EndStage fold, but
+        // not the barrier hook (checkpoints get their own spans).
+        obs::TraceSpan stage_span(ToString(stage), "stage");
+        // Wavefront order: task t is block (i, j) with i = t mod D and
+        // j = (i + t/D) mod W — round r = t/D rotates the word slice, so the
+        // D earliest-enqueued tasks pair distinct rows with distinct columns.
+        Run(doc_blocks * word_blocks, [&](uint32_t worker, uint32_t t) {
+          obs::TraceSpan block_span("block", "executor", t);
+          if (metrics) {
+            tallies[worker].claimed++;
+            // "Stolen" relative to a static round-robin schedule: dynamic
+            // claiming moved this block off its nominal worker.
+            if (worker != t % num_threads_) tallies[worker].stolen++;
+          }
+          const uint32_t i = t % doc_blocks;
+          const uint32_t j = (i + t / doc_blocks) % word_blocks;
+          sampler.RunBlock(i, j, worker);
+        });
+        obs::TraceSpan fold_span("end-stage", "executor");
+        const int64_t fold_start = metrics ? NowUs() : 0;
+        sampler.EndStage();
+        if (metrics) {
+          ExecutorMetrics::Get().end_stage_us->Observe(
+              static_cast<double>(NowUs() - fold_start));
+        }
+      }
+      if (metrics) {
+        const ExecutorMetrics& em = ExecutorMetrics::Get();
+        for (WorkerTally& tally : tallies) {
+          if (tally.claimed > 0) {
+            em.blocks_claimed->Inc(tally.claimed);
+            em.blocks_stolen->Inc(tally.stolen);
+            em.worker_blocks->Observe(static_cast<double>(tally.claimed));
+          }
+          tally = WorkerTally{};
+        }
+      }
       if (barrier_hook && sampler.sweep_stage() != SweepStage::kDone) {
         barrier_hook(sampler.sweep_stage());
       }

@@ -1,5 +1,6 @@
 #include "core/trainer.h"
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
@@ -8,15 +9,63 @@
 #include "core/parallel_executor.h"
 #include "eval/hyperparams.h"
 #include "eval/log_likelihood.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/checkpoint_io.h"
 #include "util/stopwatch.h"
 
 namespace warplda {
 
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Turns hot-path metric recording on for the run when TrainOptions::metrics
+/// asks for it, restoring the previous state on exit. A caller that enabled
+/// metrics globally (e.g. topic_server --metrics-every) is left untouched.
+struct MetricsScope {
+  bool flipped;
+  explicit MetricsScope(bool enable)
+      : flipped(enable && !obs::MetricsEnabled()) {
+    if (flipped) obs::SetMetricsEnabled(true);
+  }
+  ~MetricsScope() {
+    if (flipped) obs::SetMetricsEnabled(false);
+  }
+};
+
+/// Records the run into the global TraceRecorder and writes the Chrome trace
+/// JSON on exit (including exceptional exits — a crash-adjacent trace is the
+/// most interesting kind). Write failures are reported to stderr, never
+/// thrown from a destructor.
+struct TraceScope {
+  std::string path;
+  explicit TraceScope(std::string trace_path) : path(std::move(trace_path)) {
+    if (!path.empty()) obs::TraceRecorder::Global().Start();
+  }
+  ~TraceScope() {
+    if (path.empty()) return;
+    auto& recorder = obs::TraceRecorder::Global();
+    recorder.Stop();
+    std::string err;
+    if (!recorder.WriteJson(path, &err)) {
+      std::fprintf(stderr, "Train: %s\n", err.c_str());
+    }
+  }
+};
+
+}  // namespace
+
 TrainResult Train(Sampler& sampler, const Corpus& corpus,
                   const LdaConfig& config, const TrainOptions& options,
                   const TrainCallback& callback) {
   TrainResult result;
+  MetricsScope metrics_scope(options.metrics);
+  TraceScope trace_scope(options.trace_path);
   sampler.Init(corpus, config);
   double alpha = config.alpha;
   double beta = config.beta;
@@ -36,25 +85,48 @@ TrainResult Train(Sampler& sampler, const Corpus& corpus,
   const bool durable = !options.checkpoint_dir.empty();
   const std::string sweep_path = options.checkpoint_dir + "/sweep.ckpt";
   const std::string train_path = options.checkpoint_dir + "/train.ckpt";
+  std::unique_ptr<AsyncCheckpointWriter> ckpt_writer;
   if (durable) {
     std::string err;
     if (!EnsureDirectory(options.checkpoint_dir, &err)) {
       throw std::runtime_error("Train: " + err);
     }
+    // Saves run on the writer's thread; the training thread pays only the
+    // in-memory capture. Failures are latched and rethrown at the next
+    // submit (or the final flush) — durability failures still fail the run.
+    ckpt_writer = std::make_unique<AsyncCheckpointWriter>(/*max_pending=*/2);
   }
+  auto throw_if_save_failed = [&] {
+    std::string err;
+    if (ckpt_writer != nullptr && !ckpt_writer->ok(&err)) {
+      throw std::runtime_error("Train: checkpoint save failed: " + err);
+    }
+  };
+  obs::Histogram* capture_us =
+      durable ? obs::MetricsRegistry::Global().GetHistogram(
+                    "ckpt_capture_us",
+                    "In-memory checkpoint state capture on the training "
+                    "thread (the only part the barrier pays for)")
+              : nullptr;
 
   // Iteration-boundary checkpoint: in grid mode a between-sweeps
   // SweepCheckpoint (pending proposals + RNG epoch travel along, so the
   // resumed trajectory is bit-identical); otherwise — or when the grid
   // sampler does not support capture — a TrainingCheckpoint.
   auto save_iteration_checkpoint = [&](uint32_t completed) {
-    std::string err;
+    throw_if_save_failed();
+    obs::TraceSpan span("checkpoint-capture", "ckpt");
+    const bool obs_on = obs::MetricsEnabled();
+    const int64_t capture_start = obs_on ? NowUs() : 0;
+    auto completion = [hook = options.checkpoint_hook, completed] {
+      if (hook) hook(completed, SweepStage::kWordAccept);
+    };
     SweepCheckpoint sweep_ckpt;
     if (grid != nullptr && grid->CaptureSweepState(&sweep_ckpt)) {
       sweep_ckpt.iteration = completed;
-      if (!SaveSweepCheckpoint(sweep_ckpt, sweep_path, &err)) {
-        throw std::runtime_error("Train: checkpoint save failed: " + err);
-      }
+      if (obs_on) capture_us->Observe(NowUs() - capture_start);
+      ckpt_writer->Submit(std::move(sweep_ckpt), sweep_path,
+                          std::move(completion));
     } else {
       TrainingCheckpoint ckpt;
       ckpt.config = config;
@@ -62,31 +134,32 @@ TrainResult Train(Sampler& sampler, const Corpus& corpus,
       ckpt.config.beta = beta;
       ckpt.iteration = completed;
       ckpt.assignments = sampler.Assignments();
-      if (!SaveCheckpoint(ckpt, train_path, &err)) {
-        throw std::runtime_error("Train: checkpoint save failed: " + err);
-      }
-    }
-    if (options.checkpoint_hook) {
-      options.checkpoint_hook(completed, SweepStage::kWordAccept);
+      if (obs_on) capture_us->Observe(NowUs() - capture_start);
+      ckpt_writer->Submit(std::move(ckpt), train_path, std::move(completion));
     }
   };
 
-  // Mid-sweep checkpoints at every stage barrier (checkpoint_stages): fired
-  // by the executor on the driver thread, where the sampler is quiescent.
+  // Mid-sweep checkpoints at every stage barrier (checkpoint_stages): the
+  // capture happens on the driver thread, where the sampler is quiescent;
+  // the write happens on the checkpoint writer's thread.
   uint32_t completed_before_sweep = 0;
   ParallelExecutor::StageHook stage_hook;
   if (durable && options.checkpoint_stages && grid != nullptr) {
     stage_hook = [&](SweepStage next_stage) {
+      throw_if_save_failed();
+      obs::TraceSpan span("checkpoint-capture", "ckpt");
+      const bool obs_on = obs::MetricsEnabled();
+      const int64_t capture_start = obs_on ? NowUs() : 0;
       SweepCheckpoint ckpt;
       if (!grid->CaptureSweepState(&ckpt)) return;  // capture unsupported
       ckpt.iteration = completed_before_sweep;
-      std::string err;
-      if (!SaveSweepCheckpoint(ckpt, sweep_path, &err)) {
-        throw std::runtime_error("Train: checkpoint save failed: " + err);
-      }
-      if (options.checkpoint_hook) {
-        options.checkpoint_hook(completed_before_sweep, next_stage);
-      }
+      if (obs_on) capture_us->Observe(NowUs() - capture_start);
+      ckpt_writer->Submit(
+          std::move(ckpt), sweep_path,
+          [hook = options.checkpoint_hook,
+           completed = completed_before_sweep, next_stage] {
+            if (hook) hook(completed, next_stage);
+          });
     };
   }
 
@@ -177,18 +250,21 @@ TrainResult Train(Sampler& sampler, const Corpus& corpus,
   for (uint32_t iter = start_iter; iter <= options.iterations; ++iter) {
     Stopwatch watch;
     completed_before_sweep = iter - 1;
-    if (grid != nullptr) {
-      if (finish_restored_sweep) {
-        // First iteration after a mid-sweep restore: finish the in-flight
-        // sweep from the checkpointed stage (bit-identical to the schedule
-        // the killed run would have executed), then proceed normally.
-        executor->FinishSweep(*grid, restored_plan, stage_hook);
-        finish_restored_sweep = false;
+    {
+      obs::TraceSpan sweep_span("sweep", "trainer", iter);
+      if (grid != nullptr) {
+        if (finish_restored_sweep) {
+          // First iteration after a mid-sweep restore: finish the in-flight
+          // sweep from the checkpointed stage (bit-identical to the schedule
+          // the killed run would have executed), then proceed normally.
+          executor->FinishSweep(*grid, restored_plan, stage_hook);
+          finish_restored_sweep = false;
+        } else {
+          executor->RunSweep(*grid, options.sweep_plan, stage_hook);
+        }
       } else {
-        executor->RunSweep(*grid, options.sweep_plan, stage_hook);
+        sampler.Iterate();
       }
-    } else {
-      sampler.Iterate();
     }
     double elapsed = watch.Seconds();
     sampling_seconds += elapsed;
@@ -218,6 +294,15 @@ TrainResult Train(Sampler& sampler, const Corpus& corpus,
           iter % options.checkpoint_every == 0) ||
          (options.checkpoint_stages && grid != nullptr))) {
       save_iteration_checkpoint(iter);
+    }
+  }
+
+  if (ckpt_writer != nullptr) {
+    // All checkpoints durable (and their hooks fired) before Train returns;
+    // any background write failure surfaces here at the latest.
+    std::string err;
+    if (!ckpt_writer->Flush(&err)) {
+      throw std::runtime_error("Train: checkpoint save failed: " + err);
     }
   }
 

@@ -63,8 +63,22 @@ struct TrainOptions {
   /// disk, with the number of fully completed iterations and the stage the
   /// in-flight sweep will resume at (kWordAccept for an iteration-boundary
   /// checkpoint). The kill-and-resume harness SIGKILLs inside this hook.
+  /// Checkpoints are written by a background thread (core/checkpoint.h
+  /// AsyncCheckpointWriter), so the hook runs on that writer thread — still
+  /// strictly after its checkpoint is durable and before any later file
+  /// write, preserving the kill-and-resume semantics. Must not throw.
   std::function<void(uint32_t completed_iterations, SweepStage next_stage)>
       checkpoint_hook;
+
+  /// Observability (src/obs/). `metrics` turns on the global hot-path
+  /// metric recording for the duration of the run (counters/histograms land
+  /// in obs::MetricsRegistry::Global(): trainer_*, executor_*, ckpt_*).
+  /// `trace_path`, when non-empty, records a Chrome trace_event timeline of
+  /// the run — per-sweep, per-stage, and per-worker block spans — and
+  /// writes it to this path at the end (openable in chrome://tracing or
+  /// Perfetto). Both default off and cost nothing when off.
+  bool metrics = false;
+  std::string trace_path;
 };
 
 /// One row of a convergence trace (the data behind Fig 5's panels).

@@ -4,8 +4,41 @@
 #include <stdexcept>
 
 #include "core/checkpoint.h"
+#include "obs/metrics.h"
 
 namespace warplda {
+
+namespace {
+
+/// Cached registry handles for the sampler-level counters (see
+/// FlushScratchMetrics; the hot path only bumps plain per-worker fields).
+struct SamplerMetrics {
+  obs::Counter* tokens;
+  obs::Counter* proposals;
+  obs::Counter* accepts;
+  obs::Counter* alias_builds;
+
+  static const SamplerMetrics& Get() {
+    static const SamplerMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      SamplerMetrics sm;
+      sm.tokens = reg.GetCounter("trainer_tokens_sampled_total",
+                                 "Tokens run through an MH acceptance chain");
+      sm.proposals = reg.GetCounter(
+          "trainer_mh_proposals_total",
+          "Non-self MH proposals considered (accept rate = accepts/this)");
+      sm.accepts = reg.GetCounter("trainer_mh_accepts_total",
+                                  "MH proposals accepted (topic moved)");
+      sm.alias_builds = reg.GetCounter(
+          "trainer_alias_rebuilds_total",
+          "Word-proposal alias tables (re)built");
+      return sm;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 // Determinism invariant: the fused phases (Iterate) and the grid stages
 // (BeginSweep..EndSweep) must sample identically. Both therefore share the
@@ -118,6 +151,7 @@ void WarpLdaSampler::EndPhase() {
       ck_live_[k] += s.ck_delta[k];
     }
   }
+  FlushScratchMetrics();
 }
 
 void WarpLdaSampler::BuildCounts(HashCount& counts,
@@ -133,16 +167,20 @@ void WarpLdaSampler::BuildCounts(HashCount& counts,
   for (uint32_t i = 0; i < row.size(); ++i) counts.Inc(row[i]);
 }
 
-TopicId WarpLdaSampler::AcceptChain(const HashCount& counts, TopicId current,
+TopicId WarpLdaSampler::AcceptChain(ThreadScratch& s, TopicId current,
                                     const TopicId* props, uint32_t m,
                                     const std::vector<double>* prior_vec,
                                     double prior, uint64_t stream_base,
-                                    uint64_t token, int64_t* ck_delta) {
+                                    uint64_t token) {
+  const HashCount& counts = s.counts;
+  int64_t* ck_delta = s.ck_delta.data();
+  ++s.obs_tokens;
   Rng rng;
   bool seeded = false;
   for (uint32_t j = 0; j < m; ++j) {
     TopicId t = props[j];
     if (t == current) continue;
+    ++s.obs_proposals;
     Trace(reinterpret_cast<const void*>(counts.SlotAddr(t)),
           sizeof(HashCount::Entry), /*random=*/true, /*write=*/false);
     const double prior_t = prior_vec ? (*prior_vec)[t] : prior;
@@ -160,12 +198,33 @@ TopicId WarpLdaSampler::AcceptChain(const HashCount& counts, TopicId current,
       take = rng.NextBernoulli(accept);
     }
     if (take) {
+      ++s.obs_accepts;
       --ck_delta[current];
       ++ck_delta[t];
       current = t;
     }
   }
   return current;
+}
+
+void WarpLdaSampler::FlushScratchMetrics() {
+  uint64_t tokens = 0;
+  uint64_t proposals = 0;
+  uint64_t accepts = 0;
+  uint64_t alias_builds = 0;
+  for (auto& s : scratch_) {
+    tokens += s.obs_tokens;
+    proposals += s.obs_proposals;
+    accepts += s.obs_accepts;
+    alias_builds += s.obs_alias_builds;
+    s.obs_tokens = s.obs_proposals = s.obs_accepts = s.obs_alias_builds = 0;
+  }
+  if (!obs::MetricsEnabled() || tokens + proposals + alias_builds == 0) return;
+  const SamplerMetrics& m = SamplerMetrics::Get();
+  m.tokens->Inc(tokens);
+  m.proposals->Inc(proposals);
+  m.accepts->Inc(accepts);
+  m.alias_builds->Inc(alias_builds);
 }
 
 void WarpLdaSampler::BuildAliasFromCounts(ThreadScratch& scratch) {
@@ -176,6 +235,7 @@ void WarpLdaSampler::BuildAliasFromCounts(ThreadScratch& scratch) {
   // snapshot with the move list) and the grid path (which rebuilds c_w from
   // the column after the stage barrier, having no move list) insert keys in
   // different orders yet load identical tables.
+  ++scratch.obs_alias_builds;
   scratch.alias_entries.clear();
   scratch.counts.ForEachNonZero([&](uint32_t k, int32_t c) {
     scratch.alias_entries.emplace_back(k, static_cast<double>(c));
@@ -263,9 +323,8 @@ void WarpLdaSampler::WordPhase() {
         s.moves.clear();
         for (uint32_t i = 0; i < lw; ++i) {
           const TopicId before = z[i];
-          z[i] = AcceptChain(s.counts, z[i], &proposals_[(base + i) * m], m,
-                             nullptr, beta, stream_base, base + i,
-                             s.ck_delta.data());
+          z[i] = AcceptChain(s, z[i], &proposals_[(base + i) * m], m, nullptr,
+                             beta, stream_base, base + i);
           if (z[i] != before) s.moves.emplace_back(before, z[i]);
         }
 
@@ -317,10 +376,9 @@ void WarpLdaSampler::DocPhase() {
 
         // Accept the pending word proposals (Eq. 7, π^word).
         for (uint32_t i = 0; i < len; ++i) {
-          row[i] = AcceptChain(s.counts, row[i],
-                               &proposals_[row.entry_index(i) * m], m,
-                               alpha_vec, alpha, stream_base,
-                               row.entry_index(i), s.ck_delta.data());
+          row[i] = AcceptChain(s, row[i], &proposals_[row.entry_index(i) * m],
+                               m, alpha_vec, alpha, stream_base,
+                               row.entry_index(i));
         }
 
         // Fresh doc proposals from the updated z_d.
@@ -482,9 +540,9 @@ void WarpLdaSampler::RunWordAcceptBlock(uint32_t doc_block,
         BuildCounts(s.counts, z);
         built = true;
       }
-      grid_.staged[base + i] = AcceptChain(
-          s.counts, z[i], &proposals_[(base + i) * m], m, nullptr, beta,
-          grid_.base_word, base + i, s.ck_delta.data());
+      grid_.staged[base + i] =
+          AcceptChain(s, z[i], &proposals_[(base + i) * m], m, nullptr, beta,
+                      grid_.base_word, base + i);
     }
   }
 }
@@ -532,9 +590,8 @@ void WarpLdaSampler::RunDocAcceptBlock(uint32_t doc_block,
         BuildCounts(s.counts, row);  // full-row pre-stage snapshot
         built = true;
       }
-      grid_.staged[idx] =
-          AcceptChain(s.counts, row[i], &proposals_[idx * m], m, alpha_vec,
-                      alpha, grid_.base_doc, idx, s.ck_delta.data());
+      grid_.staged[idx] = AcceptChain(s, row[i], &proposals_[idx * m], m,
+                                      alpha_vec, alpha, grid_.base_doc, idx);
     }
   }
 }
@@ -608,6 +665,7 @@ void WarpLdaSampler::EndStage() {
       break;  // unreachable, checked above
   }
   std::fill(grid_.block_ran.begin(), grid_.block_ran.end(), 0);
+  FlushScratchMetrics();  // workers are quiescent at the barrier
 }
 
 void WarpLdaSampler::AbortSweep() {

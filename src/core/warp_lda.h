@@ -134,6 +134,13 @@ class WarpLdaSampler : public Sampler, public GridSampler {
     /// (from, to) net topic moves of the current column's acceptances; the
     /// fused word phase replays them into `counts` instead of rescanning.
     std::vector<std::pair<TopicId, TopicId>> moves;
+    /// Plain (non-atomic) obs accumulators, bumped on the hot path and
+    /// drained into the global registry by FlushScratchMetrics() at phase /
+    /// stage barriers — never an atomic op per token.
+    uint64_t obs_tokens = 0;       ///< AcceptChain calls (tokens visited)
+    uint64_t obs_proposals = 0;    ///< non-self MH proposals considered
+    uint64_t obs_accepts = 0;      ///< proposals accepted (topic moved)
+    uint64_t obs_alias_builds = 0; ///< alias tables (re)built
   };
 
   /// State of an open grid sweep (BeginSweep .. EndSweep).
@@ -186,15 +193,21 @@ class WarpLdaSampler : public Sampler, public GridSampler {
                    SparseMatrix<TopicId>::RowView row) const;
 
   /// Runs one token's MH acceptance chain against the delayed snapshots
-  /// (Eq. 7) and returns the final topic. The word phase passes
-  /// (prior_vec=nullptr, prior=β); the doc phase passes the α_k vector (or
-  /// nullptr) and the symmetric α. The RNG stream is seeded lazily — chains
-  /// whose proposals all equal the current topic, or always accept, draw
-  /// nothing.
-  TopicId AcceptChain(const HashCount& counts, TopicId current,
-                      const TopicId* props, uint32_t m,
-                      const std::vector<double>* prior_vec, double prior,
-                      uint64_t stream_base, uint64_t token, int64_t* ck_delta);
+  /// (Eq. 7) and returns the final topic, reading the delayed counts from
+  /// `s.counts` and folding topic moves into `s.ck_delta`. The word phase
+  /// passes (prior_vec=nullptr, prior=β); the doc phase passes the α_k
+  /// vector (or nullptr) and the symmetric α. The RNG stream is seeded
+  /// lazily — chains whose proposals all equal the current topic, or always
+  /// accept, draw nothing.
+  TopicId AcceptChain(ThreadScratch& s, TopicId current, const TopicId* props,
+                      uint32_t m, const std::vector<double>* prior_vec,
+                      double prior, uint64_t stream_base, uint64_t token);
+
+  /// Drains every worker's obs accumulators into the global metrics
+  /// registry (when metrics are enabled; the accumulators are zeroed either
+  /// way). Called at phase ends and stage barriers, where workers are
+  /// quiescent.
+  void FlushScratchMetrics();
 
   /// Loads the word-proposal alias table over q_word ∝ C_wk (the count
   /// branch of the mixture) from scratch.counts, which must hold the

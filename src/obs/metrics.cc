@@ -1,0 +1,405 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace warplda::obs {
+
+namespace internal {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+size_t ThreadShard() {
+  static std::atomic<size_t> next{0};
+  // One fetch_add per thread lifetime; afterwards a plain TLS read. The
+  // first kMetricShards threads get distinct shards, so a worker pool up to
+  // that width never shares a cache line.
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------------- Counter
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& shard : shards_) shard.v.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------- Gauge
+
+void Gauge::Add(double d) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + d,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// --------------------------------------------------------------- Histogram
+
+const std::vector<double>& DefaultLatencyBucketsUs() {
+  static const std::vector<double> buckets = {
+      1,    2,    5,    10,   20,   50,   100,  200,  500,  1e3, 2e3,
+      5e3,  1e4,  2e4,  5e4,  1e5,  2e5,  5e5,  1e6,  2e6,  5e6, 1e7};
+  return buckets;
+}
+
+const std::vector<double>& DefaultCountBuckets() {
+  static const std::vector<double> buckets = {1,  2,  3,  4,   6,   8,   12,
+                                              16, 24, 32, 48,  64,  96,  128,
+                                              256, 512, 1024, 2048, 4096};
+  return buckets;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (auto& shard : shards_) {
+    shard.counts = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+Histogram::Histogram() : Histogram(DefaultLatencyBucketsUs()) {}
+
+void Histogram::Observe(double v) {
+  const size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  Shard& shard = shards_[internal::ThreadShard()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (size_t b = 0; b < shard.counts.size(); ++b) {
+      snap.counts[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    for (auto& c : shard.counts) c.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based nearest-rank), then linear
+  // interpolation across the bucket that contains it.
+  const double rank = std::max(1.0, std::ceil(q * static_cast<double>(count)));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    if (b >= bounds.size()) {
+      // Overflow bucket: the histogram cannot resolve past its last bound.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double hi = bounds[b];
+    const double within =
+        (rank - static_cast<double>(before)) / static_cast<double>(counts[b]);
+    return lo + (hi - lo) * within;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+// ---------------------------------------------------------------- registry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Intentionally leaked: worker threads and TLS destructors may touch
+  // instruments during process teardown; a destructed registry would turn
+  // clean exits into use-after-free roulette.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindLocked(const std::string& name,
+                                                    Kind kind) {
+  for (Entry& entry : entries_) {
+    if (entry.name == name && entry.kind == kind) return &entry;
+  }
+  return nullptr;
+}
+
+std::string MetricsRegistry::UniqueNameLocked(const std::string& name) const {
+  auto taken = [&](const std::string& candidate) {
+    for (const Entry& entry : entries_) {
+      if (entry.name == candidate) return true;
+    }
+    return false;
+  };
+  if (!taken(name)) return name;
+  for (int i = 2;; ++i) {
+    const std::string candidate = name + "_" + std::to_string(i);
+    if (!taken(candidate)) return candidate;
+  }
+}
+
+uint64_t MetricsRegistry::AddLocked(Entry entry) {
+  entry.id = next_id_++;
+  const uint64_t id = entry.id;
+  entries_.push_back(std::move(entry));
+  return id;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = FindLocked(name, Kind::kCounter)) {
+    return existing->counter;
+  }
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.kind = Kind::kCounter;
+  entry.owned_counter = std::make_unique<Counter>();
+  entry.counter = entry.owned_counter.get();
+  Counter* handle = entry.counter;
+  // Owned instruments live for the registry's (i.e. the process') lifetime;
+  // no Registration token is issued for them.
+  AddLocked(std::move(entry));
+  return handle;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = FindLocked(name, Kind::kGauge)) {
+    return existing->gauge;
+  }
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.kind = Kind::kGauge;
+  entry.owned_gauge = std::make_unique<Gauge>();
+  entry.gauge = entry.owned_gauge.get();
+  Gauge* handle = entry.gauge;
+  AddLocked(std::move(entry));
+  return handle;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* existing = FindLocked(name, Kind::kHistogram)) {
+    return existing->histogram;
+  }
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.kind = Kind::kHistogram;
+  entry.owned_histogram = std::make_unique<Histogram>(
+      bounds.empty() ? DefaultLatencyBucketsUs() : bounds);
+  entry.histogram = entry.owned_histogram.get();
+  Histogram* handle = entry.histogram;
+  AddLocked(std::move(entry));
+  return handle;
+}
+
+MetricsRegistry::Registration MetricsRegistry::RegisterCounter(
+    const std::string& name, const std::string& help, Counter* counter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry;
+  entry.name = UniqueNameLocked(name);
+  entry.help = help;
+  entry.kind = Kind::kCounter;
+  entry.counter = counter;
+  return Registration(this, AddLocked(std::move(entry)));
+}
+
+MetricsRegistry::Registration MetricsRegistry::RegisterGauge(
+    const std::string& name, const std::string& help, Gauge* gauge) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry;
+  entry.name = UniqueNameLocked(name);
+  entry.help = help;
+  entry.kind = Kind::kGauge;
+  entry.gauge = gauge;
+  return Registration(this, AddLocked(std::move(entry)));
+}
+
+MetricsRegistry::Registration MetricsRegistry::RegisterHistogram(
+    const std::string& name, const std::string& help, Histogram* histogram) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry;
+  entry.name = UniqueNameLocked(name);
+  entry.help = help;
+  entry.kind = Kind::kHistogram;
+  entry.histogram = histogram;
+  return Registration(this, AddLocked(std::move(entry)));
+}
+
+void MetricsRegistry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+MetricsRegistry::Registration& MetricsRegistry::Registration::operator=(
+    Registration&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void MetricsRegistry::Registration::Release() {
+  if (registry_ != nullptr && id_ != 0) {
+    registry_->Unregister(id_);
+  }
+  registry_ = nullptr;
+  id_ = 0;
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) return "0";  // neither format admits inf/nan
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", v);
+  return buffer;
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const Entry& entry : entries_) {
+    if (!entry.help.empty()) {
+      out += "# HELP " + entry.name + " " + entry.help + "\n";
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + entry.name + " counter\n";
+        out += entry.name + " " + std::to_string(entry.counter->Value()) +
+               "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + entry.name + " gauge\n";
+        out += entry.name + " " + FormatDouble(entry.gauge->Value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + entry.name + " histogram\n";
+        const HistogramSnapshot snap = entry.histogram->Snapshot();
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < snap.counts.size(); ++b) {
+          cumulative += snap.counts[b];
+          const std::string le =
+              b < snap.bounds.size() ? FormatDouble(snap.bounds[b]) : "+Inf";
+          out += entry.name + "_bucket{le=\"" + le + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += entry.name + "_sum " + FormatDouble(snap.sum) + "\n";
+        out += entry.name + "_count " + std::to_string(snap.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string counters;
+  std::string gauges;
+  std::string histograms;
+  for (const Entry& entry : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        counters += (counters.empty() ? "" : ", ");
+        counters += JsonQuote(entry.name) + ": " +
+                    std::to_string(entry.counter->Value());
+        break;
+      case Kind::kGauge:
+        gauges += (gauges.empty() ? "" : ", ");
+        gauges +=
+            JsonQuote(entry.name) + ": " + FormatDouble(entry.gauge->Value());
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snap = entry.histogram->Snapshot();
+        histograms += (histograms.empty() ? "" : ", ");
+        histograms += JsonQuote(entry.name) + ": {\"buckets\": [";
+        for (size_t b = 0; b < snap.counts.size(); ++b) {
+          histograms += b == 0 ? "[" : ", [";
+          histograms += b < snap.bounds.size()
+                            ? FormatDouble(snap.bounds[b])
+                            : std::string("null");  // +Inf bucket
+          histograms += ", " + std::to_string(snap.counts[b]) + "]";
+        }
+        histograms += "], \"sum\": " + FormatDouble(snap.sum) +
+                      ", \"count\": " + std::to_string(snap.count) + "}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+         "}, \"histograms\": {" + histograms + "}}\n";
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& entry : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace warplda::obs

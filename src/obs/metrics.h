@@ -1,0 +1,234 @@
+#ifndef WARPLDA_OBS_METRICS_H_
+#define WARPLDA_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace warplda::obs {
+
+/// Runtime metrics layer: named counters, gauges, and fixed-bucket
+/// histograms, designed so the training and serving hot paths can record
+/// into them without contending on a lock or a shared cache line.
+///
+/// Every instrument is internally sharded: a writer hashes its thread to one
+/// of kMetricShards cache-line-padded slots and does a single relaxed atomic
+/// add there — lock-free, wait-free, and (for the common case of a worker
+/// pool no wider than the shard count) contention-free. Readers merge the
+/// shards on scrape; after writers have quiesced (joined, or parked at a
+/// stage barrier) the merged value is exact, which is what the tests assert.
+///
+/// The instruments are usable standalone (a component owns its histogram and
+/// computes percentiles from it) and registrable in the global
+/// MetricsRegistry, whose TextSnapshot() renders everything in Prometheus
+/// exposition format and JsonSnapshot() as one JSON object — the single
+/// source both ServerStats and the /metrics-style dumps read from, so the
+/// two can never disagree.
+///
+/// A process-global enabled flag (SetMetricsEnabled) gates the *training*
+/// hot-path recordings (grid executor, sampler stage flushes, frame writes
+/// check it before touching any atomic), so a build with metrics compiled in
+/// but disabled pays one relaxed load per flush point and nothing per token.
+/// Serving-side instruments record unconditionally: ServerStats correctness
+/// must not depend on an observability toggle.
+
+/// Shards per instrument. Power of two; threads hash to a shard by a
+/// monotonically assigned thread index, so the first kMetricShards threads
+/// never collide.
+inline constexpr size_t kMetricShards = 16;
+
+namespace internal {
+extern std::atomic<bool> g_metrics_enabled;
+/// Stable per-thread shard index in [0, kMetricShards).
+size_t ThreadShard();
+struct alignas(64) CountShard {
+  std::atomic<uint64_t> v{0};
+};
+struct alignas(64) SumShard {
+  std::atomic<double> v{0.0};
+};
+}  // namespace internal
+
+/// True when hot-path metric recording is on (default: off). Cheap enough to
+/// check per stage barrier or per executor run, not meant per token.
+inline bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) {
+    shards_[internal::ThreadShard()].v.fetch_add(n,
+                                                 std::memory_order_relaxed);
+  }
+  /// Merged value. Exact once writers have quiesced.
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  std::array<internal::CountShard, kMetricShards> shards_;
+};
+
+/// Last-writer-wins scalar (chain depths, queue lengths, on-disk bytes).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time view of a Histogram; also the percentile engine ServerStats
+/// uses (Quantile is O(buckets), independent of how many observations the
+/// histogram has absorbed).
+struct HistogramSnapshot {
+  std::vector<double> bounds;    ///< ascending finite upper bounds
+  std::vector<uint64_t> counts;  ///< per-bucket (not cumulative); size
+                                 ///< bounds.size()+1, last = overflow (+Inf)
+  uint64_t count = 0;            ///< total observations
+  double sum = 0.0;              ///< sum of observed values
+
+  /// Value at quantile q in [0, 1], linearly interpolated inside the bucket
+  /// that contains the rank. The overflow bucket reports the largest finite
+  /// bound (histograms cannot see past their buckets). 0 when empty.
+  double Quantile(double q) const;
+  double Mean() const { return count > 0 ? sum / count : 0.0; }
+};
+
+/// Fixed-bucket histogram. Observe() is two relaxed atomic adds on this
+/// thread's shard plus a branch-free-ish bucket search over a handful of
+/// bounds — cheap enough for one call per request or per stage, not meant
+/// per token (accumulate locally and observe at a barrier instead).
+class Histogram {
+ public:
+  /// `bounds` are ascending finite bucket upper bounds; an overflow (+Inf)
+  /// bucket is implicit. Defaults to DefaultLatencyBucketsUs().
+  explicit Histogram(std::vector<double> bounds);
+  Histogram();
+
+  void Observe(double v);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<uint64_t>> counts;  // bounds.size()+1
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Exponential-ish microsecond latency buckets, 1 µs .. 10 s.
+const std::vector<double>& DefaultLatencyBucketsUs();
+/// Small-count buckets (batch sizes, per-worker block counts), 1 .. 4096.
+const std::vector<double>& DefaultCountBuckets();
+
+/// Process-global registry of named instruments.
+///
+/// Names follow Prometheus conventions ([a-zA-Z_][a-zA-Z0-9_]*, counters
+/// suffixed _total). Get*() lazily creates a registry-owned instrument and
+/// returns a stable pointer — call once and cache the handle; the lookup
+/// takes a mutex, the returned instrument never does. Register*() attaches a
+/// component-owned instrument (e.g. an InferenceServer's latency histograms)
+/// for the lifetime of the returned Registration; a duplicate name gets a
+/// "_2", "_3", … suffix so concurrent instances stay distinguishable.
+class MetricsRegistry {
+ public:
+  /// Removes the registered instrument when destroyed (component teardown).
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept { *this = std::move(other); }
+    Registration& operator=(Registration&& other) noexcept;
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+    ~Registration() { Release(); }
+
+   private:
+    friend class MetricsRegistry;
+    Registration(MetricsRegistry* registry, uint64_t id)
+        : registry_(registry), id_(id) {}
+    void Release();
+    MetricsRegistry* registry_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  /// `bounds` is only consulted on first creation of `name`.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& help = "",
+                          const std::vector<double>& bounds = {});
+
+  [[nodiscard]] Registration RegisterCounter(const std::string& name,
+                                             const std::string& help,
+                                             Counter* counter);
+  [[nodiscard]] Registration RegisterGauge(const std::string& name,
+                                           const std::string& help,
+                                           Gauge* gauge);
+  [[nodiscard]] Registration RegisterHistogram(const std::string& name,
+                                               const std::string& help,
+                                               Histogram* histogram);
+
+  /// Prometheus text exposition format (# HELP / # TYPE / samples;
+  /// histograms as cumulative _bucket{le=...} series plus _sum and _count).
+  std::string TextSnapshot() const;
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {"buckets": [[le, count], ...], "sum": s,
+  /// "count": n}}}.
+  std::string JsonSnapshot() const;
+
+  /// Zeroes every instrument currently known to the registry (owned and
+  /// registered). Test/bench isolation; not meant for production use.
+  void ResetAll();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    uint64_t id = 0;
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+    std::unique_ptr<Counter> owned_counter;
+    std::unique_ptr<Gauge> owned_gauge;
+    std::unique_ptr<Histogram> owned_histogram;
+  };
+
+  Entry* FindLocked(const std::string& name, Kind kind);
+  std::string UniqueNameLocked(const std::string& name) const;
+  // Returns the new entry's id. Deliberately NOT a Registration: a discarded
+  // Registration would run Unregister from its destructor while the caller
+  // still holds mutex_ (self-deadlock on the non-recursive mutex).
+  uint64_t AddLocked(Entry entry);
+  void Unregister(uint64_t id);
+
+  mutable std::mutex mutex_;
+  uint64_t next_id_ = 1;
+  std::vector<Entry> entries_;  // insertion order preserved in snapshots
+};
+
+}  // namespace warplda::obs
+
+#endif  // WARPLDA_OBS_METRICS_H_

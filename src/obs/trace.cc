@@ -1,0 +1,171 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace warplda::obs {
+
+namespace {
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendJsonString(std::string* out, const char* s) {
+  out->push_back('"');
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      *out += buffer;
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Start(size_t events_per_thread) {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  events_per_thread_ = std::max<size_t>(1, events_per_thread);
+  for (ThreadBuffer* buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->capacity = events_per_thread_;
+    buf->events.assign(events_per_thread_, TraceEvent{});
+    buf->next = 0;
+    buf->count = 0;
+  }
+  epoch_ns_ = MonotonicNowNs();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Stop() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (ThreadBuffer* buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->next = 0;
+    buf->count = 0;
+  }
+}
+
+int64_t TraceRecorder::NowUs() const {
+  return (MonotonicNowNs() - epoch_ns_) / 1000;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  // One buffer per (thread, recorder) pair, created on first use and owned
+  // by the (leaked) recorder so late events from exiting threads stay valid.
+  thread_local ThreadBuffer* cached = nullptr;
+  if (cached != nullptr) return cached;
+  auto* buf = new ThreadBuffer();
+  buf->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    buf->capacity = events_per_thread_;
+    buf->events.assign(buf->capacity, TraceEvent{});
+    buffers_.push_back(buf);
+  }
+  cached = buf;
+  return buf;
+}
+
+void TraceRecorder::Record(const char* name, const char* cat, char phase,
+                           uint64_t arg) {
+  if (!enabled()) return;
+  const int64_t ts = NowUs();
+  ThreadBuffer* buf = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buf->mutex);
+  TraceEvent& e = buf->events[buf->next];
+  e.name = name;
+  e.cat = cat;
+  e.phase = phase;
+  e.tid = buf->tid;
+  e.ts_us = ts;
+  e.arg = arg;
+  buf->next = (buf->next + 1) % buf->capacity;
+  buf->count = std::min(buf->count + 1, buf->capacity);
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (const ThreadBuffer* buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    // Oldest event first: the ring's logical start is `next` when full,
+    // index 0 otherwise.
+    const size_t start =
+        buf->count == buf->capacity ? buf->next : 0;
+    for (size_t i = 0; i < buf->count; ++i) {
+      out.push_back(buf->events[(start + i) % buf->capacity]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+std::string TraceRecorder::ToJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\": ";
+    AppendJsonString(&out, e.name != nullptr ? e.name : "");
+    out += ", \"cat\": ";
+    AppendJsonString(&out, e.cat != nullptr ? e.cat : "");
+    out += ", \"ph\": \"";
+    out.push_back(e.phase);
+    out += "\", \"pid\": 1, \"tid\": " + std::to_string(e.tid) +
+           ", \"ts\": " + std::to_string(e.ts_us);
+    if (e.phase == 'i') {
+      out += ", \"s\": \"t\"";  // instant events need a scope
+    }
+    if (e.arg != 0) {
+      out += ", \"args\": {\"v\": " + std::to_string(e.arg) + "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceRecorder::WriteJson(const std::string& path,
+                              std::string* error) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "trace: cannot open " + path;
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    if (error != nullptr) *error = "trace: short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace warplda::obs

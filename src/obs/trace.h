@@ -1,0 +1,128 @@
+#ifndef WARPLDA_OBS_TRACE_H_
+#define WARPLDA_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace warplda::obs {
+
+/// Chrome trace_event recorder: thread-scoped begin/end spans captured into
+/// per-thread ring buffers and written as `{"traceEvents": [...]}` JSON that
+/// chrome://tracing and Perfetto open directly.
+///
+/// Design constraints, in order:
+///   1. Zero cost when disabled. TraceSpan's constructor is one relaxed
+///      atomic load and two pointer stores; no clock read, no allocation,
+///      no branch into the recorder.
+///   2. No allocation on the hot path when enabled. Event names and
+///      categories are `const char*` that must outlive the recorder (string
+///      literals in practice); each thread's ring buffer is allocated once
+///      on that thread's first event.
+///   3. Bounded memory. Each thread's buffer holds `events_per_thread`
+///      events; older events are overwritten ring-style, so a long run
+///      keeps the most recent window rather than growing without bound.
+///
+/// Per-thread buffers are each guarded by their own mutex, which only the
+/// owning thread and a snapshotting reader ever touch — effectively
+/// uncontended. Begin/end are separate "B"/"E" events (matched by tid and
+/// nesting order, per the trace_event spec), so a span that is still open
+/// when the buffer is snapshotted simply has no "E" yet.
+
+/// One recorded event. 48 bytes; names/cats must be static strings.
+struct TraceEvent {
+  const char* name = nullptr;  ///< span name (static string)
+  const char* cat = nullptr;   ///< category (static string)
+  char phase = 'B';            ///< 'B' begin, 'E' end, 'i' instant
+  uint32_t tid = 0;            ///< recorder-assigned thread id
+  int64_t ts_us = 0;           ///< microseconds since Start()
+  uint64_t arg = 0;            ///< optional scalar arg (block index, bytes…)
+};
+
+class TraceRecorder {
+ public:
+  /// Process-global recorder (intentionally leaked; see metrics.cc).
+  static TraceRecorder& Global();
+
+  /// Enables recording. Clears previously captured events and re-bases the
+  /// timestamp origin. `events_per_thread` bounds each thread's ring.
+  void Start(size_t events_per_thread = 1 << 16);
+  /// Disables recording. Captured events stay available for Snapshot() and
+  /// WriteJson() until Clear() or the next Start().
+  void Stop();
+  /// Drops all captured events (buffers are retained for reuse).
+  void Clear();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records a raw event now. No-op when disabled. `name` and `cat` must be
+  /// static strings.
+  void Record(const char* name, const char* cat, char phase, uint64_t arg = 0);
+
+  /// Merged, timestamp-sorted copy of every thread's ring. Events a ring has
+  /// overwritten are gone; within a ring, order is preserved.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Writes the captured events as Chrome trace JSON. Returns false and
+  /// fills `*error` (when non-null) on I/O failure.
+  bool WriteJson(const std::string& path, std::string* error = nullptr) const;
+
+  /// Serializes the captured events to a Chrome trace JSON string.
+  std::string ToJson() const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;  // owner thread vs. snapshotting reader
+    uint32_t tid = 0;
+    size_t capacity = 0;
+    size_t next = 0;     // ring write cursor
+    size_t count = 0;    // events currently held (≤ capacity)
+    std::vector<TraceEvent> events;
+  };
+
+  TraceRecorder() = default;
+  ThreadBuffer* BufferForThisThread();
+  int64_t NowUs() const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex buffers_mutex_;  // guards the buffer list, not contents
+  std::vector<ThreadBuffer*> buffers_;  // leaked with the recorder
+  size_t events_per_thread_ = 1 << 16;
+  std::atomic<uint32_t> next_tid_{0};
+  int64_t epoch_ns_ = 0;  // Start() time; event ts are relative to this
+};
+
+/// RAII begin/end span. Constructing when tracing is disabled costs one
+/// relaxed load; nothing else happens until destruction (also a no-op).
+/// Spans must be destroyed on the thread that created them and in LIFO
+/// order (automatic storage guarantees both).
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat, uint64_t arg = 0) {
+    TraceRecorder& rec = TraceRecorder::Global();
+    if (rec.enabled()) {
+      name_ = name;
+      cat_ = cat;
+      rec.Record(name, cat, 'B', arg);
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder::Global().Record(name_, cat_, 'E');
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+};
+
+}  // namespace warplda::obs
+
+#endif  // WARPLDA_OBS_TRACE_H_

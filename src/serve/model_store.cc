@@ -1,6 +1,7 @@
 #include "serve/model_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -12,6 +13,37 @@
 #include "util/checkpoint_io.h"
 
 namespace warplda::serve {
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ModelStore::ModelStore(const ModelStoreOptions& options) : options_(options) {
+  auto& registry = obs::MetricsRegistry::Global();
+  publish_reg_ = registry.RegisterHistogram(
+      "store_publish_us", "Full snapshot prebuild + swap time", &publish_us_);
+  publish_delta_reg_ = registry.RegisterHistogram(
+      "store_publish_delta_us",
+      "Incremental (delta) snapshot prebuild + swap time", &publish_delta_us_);
+  arena_chain_reg_ = registry.RegisterGauge(
+      "store_arena_chain",
+      "Correction-arena chain length of the newest published snapshot",
+      &arena_chain_);
+  ckpt_bytes_reg_ = registry.RegisterGauge(
+      "store_ckpt_chain_bytes",
+      "Bytes of model-*.base/.delta checkpoint files on disk",
+      &ckpt_chain_bytes_);
+  ckpt_files_reg_ = registry.RegisterGauge(
+      "store_ckpt_chain_files",
+      "Count of model-*.base/.delta checkpoint files on disk",
+      &ckpt_chain_files_);
+}
 
 size_t ModelSnapshot::CorrectionArena::MemoryBytes() const {
   size_t bytes = sizeof(*this) + topics.capacity() * sizeof(TopicId) +
@@ -164,10 +196,13 @@ std::shared_ptr<const ModelSnapshot> ModelStore::Publish(
     std::shared_ptr<const TopicModel> model) {
   // The O(nnz + K) (sparse) or O(V·K) (dense) prebuild happens outside the
   // lock; only the pointer swap is serialized.
+  const int64_t start = NowUs();
   auto snapshot = std::make_shared<ModelSnapshot>(std::move(model),
                                                   /*version=*/0,
                                                   options_.layout);
   Swap(snapshot, /*expected_base=*/nullptr);
+  publish_us_.Observe(static_cast<double>(NowUs() - start));
+  arena_chain_.Set(static_cast<double>(snapshot->arena_chain()));
   return snapshot;
 }
 
@@ -188,8 +223,13 @@ std::shared_ptr<const ModelSnapshot> ModelStore::PublishDelta(
           options_.max_delta_fraction * model->num_words();
   if (!delta_applicable) return Publish(std::move(model));
 
+  const int64_t start = NowUs();
   auto snapshot = std::make_shared<ModelSnapshot>(model, *base, changed_words);
-  if (Swap(snapshot, base.get())) return snapshot;
+  if (Swap(snapshot, base.get())) {
+    publish_delta_us_.Observe(static_cast<double>(NowUs() - start));
+    arena_chain_.Set(static_cast<double>(snapshot->arena_chain()));
+    return snapshot;
+  }
   // A concurrent publisher swapped the base out mid-build: the rows shared
   // from `base` may not match the published lineage anymore, so fall back
   // to a full rebuild against the authoritative model.
@@ -361,7 +401,67 @@ bool ModelStore::CheckpointTo(const std::string& dir, std::string* error) {
   ckpt_model_ = model;
   ckpt_version_ = version;
   ckpt_chain_ = full ? 1 : ckpt_chain_ + 1;
+  PruneChainLocked();
   return true;
+}
+
+void ModelStore::PruneChainLocked() {
+  struct ChainFile {
+    uint64_t version = 0;
+    bool full = false;
+    std::string path;
+    uint64_t bytes = 0;
+  };
+  std::vector<ChainFile> files;
+  uint64_t newest_base = 0;
+  bool have_base = false;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(ckpt_dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long v = 0;
+    char kind[8] = {0};
+    if (std::sscanf(name.c_str(), "model-%20llu.%5s", &v, kind) != 2) continue;
+    const bool full = std::string(kind) == "base";
+    if (!full && std::string(kind) != "delta") continue;
+    std::error_code size_ec;
+    const uint64_t bytes = entry.file_size(size_ec);
+    files.push_back(ChainFile{v, full, entry.path().string(),
+                              size_ec ? 0 : static_cast<uint64_t>(bytes)});
+    if (full && (!have_base || v > newest_base)) {
+      newest_base = v;
+      have_base = true;
+    }
+  }
+  if (!ec) {
+    std::sort(files.begin(), files.end(),
+              [](const ChainFile& a, const ChainFile& b) {
+                return a.version < b.version;
+              });
+    const uint32_t cap = options_.checkpoint.max_chain_len;
+    if (cap > 0 && have_base) {
+      // Superseded = anything a restore would skip: bases older than the
+      // newest base, and deltas at or before it. Delete oldest-first until
+      // the cap is met; the active chain itself is never touched even when
+      // it alone exceeds the cap.
+      for (auto it = files.begin();
+           it != files.end() && files.size() > cap;) {
+        const bool active =
+            it->version > newest_base || (it->full && it->version == newest_base);
+        if (active) break;  // sorted ascending: the rest is active too
+        std::error_code rm_ec;
+        std::filesystem::remove(it->path, rm_ec);
+        if (rm_ec) {
+          ++it;  // best-effort: leave it, count it, move on
+        } else {
+          it = files.erase(it);
+        }
+      }
+    }
+  }
+  uint64_t total_bytes = 0;
+  for (const ChainFile& f : files) total_bytes += f.bytes;
+  ckpt_chain_bytes_.Set(static_cast<double>(total_bytes));
+  ckpt_chain_files_.Set(static_cast<double>(files.size()));
 }
 
 bool ModelStore::RestoreFrom(const std::string& dir, std::string* error) {
@@ -516,6 +616,7 @@ bool ModelStore::RestoreFrom(const std::string& dir, std::string* error) {
     ckpt_model_ = model;
     ckpt_version_ = version;
     ckpt_chain_ = chain;
+    PruneChainLocked();  // prune files the replay skipped; prime the gauges
   }
   return true;
 }

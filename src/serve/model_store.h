@@ -12,6 +12,7 @@
 #include "core/inference.h"
 #include "corpus/corpus.h"
 #include "eval/topic_model.h"
+#include "obs/metrics.h"
 #include "util/alias_table.h"
 
 namespace warplda::serve {
@@ -207,6 +208,18 @@ class ModelSnapshot {
   DensePhiTable dense_;  // kDense only
 };
 
+/// Durable-checkpoint retention policy (ModelStore::CheckpointTo).
+struct CheckpointOptions {
+  /// When > 0, CheckpointTo prunes superseded chain files after each
+  /// successful write: files older than the active chain (the newest base
+  /// plus its deltas) are deleted oldest-first until at most this many
+  /// model-*.base/.delta files remain in the directory. The active chain is
+  /// never pruned, even when it alone exceeds the cap — restorability wins
+  /// over the byte budget. 0 (default) keeps every file forever, the
+  /// pre-retention behavior.
+  uint32_t max_chain_len = 0;
+};
+
 /// Tuning knobs for ModelStore.
 struct ModelStoreOptions {
   SnapshotLayout layout = SnapshotLayout::kSparseTiered;
@@ -223,6 +236,8 @@ struct ModelStoreOptions {
   /// publishes fall back to a full (compacting) Publish instead. 1.0
   /// disables the fallback.
   double max_delta_fraction = 0.25;
+  /// On-disk retention for CheckpointTo's chain files.
+  CheckpointOptions checkpoint;
 };
 
 /// Publishes immutable model snapshots to concurrent readers RCU-style.
@@ -253,8 +268,8 @@ struct ModelStoreOptions {
 /// answering from the store.
 class ModelStore {
  public:
-  ModelStore() = default;
-  explicit ModelStore(const ModelStoreOptions& options) : options_(options) {}
+  ModelStore() : ModelStore(ModelStoreOptions{}) {}
+  explicit ModelStore(const ModelStoreOptions& options);
   ModelStore(const ModelStore&) = delete;
   ModelStore& operator=(const ModelStore&) = delete;
 
@@ -352,6 +367,27 @@ class ModelStore {
   std::shared_ptr<const TopicModel> ckpt_model_;
   uint64_t ckpt_version_ = 0;
   uint32_t ckpt_chain_ = 0;
+
+  /// Deletes superseded chain files in ckpt_dir_ per options_.checkpoint and
+  /// refreshes the chain gauges. Called under ckpt_mutex_ after a successful
+  /// write or restore; prune failures are ignored (retention is best-effort,
+  /// the chain itself is already durable).
+  void PruneChainLocked();
+
+  /// Serving-side instruments, registered for the store's lifetime (names
+  /// store_*, auto-suffixed when several stores coexist). Recorded
+  /// unconditionally, like the InferenceServer's — publish latency and chain
+  /// depth are serving health signals, not training hot-path cost.
+  obs::Histogram publish_us_;
+  obs::Histogram publish_delta_us_;
+  obs::Gauge arena_chain_;       ///< arena chain length of the newest publish
+  obs::Gauge ckpt_chain_bytes_;  ///< bytes of model-* files in ckpt_dir_
+  obs::Gauge ckpt_chain_files_;  ///< count of model-* files in ckpt_dir_
+  obs::MetricsRegistry::Registration publish_reg_;
+  obs::MetricsRegistry::Registration publish_delta_reg_;
+  obs::MetricsRegistry::Registration arena_chain_reg_;
+  obs::MetricsRegistry::Registration ckpt_bytes_reg_;
+  obs::MetricsRegistry::Registration ckpt_files_reg_;
 };
 
 }  // namespace warplda::serve

@@ -1,10 +1,10 @@
 #include "serve/server.h"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "serve/engine.h"
 
 namespace warplda::serve {
@@ -20,10 +20,23 @@ double MicrosSince(TimePoint start, TimePoint end) {
 
 InferenceServer::InferenceServer(const ModelStore& store,
                                  const ServerOptions& options)
-    : store_(store), options_(options) {
+    : store_(store),
+      options_(options),
+      batch_size_(obs::DefaultCountBuckets()) {
   if (options_.num_workers == 0) options_.num_workers = 1;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.max_batch == 0) options_.max_batch = 1;
+  auto& registry = obs::MetricsRegistry::Global();
+  queue_wait_reg_ = registry.RegisterHistogram(
+      "serve_queue_wait_us", "Request wait from enqueue to batch claim",
+      &queue_wait_us_);
+  infer_reg_ = registry.RegisterHistogram(
+      "serve_infer_us", "Per-request inference sampling time", &infer_us_);
+  request_reg_ = registry.RegisterHistogram(
+      "serve_request_us", "End-to-end request latency (ServerStats p50/p99)",
+      &request_us_);
+  batch_size_reg_ = registry.RegisterHistogram(
+      "serve_batch_size", "Requests claimed per worker pass", &batch_size_);
   workers_.reserve(options_.num_workers);
   for (uint32_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -128,6 +141,8 @@ void InferenceServer::WorkerLoop() {
     }
 
     batches_.fetch_add(1, std::memory_order_relaxed);
+    batch_size_.Observe(static_cast<double>(batch.size()));
+    obs::TraceSpan batch_span("serve-batch", "serve", batch.size());
     SharedInferenceEngine engine(snapshot, options_.inference);
     for (Request& request : batch) {
       // A failing request must not take the worker (and with it the whole
@@ -143,18 +158,13 @@ void InferenceServer::WorkerLoop() {
         const Clock::time_point end = Clock::now();
         result.queue_micros = MicrosSince(request.enqueued, start);
         result.infer_micros = MicrosSince(start, end);
-        const double total_micros = MicrosSince(request.enqueued, end);
         // Account before resolving the future so a caller that gets() the
         // last result and immediately reads Stats() sees itself counted.
-        {
-          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-          if (latencies_micros_.size() < kLatencyWindow) {
-            latencies_micros_.push_back(total_micros);
-          } else {
-            latencies_micros_[latency_cursor_] = total_micros;
-          }
-          latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
-        }
+        // Observe() is two relaxed atomic adds on this thread's shard — the
+        // histograms replace the old latency ring + mutex.
+        queue_wait_us_.Observe(result.queue_micros);
+        infer_us_.Observe(result.infer_micros);
+        request_us_.Observe(MicrosSince(request.enqueued, end));
         completed_.fetch_add(1, std::memory_order_release);
         request.promise.set_value(std::move(result));
       } catch (...) {
@@ -213,25 +223,12 @@ ServerStats InferenceServer::Stats() const {
         std::chrono::duration<double>(Clock::now() - first).count();
     if (seconds > 0.0) stats.qps = stats.completed / seconds;
   }
-  std::vector<double> latencies;
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    latencies = latencies_micros_;
-  }
-  if (!latencies.empty()) {
-    auto percentile = [&latencies](double q) {
-      // Nearest-rank: the smallest value with at least q of the sample at or
-      // below it, ceil(q·n)-1 zero-based.
-      const double rank = std::ceil(q * static_cast<double>(latencies.size()));
-      const size_t idx = std::min(latencies.size() - 1,
-                                  static_cast<size_t>(std::max(rank, 1.0)) - 1);
-      std::nth_element(latencies.begin(),
-                       latencies.begin() + static_cast<ptrdiff_t>(idx),
-                       latencies.end());
-      return latencies[idx];
-    };
-    stats.p50_micros = percentile(0.50);
-    stats.p99_micros = percentile(0.99);
+  // O(buckets) and consistent with the /metrics exposition by construction:
+  // both read the same histogram.
+  const obs::HistogramSnapshot latency = request_us_.Snapshot();
+  if (latency.count > 0) {
+    stats.p50_micros = latency.Quantile(0.50);
+    stats.p99_micros = latency.Quantile(0.99);
   }
   return stats;
 }

@@ -13,6 +13,7 @@
 
 #include "core/inference.h"
 #include "corpus/corpus.h"
+#include "obs/metrics.h"
 #include "serve/model_store.h"
 
 namespace warplda::serve {
@@ -40,15 +41,18 @@ struct InferenceResult {
   double infer_micros = 0.0;    ///< time spent sampling
 };
 
-/// Point-in-time serving metrics.
+/// Point-in-time serving metrics — a thin view over the server's obs
+/// instruments (the same histograms the /metrics snapshot renders, so the
+/// two can never disagree).
 struct ServerStats {
   uint64_t submitted = 0;   ///< accepted into the queue
   uint64_t rejected = 0;    ///< shed by TrySubmit on a full queue
   uint64_t completed = 0;
   uint64_t failed = 0;      ///< futures resolved with an exception
   double qps = 0.0;             ///< completed / seconds since first submit
-  /// End-to-end latency percentiles over the most recent requests (a
-  /// bounded window, so long-running servers keep O(1) memory).
+  /// End-to-end latency percentiles, read from the server's fixed-bucket
+  /// latency histogram: O(buckets) per Stats() call regardless of uptime,
+  /// bucket-interpolated (not exact order statistics).
   double p50_micros = 0.0;
   double p99_micros = 0.0;
   double mean_batch = 0.0;      ///< average requests claimed per worker pass
@@ -143,12 +147,18 @@ class InferenceServer {
   std::atomic<bool> started_{false};
   Clock::time_point first_submit_;
 
-  /// Ring buffer of the most recent end-to-end latencies: bounds both the
-  /// server's memory and the cost of a Stats() call regardless of uptime.
-  static constexpr size_t kLatencyWindow = 1 << 16;
-  mutable std::mutex stats_mutex_;
-  std::vector<double> latencies_micros_;  // grows to kLatencyWindow, then ring
-  size_t latency_cursor_ = 0;
+  /// Serving instruments, owned by the server and registered with the global
+  /// registry for the server's lifetime (names serve_*, auto-suffixed when
+  /// several servers coexist). Recording is lock-free and unconditional —
+  /// Stats() correctness does not depend on the obs enabled toggle.
+  obs::Histogram queue_wait_us_;  ///< enqueue → batch claim
+  obs::Histogram infer_us_;       ///< per-request sampling time
+  obs::Histogram request_us_;     ///< end-to-end (enqueue → resolved)
+  obs::Histogram batch_size_;     ///< requests claimed per worker pass
+  obs::MetricsRegistry::Registration queue_wait_reg_;
+  obs::MetricsRegistry::Registration infer_reg_;
+  obs::MetricsRegistry::Registration request_reg_;
+  obs::MetricsRegistry::Registration batch_size_reg_;
 
   std::mutex shutdown_mutex_;  // serializes Shutdown() callers
   std::vector<std::thread> workers_;

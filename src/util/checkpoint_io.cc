@@ -5,15 +5,44 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 
+#include "obs/metrics.h"
 #include "util/crc32.h"
 
 namespace warplda {
 
 namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct FrameMetrics {
+  obs::Histogram* write_us;
+  obs::Histogram* fsync_us;
+  obs::Counter* bytes_total;
+
+  static const FrameMetrics& Get() {
+    static const FrameMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      FrameMetrics fm;
+      fm.write_us = reg.GetHistogram(
+          "ckpt_frame_write_us", "Serialized frame write() time (pre-fsync)");
+      fm.fsync_us = reg.GetHistogram(
+          "ckpt_frame_fsync_us", "Frame data fsync() time (pre-rename)");
+      fm.bytes_total = reg.GetCounter("ckpt_frame_bytes_total",
+                                      "Frame bytes written (header+payload)");
+      return fm;
+    }();
+    return m;
+  }
+};
 
 // "WARPCKP2": same byte spelling convention as the retired v1 magic, bumped
 // because v1 files carried no version, endianness, size, or CRC fields.
@@ -87,12 +116,21 @@ bool WriteFrame(const std::string& path, FrameKind kind,
   if (fd < 0) {
     return Fail(error, Errno("cannot open " + tmp + " for writing"));
   }
+  const bool metrics = obs::MetricsEnabled();
+  const int64_t write_start = metrics ? NowUs() : 0;
   bool ok = WriteAll(fd, reinterpret_cast<const uint8_t*>(&header),
                      sizeof(header)) &&
             WriteAll(fd, payload.data(), payload.size());
+  const int64_t fsync_start = metrics ? NowUs() : 0;
   // fsync before rename: the data must be on disk before the name points at
   // it, or a crash could expose a complete-looking but empty file.
   ok = ok && ::fsync(fd) == 0;
+  if (metrics && ok) {
+    const FrameMetrics& fm = FrameMetrics::Get();
+    fm.write_us->Observe(static_cast<double>(fsync_start - write_start));
+    fm.fsync_us->Observe(static_cast<double>(NowUs() - fsync_start));
+    fm.bytes_total->Inc(sizeof(header) + payload.size());
+  }
   if (::close(fd) != 0) ok = false;
   if (!ok) {
     const std::string message = Errno("write error on " + tmp);

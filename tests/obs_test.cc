@@ -1,0 +1,521 @@
+// Tests for the obs layer (src/obs/): sharded instrument exactness under
+// concurrency, registry snapshots (Prometheus text + JSON, parsed back),
+// registration lifecycle, trace ring bounding and span balance, and the
+// zero-cost-when-disabled guarantees the hot paths rely on.
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace warplda::obs {
+namespace {
+
+// --------------------------------------------------------------- allocator
+// Global allocation counter for the disabled-path zero-allocation test.
+// Replacing the global operators affects the whole test binary, so the
+// counter is only *read* inside a narrow window around the code under test.
+std::atomic<uint64_t> g_allocations{0};
+
+}  // namespace
+}  // namespace warplda::obs
+
+void* operator new(size_t size) {
+  warplda::obs::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+
+namespace warplda::obs {
+namespace {
+
+// ------------------------------------------------------- minimal JSON read
+// Just enough of a recursive-descent parser to validate the snapshots the
+// registry and the trace recorder emit. Throws std::runtime_error on
+// malformed input, which fails the test via ASSERT_NO_THROW wrappers.
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key " + key);
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing JSON bytes");
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected JSON end");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+      case 'f':
+        return ParseBool();
+      case 'n':
+        ParseLiteral("null");
+        return JsonValue{};
+      default:
+        return ParseNumber();
+    }
+  }
+
+  void ParseLiteral(const char* lit) {
+    SkipSpace();
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        throw std::runtime_error(std::string("bad literal, wanted ") + lit);
+      }
+    }
+  }
+
+  JsonValue ParseBool() {
+    JsonValue v;
+    v.kind = JsonValue::kBool;
+    if (Peek() == 't') {
+      ParseLiteral("true");
+      v.boolean = true;
+    } else {
+      ParseLiteral("false");
+    }
+    return v;
+  }
+
+  JsonValue ParseNumber() {
+    SkipSpace();
+    size_t end = 0;
+    JsonValue v;
+    v.kind = JsonValue::kNumber;
+    v.number = std::stod(text_.substr(pos_), &end);
+    if (end == 0) throw std::runtime_error("bad JSON number");
+    pos_ += end;
+    return v;
+  }
+
+  JsonValue ParseString() {
+    Expect('"');
+    JsonValue v;
+    v.kind = JsonValue::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+            c = static_cast<char>(
+                std::stoul(text_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          default: c = e; break;
+        }
+      }
+      v.str += c;
+    }
+    Expect('"');
+    return v;
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue v;
+    v.kind = JsonValue::kArray;
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(ParseValue());
+      if (Peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      Expect(',');
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue v;
+    v.kind = JsonValue::kObject;
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = ParseString();
+      Expect(':');
+      v.object[key.str] = ParseValue();
+      if (Peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      Expect(',');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------- instruments
+
+TEST(Counter, ConcurrentMergeIsExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kIncs = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kIncs; ++i) counter.Inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Writers have quiesced (joined): the shard merge is exact, not
+  // approximate — this is the property the stage-barrier flushes rely on.
+  EXPECT_EQ(counter.Value(), kThreads * kIncs);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge gauge;
+  gauge.Set(3.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.5);
+  gauge.Add(1.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 5.0);
+  gauge.Add(-2.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.0);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+TEST(Histogram, ConcurrentMergeIsExact) {
+  Histogram hist({10.0, 100.0, 1000.0});
+  constexpr int kThreads = 8;
+  constexpr int kObs = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kObs; ++i) {
+        hist.Observe(static_cast<double>((t * kObs + i) % 2000));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kObs);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+  // Values cycle 0..1999 uniformly: 0..10 → first bucket, >1000 → overflow.
+  EXPECT_EQ(snap.counts.size(), 4u);
+  EXPECT_GT(snap.counts[3], 0u);  // overflow bucket saw the 1001..1999 half
+  double expected_sum = 0.0;
+  for (int i = 0; i < kThreads * kObs; ++i) expected_sum += i % 2000;
+  EXPECT_DOUBLE_EQ(snap.sum, expected_sum);
+}
+
+TEST(Histogram, QuantileInterpolation) {
+  Histogram hist({10.0, 100.0});
+  // 50 observations in (10, 100]; quantiles interpolate inside that bucket.
+  for (int i = 0; i < 50; ++i) hist.Observe(50.0);
+  const HistogramSnapshot snap = hist.Snapshot();
+  const double p50 = snap.Quantile(0.50);
+  const double p99 = snap.Quantile(0.99);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_LE(p50, p99);
+  // Overflow-bucket ranks report the largest finite bound.
+  hist.Observe(1e9);
+  EXPECT_DOUBLE_EQ(hist.Snapshot().Quantile(1.0), 100.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram hist;
+  EXPECT_DOUBLE_EQ(hist.Snapshot().Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Snapshot().Mean(), 0.0);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, OwnedInstrumentsAndTextSnapshot) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test_events_total", "test events");
+  Gauge* gauge = registry.GetGauge("test_depth", "test depth");
+  Histogram* hist =
+      registry.GetHistogram("test_latency_us", "test latency", {10.0, 100.0});
+  // Lookups are stable: same name → same instrument.
+  EXPECT_EQ(counter, registry.GetCounter("test_events_total"));
+  EXPECT_EQ(hist, registry.GetHistogram("test_latency_us"));
+
+  counter->Inc(7);
+  gauge->Set(3.0);
+  hist->Observe(5.0);
+  hist->Observe(50.0);
+  hist->Observe(5000.0);
+
+  const std::string text = registry.TextSnapshot();
+  EXPECT_NE(text.find("# HELP test_events_total test events"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_events_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_latency_us histogram"), std::string::npos);
+  // Cumulative buckets: le="10" sees 1, le="100" sees 2, +Inf sees all 3.
+  EXPECT_NE(text.find("test_latency_us_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_us_bucket{le=\"100\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_us_count 3"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonSnapshotParsesBack) {
+  MetricsRegistry registry;
+  registry.GetCounter("json_total", "c")->Inc(42);
+  registry.GetGauge("json_gauge", "g")->Set(2.5);
+  Histogram* hist = registry.GetHistogram("json_hist", "h", {10.0});
+  hist->Observe(5.0);
+  hist->Observe(500.0);
+
+  const std::string json = registry.JsonSnapshot();
+  JsonValue root;
+  ASSERT_NO_THROW(root = JsonParser(json).Parse()) << json;
+  EXPECT_DOUBLE_EQ(root.at("counters").at("json_total").number, 42.0);
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("json_gauge").number, 2.5);
+  const JsonValue& h = root.at("histograms").at("json_hist");
+  EXPECT_DOUBLE_EQ(h.at("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(h.at("sum").number, 505.0);
+  const JsonValue& buckets = h.at("buckets");
+  ASSERT_EQ(buckets.array.size(), 2u);  // finite bucket + overflow
+  EXPECT_DOUBLE_EQ(buckets.array[0].array[0].number, 10.0);  // le
+  EXPECT_DOUBLE_EQ(buckets.array[0].array[1].number, 1.0);   // count
+  EXPECT_EQ(buckets.array[1].array[0].kind, JsonValue::kNull);  // +Inf → null
+  EXPECT_DOUBLE_EQ(buckets.array[1].array[1].number, 1.0);
+}
+
+TEST(MetricsRegistry, RegistrationLifecycleAndDuplicateNames) {
+  MetricsRegistry registry;
+  Histogram first;
+  Histogram second;
+  auto reg1 = registry.RegisterHistogram("dup_us", "first", &first);
+  auto reg2 = registry.RegisterHistogram("dup_us", "second", &second);
+  first.Observe(1.0);
+  second.Observe(1.0);
+  {
+    const std::string text = registry.TextSnapshot();
+    // The second instance is auto-suffixed, not silently merged or dropped.
+    EXPECT_NE(text.find("# TYPE dup_us histogram"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE dup_us_2 histogram"), std::string::npos);
+  }
+  {
+    auto released = std::move(reg2);
+  }  // second unregisters here
+  const std::string text = registry.TextSnapshot();
+  EXPECT_NE(text.find("dup_us_count"), std::string::npos);
+  EXPECT_EQ(text.find("dup_us_2"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetAllZeroes) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("reset_total");
+  Histogram* hist = registry.GetHistogram("reset_us");
+  counter->Inc(5);
+  hist->Observe(1.0);
+  registry.ResetAll();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(hist->Snapshot().count, 0u);
+}
+
+// ------------------------------------------------------------------- trace
+
+TEST(Trace, SpanBalancePerThread) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Start(1 << 10);
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        TraceSpan outer("outer", "test");
+        TraceSpan inner("inner", "test", static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  rec.Stop();
+
+  // Every tid's B/E events form a balanced nesting: depth never dips below
+  // zero and ends at zero (the invariant Chrome's viewer needs).
+  std::map<uint32_t, int> depth;
+  std::map<uint32_t, uint64_t> events;
+  for (const TraceEvent& event : rec.Snapshot()) {
+    events[event.tid]++;
+    if (event.phase == 'B') {
+      depth[event.tid]++;
+    } else if (event.phase == 'E') {
+      depth[event.tid]--;
+      EXPECT_GE(depth[event.tid], 0);
+    }
+  }
+  EXPECT_EQ(depth.size(), static_cast<size_t>(kThreads));
+  for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0) << "tid " << tid;
+  for (const auto& [tid, n] : events) {
+    EXPECT_EQ(n, static_cast<uint64_t>(kSpans) * 4) << "tid " << tid;
+  }
+  rec.Clear();
+}
+
+TEST(Trace, RingBoundsMemory) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Start(/*events_per_thread=*/64);
+  for (int i = 0; i < 1000; ++i) {
+    rec.Record("tick", "test", 'i', static_cast<uint64_t>(i));
+  }
+  rec.Stop();
+  const std::vector<TraceEvent> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 64u);  // ring kept only the newest window
+  // ... and it is the *latest* window, oldest-first.
+  EXPECT_EQ(events.front().arg, 1000u - 64u);
+  EXPECT_EQ(events.back().arg, 999u);
+  rec.Clear();
+}
+
+TEST(Trace, JsonParsesBack) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Start(1 << 8);
+  {
+    TraceSpan span("alpha", "test", 7);
+    TraceSpan nested("beta", "test");
+  }
+  rec.Record("mark", "test", 'i');
+  rec.Stop();
+
+  const std::string json = rec.ToJson();
+  JsonValue root;
+  ASSERT_NO_THROW(root = JsonParser(json).Parse()) << json;
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::kArray);
+  ASSERT_EQ(events.array.size(), 5u);  // 2×B + 2×E + 1×i
+  int begins = 0;
+  int ends = 0;
+  int instants = 0;
+  for (const JsonValue& event : events.array) {
+    const std::string& ph = event.at("ph").str;
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+    if (ph == "i") ++instants;
+    EXPECT_GE(event.at("ts").number, 0.0);
+    EXPECT_FALSE(event.at("name").str.empty());
+  }
+  EXPECT_EQ(begins, 2);
+  EXPECT_EQ(ends, 2);
+  EXPECT_EQ(instants, 1);
+  // The arg rode along.
+  bool saw_arg = false;
+  for (const JsonValue& event : events.array) {
+    auto it = event.object.find("args");
+    if (it != event.object.end() &&
+        it->second.at("v").number == 7.0) {
+      saw_arg = true;
+    }
+  }
+  EXPECT_TRUE(saw_arg);
+  rec.Clear();
+}
+
+TEST(Trace, DisabledRecorderCapturesNothing) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  ASSERT_FALSE(rec.enabled());
+  rec.Record("ghost", "test", 'i');
+  { TraceSpan span("ghost-span", "test"); }
+  EXPECT_TRUE(rec.Snapshot().empty());
+}
+
+// ------------------------------------------------------------ disabled path
+
+TEST(DisabledPath, NoAllocationAndNoRecording) {
+  ASSERT_FALSE(MetricsEnabled());
+  ASSERT_FALSE(TraceRecorder::Global().enabled());
+  Counter counter;  // stack instrument: construction outside the window
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    // The hot-path pattern: check the toggle, skip the instrument work.
+    if (MetricsEnabled()) counter.Inc();
+    TraceSpan span("off", "test");
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(DisabledPath, ToggleRoundTrip) {
+  ASSERT_FALSE(MetricsEnabled());
+  SetMetricsEnabled(true);
+  EXPECT_TRUE(MetricsEnabled());
+  SetMetricsEnabled(false);
+  EXPECT_FALSE(MetricsEnabled());
+}
+
+}  // namespace
+}  // namespace warplda::obs

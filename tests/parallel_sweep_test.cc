@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <map>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -13,6 +16,7 @@
 #include "corpus/synthetic.h"
 #include "dist/cluster_sim.h"
 #include "dist/partitioner.h"
+#include "obs/trace.h"
 
 namespace warplda {
 namespace {
@@ -284,6 +288,104 @@ TEST(ParallelSweepTest, WorkerReservationIsEnforced) {
   executor.RunSweep(initialized, plan);  // 8 workers on a 2x2 grid
   EXPECT_EQ(initialized.topic_counts(),
             Histogram(initialized.Assignments(), TestConfig().num_topics));
+}
+
+// Counts `"name": "<name>", "cat": "<cat>", "ph": "<ph>"` occurrences in a
+// trace JSON string (the exact field order TraceRecorder::ToJson emits).
+size_t CountTraceEvents(const std::string& json, const std::string& name,
+                        const std::string& cat, char ph) {
+  const std::string needle = "\"name\": \"" + name + "\", \"cat\": \"" + cat +
+                             "\", \"ph\": \"" + ph + "\"";
+  size_t count = 0;
+  for (size_t pos = json.find(needle); pos != std::string::npos;
+       pos = json.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// A traced grid sweep emits one balanced span per stage plus per-worker
+// block spans, with every thread's B/E events forming a proper nesting.
+TEST(ParallelSweepTest, RunSweepEmitsBalancedStageAndBlockSpans) {
+  Corpus corpus = TestCorpus();
+  WarpLdaSampler sampler;
+  sampler.Init(corpus, TestConfig());
+  SweepPlan plan = MakeSweepPlan(corpus, 3, 3);
+  ParallelExecutor executor(2);
+
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.Start();
+  executor.RunSweep(sampler, plan);
+  rec.Stop();
+  const std::vector<obs::TraceEvent> events = rec.Snapshot();
+  rec.Clear();
+
+  std::map<uint32_t, int> depth;
+  std::map<std::string, int> begins;
+  for (const obs::TraceEvent& event : events) {
+    if (event.phase == 'B') {
+      ++depth[event.tid];
+      ++begins[event.name];
+    } else if (event.phase == 'E') {
+      --depth[event.tid];
+      ASSERT_GE(depth[event.tid], 0) << "unbalanced spans on tid "
+                                     << event.tid;
+    }
+  }
+  for (const auto& [tid, d] : depth) {
+    EXPECT_EQ(d, 0) << "open span left on tid " << tid;
+  }
+  // All four stages appear exactly once per sweep...
+  EXPECT_EQ(begins["word-accept"], 1);
+  EXPECT_EQ(begins["word-propose"], 1);
+  EXPECT_EQ(begins["doc-accept"], 1);
+  EXPECT_EQ(begins["doc-propose"], 1);
+  EXPECT_EQ(begins["end-stage"], 4);
+  // ... and every stage ran all 9 blocks under a block span.
+  EXPECT_EQ(begins["block"], 4 * 9);
+}
+
+// The PR's trace acceptance criterion: a grid-execution Train() with
+// trace_path set writes a Chrome trace whose JSON contains all four stage
+// spans per sweep plus per-worker block spans.
+TEST(ParallelSweepTest, TrainWithTracePathWritesChromeTraceJson) {
+  Corpus corpus = TestCorpus();
+  LdaConfig config = TestConfig();
+  WarpLdaSampler sampler;
+  TrainOptions options;
+  options.iterations = 3;
+  options.eval_every = 0;
+  options.grid_execution = true;
+  options.sweep_plan = MakeSweepPlan(corpus, 2, 2);
+  options.sweep_threads = 2;
+  options.trace_path = testing::TempDir() + "/train_trace.json";
+  Train(sampler, corpus, config, options);
+
+  std::FILE* f = std::fopen(options.trace_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "trace file not written: " << options.trace_path;
+  std::string json;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    json.append(buffer, n);
+  }
+  std::fclose(f);
+  std::remove(options.trace_path.c_str());
+
+  EXPECT_NE(json.find("{\"traceEvents\": ["), std::string::npos);
+  // One sweep span and one of each stage span per iteration.
+  EXPECT_EQ(CountTraceEvents(json, "sweep", "trainer", 'B'),
+            options.iterations);
+  for (const char* stage :
+       {"word-accept", "word-propose", "doc-accept", "doc-propose"}) {
+    EXPECT_EQ(CountTraceEvents(json, stage, "stage", 'B'), options.iterations)
+        << stage;
+    EXPECT_EQ(CountTraceEvents(json, stage, "stage", 'E'), options.iterations)
+        << stage;
+  }
+  // 4 blocks per stage, 4 stages, 3 sweeps.
+  EXPECT_EQ(CountTraceEvents(json, "block", "executor", 'B'),
+            options.iterations * 4u * 4u);
 }
 
 }  // namespace
