@@ -80,7 +80,9 @@ void RunSnapshotSection(const warplda::Corpus& corpus, uint32_t footprint_k,
               model->num_words(), footprint_k, total_nnz,
               static_cast<double>(total_nnz) / model->num_words());
 
-  ModelStore dense_store(ModelStoreOptions{.layout = SnapshotLayout::kDense});
+  ModelStoreOptions dense_opts;
+  dense_opts.layout = SnapshotLayout::kDense;
+  ModelStore dense_store(dense_opts);
   warplda::Stopwatch dense_watch;
   auto dense_snapshot = dense_store.Publish(model);
   const double dense_ms = dense_watch.Millis();

@@ -3,8 +3,8 @@
 // bag-of-words dataset (or a synthetic stand-in), with checkpoint/resume,
 // model export, topic printing, and held-out evaluation.
 //
-//   ./lda_tool --docword docword.nytimes.txt --vocab vocab.nytimes.txt \
-//              --sampler warplda --k 1000 --iters 100 \
+//   ./lda_tool --docword docword.nytimes.txt --vocab vocab.nytimes.txt
+//              --sampler warplda --k 1000 --iters 100
 //              --model model.bin --checkpoint run.ckpt
 //   ./lda_tool --resume run.ckpt --docword ... --iters 50   # continue
 #include <algorithm>

@@ -219,12 +219,12 @@ int main(int argc, char** argv) {
     for (int epoch = 0; epoch < 3; ++epoch) {
       streaming.ProcessCorpus(data.corpus, 1);
       auto model = streaming.ExportSharedModel(&delta);
-      auto snapshot = live_store.PublishDelta(model, delta);
+      auto published = live_store.PublishDelta(model, delta);
       // arena_chain() == 1 means the store chose the compacting full
       // rebuild (e.g. an oversized delta); > 1 means rows were shared.
       std::printf("  epoch %d: %zu/%u words changed — %s\n", epoch + 1,
                   delta.size(), static_cast<unsigned>(model->num_words()),
-                  snapshot->arena_chain() > 1
+                  published->arena_chain() > 1
                       ? "delta-published (unchanged rows shared)"
                       : "full rebuild (compacted)");
       if (!ckpt_dir.empty()) {

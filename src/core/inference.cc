@@ -1,13 +1,15 @@
 #include "core/inference.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace warplda {
 
 void DensePhiTable::Reset(WordId num_words, uint32_t num_topics) {
   num_topics_ = num_topics;
   // Uninitialized on purpose — see the phi_ declaration.
-  phi_.reset(new double[static_cast<size_t>(num_words) * num_topics]);
+  phi_ = std::make_unique_for_overwrite<double[]>(
+      static_cast<size_t>(num_words) * num_topics);
   built_.assign(num_words, 0);
   alias_.assign(num_words, AliasTable());
   count_prob_.assign(num_words, 0.0);

@@ -133,7 +133,7 @@ MetricsRegistry& MetricsRegistry::Global() {
   // Intentionally leaked: worker threads and TLS destructors may touch
   // instruments during process teardown; a destructed registry would turn
   // clean exits into use-after-free roulette.
-  static MetricsRegistry* registry = new MetricsRegistry();
+  static MetricsRegistry* registry = new MetricsRegistry();  // NOLINT(warplint-naked-new): leaked singleton — instruments outlive every thread
   return *registry;
 }
 

@@ -35,14 +35,17 @@ void AppendJsonString(std::string* out, const char* s) {
 }  // namespace
 
 TraceRecorder& TraceRecorder::Global() {
-  static TraceRecorder* recorder = new TraceRecorder();
+  // Intentionally leaked: thread buffers registered here may be flushed by
+  // exiting threads after main() returns; a destructed recorder would race
+  // them.
+  static TraceRecorder* recorder = new TraceRecorder();  // NOLINT(warplint-naked-new): leaked singleton so late TLS flushes stay valid
   return *recorder;
 }
 
 void TraceRecorder::Start(size_t events_per_thread) {
   std::lock_guard<std::mutex> lock(buffers_mutex_);
   events_per_thread_ = std::max<size_t>(1, events_per_thread);
-  for (ThreadBuffer* buf : buffers_) {
+  for (const auto& buf : buffers_) {
     std::lock_guard<std::mutex> buf_lock(buf->mutex);
     buf->capacity = events_per_thread_;
     buf->events.assign(events_per_thread_, TraceEvent{});
@@ -59,7 +62,7 @@ void TraceRecorder::Stop() {
 
 void TraceRecorder::Clear() {
   std::lock_guard<std::mutex> lock(buffers_mutex_);
-  for (ThreadBuffer* buf : buffers_) {
+  for (const auto& buf : buffers_) {
     std::lock_guard<std::mutex> buf_lock(buf->mutex);
     buf->next = 0;
     buf->count = 0;
@@ -75,13 +78,14 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
   // by the (leaked) recorder so late events from exiting threads stay valid.
   thread_local ThreadBuffer* cached = nullptr;
   if (cached != nullptr) return cached;
-  auto* buf = new ThreadBuffer();
+  auto owned = std::make_unique<ThreadBuffer>();
+  ThreadBuffer* buf = owned.get();
   buf->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(buffers_mutex_);
     buf->capacity = events_per_thread_;
     buf->events.assign(buf->capacity, TraceEvent{});
-    buffers_.push_back(buf);
+    buffers_.push_back(std::move(owned));
   }
   cached = buf;
   return buf;
@@ -107,7 +111,7 @@ void TraceRecorder::Record(const char* name, const char* cat, char phase,
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
   std::vector<TraceEvent> out;
   std::lock_guard<std::mutex> lock(buffers_mutex_);
-  for (const ThreadBuffer* buf : buffers_) {
+  for (const auto& buf : buffers_) {
     std::lock_guard<std::mutex> buf_lock(buf->mutex);
     // Oldest event first: the ring's logical start is `next` when full,
     // index 0 otherwise.

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -90,7 +91,7 @@ class TraceRecorder {
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex buffers_mutex_;  // guards the buffer list, not contents
-  std::vector<ThreadBuffer*> buffers_;  // leaked with the recorder
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;  // live as long as the (leaked) recorder
   size_t events_per_thread_ = 1 << 16;
   std::atomic<uint32_t> next_tid_{0};
   int64_t epoch_ns_ = 0;  // Start() time; event ts are relative to this

@@ -106,8 +106,10 @@ class PayloadReader {
     if (!Get(&count)) return false;
     if (count > max_count || count > remaining() / sizeof(T)) return false;
     out->resize(static_cast<size_t>(count));
-    __builtin_memcpy(out->data(), data_ + pos_, count * sizeof(T));
-    pos_ += count * sizeof(T);
+    if (count > 0) {  // data() of an empty vector may be null — UB for memcpy
+      __builtin_memcpy(out->data(), data_ + pos_, count * sizeof(T));
+      pos_ += count * sizeof(T);
+    }
     return true;
   }
 

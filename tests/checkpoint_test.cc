@@ -418,9 +418,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::pair<uint32_t, uint32_t>{1, 8},
                       std::pair<uint32_t, uint32_t>{2, 2},
                       std::pair<uint32_t, uint32_t>{8, 1}),
-    [](const auto& info) {
-      return "capture" + std::to_string(info.param.first) + "_resume" +
-             std::to_string(info.param.second);
+    [](const auto& pinfo) {
+      return "capture" + std::to_string(pinfo.param.first) + "_resume" +
+             std::to_string(pinfo.param.second);
     });
 
 TEST(SweepRestoreTest, RestoreRejectsMismatchedRun) {
@@ -805,8 +805,8 @@ TEST_P(CheckpointResumeTest, RestoredStateMatchesAndTrainingContinues) {
 INSTANTIATE_TEST_SUITE_P(AllSamplers, CheckpointResumeTest,
                          ::testing::Values("cgs", "sparselda", "aliaslda",
                                            "f+lda", "lightlda", "warplda"),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& pinfo) {
+                           std::string name = pinfo.param;
                            for (auto& c : name) {
                              if (c == '+') c = 'p';
                            }

@@ -76,8 +76,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ConvergenceCase{"f+lda", 60},
                       ConvergenceCase{"lightlda", 120},
                       ConvergenceCase{"warplda", 120}),
-    [](const auto& info) {
-      std::string name = info.param.sampler;
+    [](const auto& pinfo) {
+      std::string name = pinfo.param.sampler;
       for (auto& c : name) {
         if (c == '+') c = 'p';
       }

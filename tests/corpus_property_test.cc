@@ -59,7 +59,9 @@ TEST_P(CorpusPropertyTest, WordTokensPartitionAllPositions) {
     for (TokenIdx t : c.word_tokens(w)) {
       ASSERT_LT(t, c.num_tokens());
       EXPECT_EQ(c.token_word(t), w);
-      if (!first) EXPECT_GT(t, prev);  // sorted ascending
+      if (!first) {
+        EXPECT_GT(t, prev);  // sorted ascending
+      }
       prev = t;
       first = false;
       ++seen[t];
@@ -104,8 +106,8 @@ INSTANTIATE_TEST_SUITE_P(
                       CorpusShape{500, 1000, 3, 4},   // sparse: V >> tokens
                       CorpusShape{50, 2, 100, 5},     // tiny vocab
                       CorpusShape{200, 300, 40, 6}),
-    [](const auto& info) {
-      const auto& s = info.param;
+    [](const auto& pinfo) {
+      const auto& s = pinfo.param;
       return "d" + std::to_string(s.docs) + "v" + std::to_string(s.vocab) +
              "l" + std::to_string(s.max_len);
     });

@@ -71,9 +71,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(DistCase{2, 0.0, 1}, DistCase{3, 1.0, 2},
                       DistCase{16, 0.5, 3}, DistCase{64, 1.0, 4},
                       DistCase{256, 1.5, 5}, DistCase{1000, 2.0, 6}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "s" +
-             std::to_string(static_cast<int>(info.param.skew * 10));
+    [](const auto& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "s" +
+             std::to_string(static_cast<int>(pinfo.param.skew * 10));
     });
 
 class FTreeGofTest : public ::testing::TestWithParam<DistCase> {};
@@ -105,9 +105,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(DistCase{2, 0.0, 1}, DistCase{5, 1.0, 2},
                       DistCase{33, 0.5, 3}, DistCase{128, 1.2, 4},
                       DistCase{777, 1.8, 5}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "s" +
-             std::to_string(static_cast<int>(info.param.skew * 10));
+    [](const auto& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "s" +
+             std::to_string(static_cast<int>(pinfo.param.skew * 10));
     });
 
 TEST(FTreeFuzzTest, MatchesLinearScanReferenceUnderRandomUpdates) {

@@ -72,9 +72,9 @@ TEST_P(AlphaRecoveryTest, EstimateMovesTowardGenerativeAlpha) {
 
 INSTANTIATE_TEST_SUITE_P(Alphas, AlphaRecoveryTest,
                          ::testing::Values(0.05, 0.2, 1.0),
-                         [](const auto& info) {
+                         [](const auto& pinfo) {
                            return "a" + std::to_string(static_cast<int>(
-                                            info.param * 100));
+                                            pinfo.param * 100));
                          });
 
 TEST(HyperparamsTest, EstimatesStayPositiveAndFinite) {

@@ -1,0 +1,16 @@
+// Negative fixture: memcpy over element buffers and trivial structs.
+#include <cstring>
+#include <vector>
+
+struct Frame {
+  uint64_t magic;
+  uint32_t version;
+};
+
+void CopyCounts(const std::vector<double>& src, std::vector<double>* dst) {
+  dst->resize(src.size());
+  std::memcpy(dst->data(), src.data(), src.size() * sizeof(double));
+  Frame a{1, 2};
+  Frame b;
+  std::memcpy(&b, &a, sizeof(Frame));
+}

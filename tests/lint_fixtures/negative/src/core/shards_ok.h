@@ -1,0 +1,16 @@
+// Negative fixture: padding done right — alignas on the element struct.
+#include <atomic>
+#include <cstdint>
+
+struct alignas(64) Shard {
+  std::atomic<uint64_t> value;
+};
+
+struct Grid {
+  alignas(64) Shard shards[16];
+};
+
+struct Cursor {
+  alignas(64) std::atomic<uint64_t> head;
+  alignas(64) std::atomic<uint64_t> tail;
+};

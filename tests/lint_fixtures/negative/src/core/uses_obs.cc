@@ -1,0 +1,3 @@
+// Negative fixture: obs/metrics.h is a sanctioned cross-cutting seam.
+#include "obs/metrics.h"
+#include "util/rng.h"

@@ -1,0 +1,7 @@
+// Negative fixture: a justified leaked singleton passes.
+struct Registry {};
+
+Registry& Global() {
+  static Registry* r = new Registry();  // NOLINT(warplint-naked-new): leaked singleton; instruments outlive every thread
+  return *r;
+}

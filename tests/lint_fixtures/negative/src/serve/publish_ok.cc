@@ -1,0 +1,16 @@
+// Negative fixture: unordered lookups are fine; iteration goes through a
+// sorted vector.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+void Publish() {
+  std::unordered_map<uint32_t, uint64_t> counts;
+  std::vector<uint32_t> keys;
+  if (counts.count(7) > 0) keys.push_back(7);
+  std::sort(keys.begin(), keys.end());
+  for (uint32_t k : keys) {
+    Serialize(k, counts.at(k));
+  }
+}

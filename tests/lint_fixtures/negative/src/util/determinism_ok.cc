@@ -1,0 +1,10 @@
+// Negative fixture: explicit seeds and steady_clock are fine.
+#include <chrono>
+#include <random>
+
+int GoodSeed(uint64_t seed) {
+  std::mt19937_64 gen(seed);  // explicit, reproducible
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return static_cast<int>(gen());
+}

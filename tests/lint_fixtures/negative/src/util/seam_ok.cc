@@ -1,0 +1,2 @@
+// Negative fixture: even util/ may use the instrumentation seam.
+#include "obs/metrics.h"

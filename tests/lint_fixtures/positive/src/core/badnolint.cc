@@ -1,0 +1,7 @@
+// Positive fixture: suppressions that do not meet the policy.
+void BadSuppressions() {
+  int* q = new int(1);  // NOLINT(warplint-naked-new)
+  int* r = new int(2);  // NOLINT(warplint-bogus): not a rule
+  delete q;             // NOLINT(warplint-naked-new): test owns q for one line
+  delete r;             // NOLINT(warplint-naked-new): test owns r for one line
+}

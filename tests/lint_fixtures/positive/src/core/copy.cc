@@ -1,0 +1,15 @@
+// Positive fixture: memcpy over non-trivially-copyable objects.
+#include <cstring>
+#include <vector>
+
+struct Row {
+  std::vector<double> phi;
+  void Clone(const Row& other) {
+    std::memcpy(this, &other, sizeof(Row));
+  }
+};
+
+void CopyCounts(const void* src) {
+  std::vector<double> dense;
+  std::memcpy(&dense, src, 64);
+}

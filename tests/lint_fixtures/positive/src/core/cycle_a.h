@@ -1,0 +1,1 @@
+#include "core/cycle_b.h"

@@ -1,0 +1,12 @@
+// Positive fixture: alignas(64) that does not actually pad.
+#include <atomic>
+#include <cstdint>
+
+struct Tally {
+  alignas(64) uint64_t counts[8];
+};
+
+struct Queue {
+  alignas(64) std::atomic<uint64_t> head;
+  std::atomic<uint64_t> tail;
+};

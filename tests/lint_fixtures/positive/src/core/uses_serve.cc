@@ -1,0 +1,2 @@
+// Positive fixture: core/ depending on the serving tier.
+#include "serve/server.h"

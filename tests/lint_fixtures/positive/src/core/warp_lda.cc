@@ -1,0 +1,14 @@
+// Positive fixture: per-token synchronization inside hot-path bodies.
+#include <atomic>
+#include <mutex>
+
+void WarpLdaSampler::RunBlock(uint32_t doc_block, uint32_t word_block,
+                              uint32_t worker) {
+  for (uint32_t t = 0; t < block_tokens_; ++t) {
+    tokens_sampled_.fetch_add(1);
+  }
+}
+
+void WarpLdaSampler::DocPhase() {
+  std::lock_guard<std::mutex> guard(ck_mutex_);
+}

@@ -1,0 +1,5 @@
+// Positive fixture: naked ownership.
+void Leak() {
+  int* p = new int(7);
+  delete p;
+}

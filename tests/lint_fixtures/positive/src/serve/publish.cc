@@ -1,0 +1,15 @@
+// Positive fixture: unordered iteration feeding a serialized publish path.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+void Publish() {
+  std::unordered_map<uint32_t, uint64_t> counts;
+  std::unordered_set<uint32_t> changed;
+  for (const auto& kv : counts) {
+    Serialize(kv.first, kv.second);
+  }
+  for (auto it = changed.begin(); it != changed.end(); ++it) {
+    Serialize(*it, 0);
+  }
+}

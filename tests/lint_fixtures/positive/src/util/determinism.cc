@@ -1,0 +1,13 @@
+// Positive fixture: every non-deterministic source warplint-determinism bans.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int BadSeed() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  int a = rand();
+  std::random_device rd;
+  auto wall = std::chrono::system_clock::now();
+  (void)wall;
+  return a + static_cast<int>(rd());
+}

@@ -1,0 +1,2 @@
+// Positive fixture: util/ reaching above itself.
+#include "core/trainer.h"

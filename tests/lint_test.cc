@@ -1,0 +1,180 @@
+// Tests for warplint itself: each rule must fire on its positive fixture,
+// stay quiet on its negative fixture, and honor the NOLINT suppression
+// policy. The fixtures live in tests/lint_fixtures/{positive,negative}/src
+// — snippet trees shaped like the repo, holding intentional violations —
+// and are excluded from warplint's normal walk.
+//
+// WARPLINT_BIN and WARPLINT_FIXTURES are injected by CMake.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun RunLint(const std::string& root, bool json = false) {
+  std::string cmd = std::string("'") + WARPLINT_BIN + "' --root '" + root +
+                    "'" + (json ? " --json" : "") + " 2>&1";
+  LintRun run;
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return run;
+  std::array<char, 4096> buf;
+  size_t n = 0;
+  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    run.output.append(buf.data(), n);
+  }
+  int status = pclose(pipe);
+  run.exit_code = WEXITSTATUS(status);
+  return run;
+}
+
+std::string Positive() {
+  return std::string(WARPLINT_FIXTURES) + "/positive";
+}
+std::string Negative() {
+  return std::string(WARPLINT_FIXTURES) + "/negative";
+}
+
+// Findings for `rule` as "file:line" strings, parsed from text output lines
+// of the form `path:line warplint-<rule> message`.
+std::vector<std::string> FindingsFor(const std::string& output,
+                                     const std::string& rule) {
+  std::vector<std::string> hits;
+  size_t pos = 0;
+  std::string needle = " warplint-" + rule + " ";
+  while (pos < output.size()) {
+    size_t eol = output.find('\n', pos);
+    if (eol == std::string::npos) eol = output.size();
+    std::string line = output.substr(pos, eol - pos);
+    size_t at = line.find(needle);
+    if (at != std::string::npos) hits.push_back(line.substr(0, at));
+    pos = eol + 1;
+  }
+  return hits;
+}
+
+class PositiveFixtures : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { run_ = new LintRun(RunLint(Positive())); }
+  static void TearDownTestSuite() {
+    delete run_;
+    run_ = nullptr;
+  }
+  static LintRun* run_;
+};
+LintRun* PositiveFixtures::run_ = nullptr;
+
+TEST_F(PositiveFixtures, ExitsNonZero) { EXPECT_EQ(run_->exit_code, 1); }
+
+TEST_F(PositiveFixtures, DeterminismFiresOnEveryBannedSource) {
+  auto hits = FindingsFor(run_->output, "determinism");
+  // srand + time(nullptr) share a line; rand, random_device, system_clock.
+  EXPECT_EQ(hits.size(), 5u) << run_->output;
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.substr(0, h.find(':')), "src/util/determinism.cc");
+  }
+}
+
+TEST_F(PositiveFixtures, UnorderedIterFiresOnRangeForAndIterators) {
+  auto hits = FindingsFor(run_->output, "unordered-iter");
+  ASSERT_EQ(hits.size(), 2u) << run_->output;
+  EXPECT_EQ(hits[0], "src/serve/publish.cc:9");
+  EXPECT_EQ(hits[1], "src/serve/publish.cc:12");
+}
+
+TEST_F(PositiveFixtures, HotpathSyncFiresInsideHotBodiesOnly) {
+  auto hits = FindingsFor(run_->output, "hotpath-sync");
+  ASSERT_EQ(hits.size(), 2u) << run_->output;
+  EXPECT_EQ(hits[0], "src/core/warp_lda.cc:8");    // fetch_add in RunBlock
+  EXPECT_EQ(hits[1], "src/core/warp_lda.cc:13");   // lock_guard in DocPhase
+}
+
+TEST_F(PositiveFixtures, LayeringFiresOnUpwardIncludesAndCycles) {
+  auto hits = FindingsFor(run_->output, "layering");
+  ASSERT_EQ(hits.size(), 3u) << run_->output;
+  EXPECT_NE(run_->output.find("layer 'util' must not include 'core/"),
+            std::string::npos);
+  EXPECT_NE(run_->output.find("layer 'core' must not include 'serve/"),
+            std::string::npos);
+  EXPECT_NE(run_->output.find(
+                "include cycle: core/cycle_a.h -> core/cycle_b.h -> "
+                "core/cycle_a.h"),
+            std::string::npos);
+}
+
+TEST_F(PositiveFixtures, NakedNewFiresOnNewAndDelete) {
+  auto hits = FindingsFor(run_->output, "naked-new");
+  // leak.cc: new + delete; badnolint.cc: two unsuppressed news (one with a
+  // justification-less NOLINT, one naming an unknown rule).
+  EXPECT_EQ(hits.size(), 4u) << run_->output;
+}
+
+TEST_F(PositiveFixtures, MemcpyNontrivialFiresOnThisAndContainers) {
+  auto hits = FindingsFor(run_->output, "memcpy-nontrivial");
+  ASSERT_EQ(hits.size(), 2u) << run_->output;
+  EXPECT_EQ(hits[0], "src/core/copy.cc:8");   // memcpy over *this
+  EXPECT_EQ(hits[1], "src/core/copy.cc:14");  // memcpy into a std::vector
+}
+
+TEST_F(PositiveFixtures, AlignasPadFiresOnArraysAndUnpaddedNeighbors) {
+  auto hits = FindingsFor(run_->output, "alignas-pad");
+  ASSERT_EQ(hits.size(), 2u) << run_->output;
+  EXPECT_EQ(hits[0], "src/core/shards.h:6");   // alignas(64) on an array
+  EXPECT_EQ(hits[1], "src/core/shards.h:11");  // neighbor shares the line
+}
+
+TEST_F(PositiveFixtures, NolintPolicyIsItselfLinted) {
+  auto hits = FindingsFor(run_->output, "nolint");
+  ASSERT_EQ(hits.size(), 2u) << run_->output;
+  EXPECT_NE(run_->output.find("without a justification"), std::string::npos);
+  EXPECT_NE(run_->output.find("unknown rule 'warplint-bogus'"),
+            std::string::npos);
+}
+
+TEST_F(PositiveFixtures, JustifiedSuppressionsAreCountedNotReported) {
+  // The two justified `delete` NOLINTs in badnolint.cc suppress cleanly.
+  EXPECT_NE(run_->output.find("2 suppressed"), std::string::npos)
+      << run_->output;
+}
+
+TEST(NegativeFixtures, EveryRuleStaysQuiet) {
+  LintRun run = RunLint(Negative());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("0 violation(s)"), std::string::npos)
+      << run.output;
+  // leak_ok.cc's justified singleton NOLINT is recorded, not reported.
+  EXPECT_NE(run.output.find("1 suppressed"), std::string::npos)
+      << run.output;
+}
+
+TEST(JsonOutput, PositiveSummaryIsMachineReadable) {
+  LintRun run = RunLint(Positive(), /*json=*/true);
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("\"violations\": ["), std::string::npos);
+  EXPECT_NE(run.output.find("\"rule\": \"warplint-determinism\""),
+            std::string::npos);
+  EXPECT_NE(run.output.find("\"warplint-hotpath-sync\": 2"),
+            std::string::npos);
+  EXPECT_NE(run.output.find("\"total\": 22"), std::string::npos)
+      << run.output;
+}
+
+TEST(JsonOutput, NegativeSummaryReportsZeroViolations) {
+  LintRun run = RunLint(Negative(), /*json=*/true);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.output.find("\"violations\": []"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"total\": 0"), std::string::npos);
+  EXPECT_NE(run.output.find("src/obs/leak_ok.cc"), std::string::npos)
+      << "suppressed finding should appear in the suppressed list";
+}
+
+}  // namespace

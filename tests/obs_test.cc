@@ -34,8 +34,28 @@ void* operator new(size_t size) {
   return p;
 }
 
+// The nothrow variants must be replaced alongside the throwing one: the
+// standard library's temporary buffers (std::stable_sort) allocate via
+// nothrow new, and under AddressSanitizer the default nothrow new does NOT
+// forward to the replaced throwing new — leaving an ASan-owned allocation
+// to be freed by the std::free in the counting delete (alloc-dealloc
+// mismatch). Routing them through the same malloc keeps every pair matched.
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  warplda::obs::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+// GCC pairs `new` expressions with the replaceable operator delete and
+// flags the std::free inside it — but every pointer reaching these really
+// did come from the malloc in the counting operator new above.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+#pragma GCC diagnostic pop
 
 namespace warplda::obs {
 namespace {

@@ -49,8 +49,8 @@ INSTANTIATE_TEST_SUITE_P(AllStrategies, PartitionerTest,
                          ::testing::Values(PartitionStrategy::kStatic,
                                            PartitionStrategy::kDynamic,
                                            PartitionStrategy::kGreedy),
-                         [](const auto& info) {
-                           return ToString(info.param);
+                         [](const auto& pinfo) {
+                           return ToString(pinfo.param);
                          });
 
 TEST(PartitionerTest, GreedyBeatsStaticAndDynamicOnZipf) {

@@ -93,8 +93,8 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_pair("f+lda", 0.12),
                       std::make_pair("lightlda", 0.18),
                       std::make_pair("warplda", 0.18)),
-    [](const auto& info) {
-      std::string name = info.param.first;
+    [](const auto& pinfo) {
+      std::string name = pinfo.param.first;
       for (auto& c : name) {
         if (c == '+') c = 'p';
       }

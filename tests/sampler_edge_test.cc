@@ -121,9 +121,9 @@ std::vector<Param> AllCases() {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, SamplerEdgeTest, ::testing::ValuesIn(AllCases()),
-    [](const auto& info) {
+    [](const auto& pinfo) {
       std::string name =
-          std::get<0>(info.param) + "_" + std::get<1>(info.param).label;
+          std::get<0>(pinfo.param) + "_" + std::get<1>(pinfo.param).label;
       for (auto& c : name) {
         if (c == '+') c = 'p';
       }

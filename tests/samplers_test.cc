@@ -109,8 +109,8 @@ TEST_P(SamplersTest, HandlesEmptyDocuments) {
 INSTANTIATE_TEST_SUITE_P(AllSamplers, SamplersTest,
                          ::testing::Values("cgs", "sparselda", "aliaslda",
                                            "f+lda", "lightlda", "warplda"),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& pinfo) {
+                           std::string name = pinfo.param;
                            for (auto& c : name) {
                              if (c == '+') c = 'p';
                            }

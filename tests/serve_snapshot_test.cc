@@ -252,8 +252,9 @@ TEST(DeltaPublishTest, FallsBackToFullPublishWhenNotApplicable) {
   EXPECT_EQ(first->arena_chain(), 1u);
 
   // Dense store → delta degrades to a dense full publish.
-  ModelStore dense_store(
-      ModelStoreOptions{.layout = SnapshotLayout::kDense});
+  ModelStoreOptions dense_opts;
+  dense_opts.layout = SnapshotLayout::kDense;
+  ModelStore dense_store(dense_opts);
   dense_store.Publish(model);
   auto dense_snapshot = dense_store.PublishDelta(model, all);
   EXPECT_EQ(dense_snapshot->version(), 2u);

@@ -146,8 +146,8 @@ INSTANTIATE_TEST_SUITE_P(
                       MatrixShape{50, 500, 2000, 2.0, 3, 4},
                       MatrixShape{300, 300, 5000, 1.0, 8, 5},
                       MatrixShape{7, 1000, 400, 2.5, 2, 6}),
-    [](const auto& info) {
-      const auto& s = info.param;
+    [](const auto& pinfo) {
+      const auto& s = pinfo.param;
       return "r" + std::to_string(s.rows) + "c" + std::to_string(s.cols) +
              "e" + std::to_string(s.entries) + "t" +
              std::to_string(s.threads);
