@@ -4,11 +4,14 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/simd_kernels.h"
 #include "corpus/corpus.h"
 #include "corpus/synthetic.h"
 
@@ -45,6 +48,33 @@ inline uint64_t PeakRssBytes() {
   }
   std::fclose(f);
   return static_cast<uint64_t>(kb) * 1024;
+}
+
+/// CPU model string from /proc/cpuinfo ("model name"), or "unknown" where
+/// the file or field is unavailable. Recorded in bench JSON headers so
+/// committed numbers say what silicon produced them.
+inline std::string CpuModelName() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return "unknown";
+  char line[512];
+  std::string model = "unknown";
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) == 0) {
+      const char* colon = std::strchr(line, ':');
+      if (colon != nullptr) {
+        const char* p = colon + 1;
+        while (*p == ' ' || *p == '\t') ++p;
+        model.assign(p);
+        while (!model.empty() &&
+               (model.back() == '\n' || model.back() == '\r')) {
+          model.pop_back();
+        }
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return model;
 }
 
 /// Prints a separator + bench header so `for b in bench/*; do $b; done`
@@ -134,8 +164,14 @@ class BenchJson {
     std::vector<std::pair<std::string, std::string>> fields_;  // key -> JSON
   };
 
+  /// The header always records the host: hardware thread count, CPU model
+  /// and the SIMD kernel tier the dispatcher picked ("avx2" or "scalar"),
+  /// so a committed JSON is interpretable without knowing the box.
   BenchJson(const std::string& bench, const std::string& dataset) {
     header_.Str("bench", bench).Str("dataset", dataset);
+    header_.Int("hardware_threads", std::thread::hardware_concurrency());
+    header_.Str("cpu_model", CpuModelName());
+    header_.Str("simd", simd::ActiveKernelFeatures());
   }
 
   /// Extra top-level fields (host info, config) beside bench/dataset.

@@ -43,8 +43,6 @@ int main(int argc, char** argv) {
   char dataset[64];
   std::snprintf(dataset, sizeof(dataset), "synthetic-nytimes scale=%g", scale);
   warplda::bench::BenchJson json("fig9", dataset);
-  json.header().Int("hardware_threads",
-                    std::thread::hardware_concurrency());
 
   // (a) threads, fused path (parallel VisitByColumn/VisitByRow).
   {
@@ -94,38 +92,53 @@ int main(int argc, char** argv) {
     std::printf("\n(b) grid-executor thread scaling, 8x8 plan, same corpus\n");
 
     // Serial reference trajectory: the determinism oracle for every thread
-    // count below (grid execution must reproduce Iterate() exactly).
+    // count below (grid execution must reproduce Iterate() exactly, with or
+    // without stage fusion).
     warplda::WarpLdaSampler reference;
     reference.Init(corpus, config);
     for (int64_t i = 0; i < iterations + 1; ++i) reference.Iterate();
     const std::vector<warplda::TopicId> expected = reference.Assignments();
 
-    double base = 0.0;
-    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
-      warplda::ParallelExecutor executor(threads);
-      warplda::WarpLdaSampler sampler;
-      sampler.Init(corpus, config);
-      executor.RunSweep(sampler, plan);  // warm-up
-      warplda::Stopwatch watch;
-      for (int64_t i = 0; i < iterations; ++i) {
-        executor.RunSweep(sampler, plan);
+    // Two panels: the fused span schedule (the default) and the four-stage
+    // schedule it replaced, kept live as the before/after comparison the
+    // fusion work is judged against.
+    struct FusionPanel {
+      const char* name;
+      warplda::StageFusion fusion;
+    };
+    for (const FusionPanel& fp :
+         {FusionPanel{"grid-sweep", warplda::StageFusion::kAuto},
+          FusionPanel{"grid-4stage", warplda::StageFusion::kNone}}) {
+      std::printf("  [%s]\n", fp.name);
+      double base = 0.0;
+      for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+        warplda::ParallelExecutor executor(threads);
+        warplda::WarpLdaOptions options;
+        options.fusion = fp.fusion;
+        warplda::WarpLdaSampler sampler(options);
+        sampler.Init(corpus, config);
+        executor.RunSweep(sampler, plan);  // warm-up
+        warplda::Stopwatch watch;
+        for (int64_t i = 0; i < iterations; ++i) {
+          executor.RunSweep(sampler, plan);
+        }
+        double seconds = watch.Seconds();
+        double throughput = corpus.num_tokens() * iterations / seconds / 1e6;
+        if (threads == 1) base = seconds;
+        const bool identical = sampler.Assignments() == expected;
+        std::printf("  threads %2u  %8.2f Mtok/s  speedup %.2fx  "
+                    "bit-identical to Iterate(): %s\n",
+                    threads, throughput, base / seconds,
+                    identical ? "yes" : "NO (BUG)");
+        std::fflush(stdout);
+        json.AddRow()
+            .Str("panel", fp.name)
+            .Int("threads", threads)
+            .Num("tokens_per_sec", throughput * 1e6)
+            .Num("wall_ms", seconds * 1e3)
+            .Num("speedup", base / seconds)
+            .Str("bit_identical", identical ? "yes" : "no");
       }
-      double seconds = watch.Seconds();
-      double throughput = corpus.num_tokens() * iterations / seconds / 1e6;
-      if (threads == 1) base = seconds;
-      const bool identical = sampler.Assignments() == expected;
-      std::printf("  threads %2u  %8.2f Mtok/s  speedup %.2fx  "
-                  "bit-identical to Iterate(): %s\n",
-                  threads, throughput, base / seconds,
-                  identical ? "yes" : "NO (BUG)");
-      std::fflush(stdout);
-      json.AddRow()
-          .Str("panel", "grid-sweep")
-          .Int("threads", threads)
-          .Num("tokens_per_sec", throughput * 1e6)
-          .Num("wall_ms", seconds * 1e3)
-          .Num("speedup", base / seconds)
-          .Str("bit_identical", identical ? "yes" : "no");
     }
   }
 

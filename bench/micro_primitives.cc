@@ -1,10 +1,17 @@
 // Microbenchmarks of the sampling primitives behind the O(1) claims, plus
 // the ablation comparisons DESIGN.md calls out: hash vs dense counts and
-// alias sampling vs random positioning for the doc proposal.
+// alias sampling vs random positioning for the doc proposal, and the grid
+// hot-path primitives behind the stage-fusion work: per-token vs batched
+// RNG stream derivation, scalar vs SIMD MH accept ratios, and per-block
+// snapshot rebuilds vs the reusable count-arena setup. Results are also
+// written to BENCH_micro_primitives.json in the repo's bench JSON format.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "bench/bench_common.h"
+#include "core/count_arena.h"
+#include "core/simd_kernels.h"
 #include "util/alias_table.h"
 #include "util/ftree.h"
 #include "util/hash_count.h"
@@ -137,7 +144,158 @@ void BM_DocProposalPositioning(benchmark::State& state) {
 }
 BENCHMARK(BM_DocProposalPositioning);
 
+// --- Grid hot-path primitives (stage fusion / SIMD kernels) -------------
+
+// Ablation: deriving one per-token RNG stream at a time (5 serial SplitMix64
+// rounds each) vs the batched kernel that runs the same rounds over a whole
+// accept chunk. Both produce bit-identical stream states.
+void BM_StreamDerivePerToken(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint64_t base = SplitMix64(0x5eed);
+  std::vector<uint64_t> tokens(n);
+  for (size_t i = 0; i < n; ++i) tokens[i] = i * 37 + 11;
+  for (auto _ : state) {
+    for (uint64_t token : tokens) {
+      Rng rng(SplitMix64(base ^ (uint64_t{0x51} << 56) ^ token));
+      benchmark::DoNotOptimize(rng);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StreamDerivePerToken)->Arg(256);
+
+void BM_StreamDeriveBatched(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool force_scalar = state.range(1) != 0;
+  const uint64_t base = SplitMix64(0x5eed);
+  std::vector<uint64_t> tokens(n);
+  for (size_t i = 0; i < n; ++i) tokens[i] = i * 37 + 11;
+  std::vector<simd::RngState> out(n);
+  for (auto _ : state) {
+    simd::DeriveStreamStates(base, 0x51, tokens.data(), n, out.data(),
+                             force_scalar);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StreamDeriveBatched)
+    ->ArgNames({"n", "force_scalar"})
+    ->Args({256, 1})
+    ->Args({256, 0});
+
+// Ablation: the MH accept-ratio kernel (Eq. 7's (a_t*b_cur)/(a_cur*b_t) plus
+// the >= 1 accept mask) scalar vs the dispatched SIMD path. Operand arrays
+// model one gathered accept chunk.
+void BM_AcceptRatios(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool force_scalar = state.range(1) != 0;
+  Rng rng(9);
+  std::vector<double> a_t(n), b_t(n), a_cur(n), b_cur(n), ratio(n);
+  std::vector<uint8_t> ge1(n);
+  for (size_t i = 0; i < n; ++i) {
+    a_t[i] = rng.NextDouble() * 40 + 0.1;
+    b_t[i] = rng.NextDouble() * 900 + 1.0;
+    a_cur[i] = rng.NextDouble() * 40 + 0.1;
+    b_cur[i] = rng.NextDouble() * 900 + 1.0;
+  }
+  for (auto _ : state) {
+    simd::ComputeAcceptRatios(n, a_t.data(), b_t.data(), a_cur.data(),
+                              b_cur.data(), ratio.data(), ge1.data(),
+                              force_scalar);
+    benchmark::DoNotOptimize(ratio.data());
+    benchmark::DoNotOptimize(ge1.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AcceptRatios)
+    ->ArgNames({"n", "force_scalar"})
+    ->Args({256, 1})
+    ->Args({256, 0});
+
+// Ablation: per-(block × item) count snapshot rebuilds (fresh HashCount
+// Init + fill, the pre-fusion grid path) vs the count-arena setup that
+// allocates geometry once and only clears + refills a flat slab per sweep.
+// 64 items of 256 tokens each stands in for one block's columns.
+constexpr uint32_t kArenaItems = 64;
+constexpr uint32_t kArenaLen = 256;
+constexpr uint32_t kArenaK = 1024;
+
+std::vector<std::vector<uint32_t>> ArenaTopics() {
+  Rng rng(10);
+  std::vector<std::vector<uint32_t>> topics(kArenaItems);
+  for (auto& item : topics) {
+    item.resize(kArenaLen);
+    for (auto& t : item) t = rng.NextInt(kArenaK);
+  }
+  return topics;
+}
+
+void BM_StageSetupSnapshotCopy(benchmark::State& state) {
+  const auto topics = ArenaTopics();
+  HashCount counts;
+  for (auto _ : state) {
+    for (const auto& item : topics) {
+      counts.Init(std::min(kArenaK, 2 * kArenaLen));
+      for (uint32_t t : item) counts.Inc(t);
+      benchmark::DoNotOptimize(counts.Get(item[0]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kArenaItems * kArenaLen);
+}
+BENCHMARK(BM_StageSetupSnapshotCopy);
+
+void BM_StageSetupArena(benchmark::State& state) {
+  const auto topics = ArenaTopics();
+  CountArena arena;
+  std::vector<uint32_t> hints(kArenaItems, std::min(kArenaK, 2 * kArenaLen));
+  arena.AllocateFromHints(hints);  // once per corpus, outside the loop
+  for (auto _ : state) {
+    arena.ClearSlots();
+    for (uint32_t i = 0; i < kArenaItems; ++i) {
+      FlatCounts counts = arena.view(i);
+      for (uint32_t t : topics[i]) counts.Inc(t);
+      benchmark::DoNotOptimize(counts.Get(topics[i][0]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kArenaItems * kArenaLen);
+}
+BENCHMARK(BM_StageSetupArena);
+
+// Console output plus the repo's bench JSON format (same header fields as
+// the fig benches: cpu model, SIMD tier, thread count) so the primitive
+// numbers are tracked across commits next to BENCH_fig9.json.
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCollectingReporter(bench::BenchJson* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      auto& row = json_->AddRow();
+      row.Str("name", run.benchmark_name());
+      row.Int("iterations", static_cast<int64_t>(run.iterations));
+      row.Num("real_time_ns", run.GetAdjustedRealTime());
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        row.Num("items_per_second", items->second);
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchJson* json_;
+};
+
 }  // namespace
 }  // namespace warplda
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  warplda::bench::BenchJson json("micro_primitives", "synthetic primitives");
+  warplda::JsonCollectingReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  json.Write("BENCH_micro_primitives.json");
+  return 0;
+}

@@ -212,8 +212,6 @@ int main(int argc, char** argv) {
   char dataset[64];
   std::snprintf(dataset, sizeof(dataset), "synthetic-nytimes scale=%g", scale);
   warplda::bench::BenchJson json("serve_throughput", dataset);
-  json.header().Int("hardware_threads",
-                    std::thread::hardware_concurrency());
 
   std::printf("\nQPS vs workers (micro-batch 8)\n");
   std::printf("%8s %10s %12s %12s %10s\n", "workers", "qps", "p50(us)",

@@ -66,7 +66,10 @@ const char* ToString(SweepStage stage) {
 void GridSampler::RunSweep(const SweepPlan& plan) {
   BeginSweep(plan);
   try {
-    for (int stage = 0; stage < 4; ++stage) {
+    // Step stages until the sampler reports the sweep complete: under stage
+    // fusion a sweep is fewer than four barriers, and sweep_stage() names the
+    // span being run, so the driver asks rather than assumes.
+    while (sweep_stage() != SweepStage::kDone) {
       for (uint32_t i = 0; i < plan.num_doc_blocks; ++i) {
         for (uint32_t j = 0; j < plan.num_word_blocks; ++j) {
           RunBlock(i, j);

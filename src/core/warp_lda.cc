@@ -70,6 +70,9 @@ void WarpLdaSampler::Init(const Corpus& corpus, const LdaConfig& config) {
   for (auto& s : scratch_) s.ck_delta.assign(k, 0);
   phase_epoch_ = 0;
   grid_ = GridState();
+  col_counts_ = CountArena();
+  row_counts_ = CountArena();
+  col_alias_.clear();
 
   // Random initial assignments.
   ck_live_.assign(k, 0);
@@ -167,12 +170,13 @@ void WarpLdaSampler::BuildCounts(HashCount& counts,
   for (uint32_t i = 0; i < row.size(); ++i) counts.Inc(row[i]);
 }
 
-TopicId WarpLdaSampler::AcceptChain(ThreadScratch& s, TopicId current,
-                                    const TopicId* props, uint32_t m,
+template <typename Counts>
+TopicId WarpLdaSampler::AcceptChain(ThreadScratch& s, const Counts& counts,
+                                    TopicId current, const TopicId* props,
+                                    uint32_t m,
                                     const std::vector<double>* prior_vec,
                                     double prior, uint64_t stream_base,
                                     uint64_t token) {
-  const HashCount& counts = s.counts;
   int64_t* ck_delta = s.ck_delta.data();
   ++s.obs_tokens;
   Rng rng;
@@ -185,7 +189,9 @@ TopicId WarpLdaSampler::AcceptChain(ThreadScratch& s, TopicId current,
           sizeof(HashCount::Entry), /*random=*/true, /*write=*/false);
     const double prior_t = prior_vec ? (*prior_vec)[t] : prior;
     const double prior_s = prior_vec ? (*prior_vec)[current] : prior;
-    // Eq. 7: delayed c_w/c_d and c_k snapshots on both sides.
+    // Eq. 7: delayed c_w/c_d and c_k snapshots on both sides. The expression
+    // tree — (mul, mul) over a div — is replicated exactly by the batched
+    // kernel (simd::ComputeAcceptRatios), keeping both paths bit-identical.
     double accept =
         (counts.Get(t) + prior_t) * (ck_fixed_[current] + beta_bar_) /
         ((counts.Get(current) + prior_s) * (ck_fixed_[t] + beta_bar_));
@@ -227,21 +233,34 @@ void WarpLdaSampler::FlushScratchMetrics() {
   m.alias_builds->Inc(alias_builds);
 }
 
-void WarpLdaSampler::BuildAliasFromCounts(ThreadScratch& scratch) {
+template <typename Counts>
+void WarpLdaSampler::BuildAliasInto(ThreadScratch& scratch,
+                                    const Counts& counts, AliasTable& alias) {
   // Alg. 2 builds the alias table over the post-acceptance C_wk: q_word ∝
   // C_wk + β as a mixture of this count-weighted table and the uniform β
   // branch. Entries are sorted by topic so the bin layout is a pure function
   // of the count values: the fused path (which patches the acceptance-time
-  // snapshot with the move list) and the grid path (which rebuilds c_w from
-  // the column after the stage barrier, having no move list) insert keys in
+  // snapshot with the move list) and the grid path (which patches the shared
+  // column arena with the staged moves at the barrier) insert keys in
   // different orders yet load identical tables.
   ++scratch.obs_alias_builds;
   scratch.alias_entries.clear();
-  scratch.counts.ForEachNonZero([&](uint32_t k, int32_t c) {
+  counts.ForEachNonZero([&](uint32_t k, int32_t c) {
     scratch.alias_entries.emplace_back(k, static_cast<double>(c));
   });
   std::sort(scratch.alias_entries.begin(), scratch.alias_entries.end());
-  scratch.alias.BuildSparse(scratch.alias_entries);
+  alias.BuildSparse(scratch.alias_entries);
+}
+
+void WarpLdaSampler::DrawWordProposalsInto(TopicId* slot,
+                                           const AliasTable& alias, Rng& rng,
+                                           double count_prob) {
+  const uint32_t m = std::max(1u, config_.mh_steps);
+  const uint32_t k_topics = config_.num_topics;
+  for (uint32_t j = 0; j < m; ++j) {
+    slot[j] = rng.NextBernoulli(count_prob) ? alias.Sample(rng)
+                                            : rng.NextInt(k_topics);
+  }
 }
 
 void WarpLdaSampler::DrawWordProposalsForToken(ThreadScratch& scratch,
@@ -249,12 +268,24 @@ void WarpLdaSampler::DrawWordProposalsForToken(ThreadScratch& scratch,
                                                uint64_t token,
                                                double count_prob) {
   const uint32_t m = std::max(1u, config_.mh_steps);
-  const uint32_t k_topics = config_.num_topics;
-  TopicId* slot = &proposals_[token * m];
   Rng rng = StreamRng(stream_base, kTagPropose, token);
+  DrawWordProposalsInto(&proposals_[token * m], scratch.alias, rng,
+                        count_prob);
+}
+
+template <typename Values>
+void WarpLdaSampler::DrawDocProposalsInto(TopicId* slot, const Values& values,
+                                          uint32_t len, Rng& rng,
+                                          double position_prob) {
+  const uint32_t m = std::max(1u, config_.mh_steps);
+  const uint32_t k_topics = config_.num_topics;
+  const bool asymmetric = !config_.alpha_vector.empty();
   for (uint32_t j = 0; j < m; ++j) {
-    slot[j] = rng.NextBernoulli(count_prob) ? scratch.alias.Sample(rng)
-                                            : rng.NextInt(k_topics);
+    if (rng.NextBernoulli(position_prob)) {
+      slot[j] = values[rng.NextInt(len)];
+    } else {
+      slot[j] = asymmetric ? prior_alias_.Sample(rng) : rng.NextInt(k_topics);
+    }
   }
 }
 
@@ -262,17 +293,9 @@ void WarpLdaSampler::DrawDocProposalsForToken(
     uint64_t stream_base, uint64_t token, SparseMatrix<TopicId>::RowView row,
     double position_prob) {
   const uint32_t m = std::max(1u, config_.mh_steps);
-  const uint32_t k_topics = config_.num_topics;
-  const bool asymmetric = !config_.alpha_vector.empty();
-  TopicId* slot = &proposals_[token * m];
   Rng rng = StreamRng(stream_base, kTagPropose, token);
-  for (uint32_t j = 0; j < m; ++j) {
-    if (rng.NextBernoulli(position_prob)) {
-      slot[j] = row[rng.NextInt(row.size())];
-    } else {
-      slot[j] = asymmetric ? prior_alias_.Sample(rng) : rng.NextInt(k_topics);
-    }
-  }
+  DrawDocProposalsInto(&proposals_[token * m], row, row.size(), rng,
+                       position_prob);
 }
 
 void WarpLdaSampler::DrawDocProposals(uint64_t stream_base,
@@ -323,8 +346,8 @@ void WarpLdaSampler::WordPhase() {
         s.moves.clear();
         for (uint32_t i = 0; i < lw; ++i) {
           const TopicId before = z[i];
-          z[i] = AcceptChain(s, z[i], &proposals_[(base + i) * m], m, nullptr,
-                             beta, stream_base, base + i);
+          z[i] = AcceptChain(s, s.counts, z[i], &proposals_[(base + i) * m], m,
+                             nullptr, beta, stream_base, base + i);
           if (z[i] != before) s.moves.emplace_back(before, z[i]);
         }
 
@@ -335,7 +358,7 @@ void WarpLdaSampler::WordPhase() {
           s.counts.Dec(from);
           s.counts.Inc(to);
         }
-        BuildAliasFromCounts(s);
+        BuildAliasInto(s, s.counts, s.alias);
         const double count_prob =
             static_cast<double>(lw) /
             (static_cast<double>(lw) + beta * k_topics);
@@ -376,8 +399,9 @@ void WarpLdaSampler::DocPhase() {
 
         // Accept the pending word proposals (Eq. 7, π^word).
         for (uint32_t i = 0; i < len; ++i) {
-          row[i] = AcceptChain(s, row[i], &proposals_[row.entry_index(i) * m],
-                               m, alpha_vec, alpha, stream_base,
+          row[i] = AcceptChain(s, s.counts, row[i],
+                               &proposals_[row.entry_index(i) * m], m,
+                               alpha_vec, alpha, stream_base,
                                row.entry_index(i));
         }
 
@@ -396,15 +420,31 @@ void WarpLdaSampler::Iterate() {
 }
 
 // --------------------------------------------------------------------------
-// Grid execution. Stages defer their writes (accepted topics go to
-// grid_.staged, count updates to the calling worker's ck-delta partition)
-// and apply them at the EndStage barrier, so every block of a stage observes
-// the same pre-stage state no matter the schedule. Combined with the
-// per-token RNG streams this makes any grid — including the 1×1 plan and the
-// fused Iterate() — sample identically, on any number of workers: a block
-// body reads only shared *immutable* stage state and writes only its own
-// tokens' slots plus scratch_[worker], so concurrent blocks share no mutable
-// memory (ParallelExecutor relies on exactly this).
+// Grid execution. Stages defer their writes (accepted topics go to the
+// calling worker's staged-move list, count updates to its ck-delta
+// partition) and apply them at the EndStage barrier, so every block of a
+// stage observes the same pre-stage state no matter the schedule. Combined
+// with the per-token RNG streams this makes any grid — including the 1×1
+// plan and the fused Iterate() — sample identically, on any number of
+// workers: a block body reads only shared *immutable* span state (z, the
+// count arenas, the column alias tables) and writes only its own tokens'
+// proposal slots plus scratch_[worker], so concurrent blocks share no
+// mutable memory (ParallelExecutor relies on exactly this).
+//
+// Stage fusion (StageFusion::kAuto) merges adjacent stages into one RunBlock
+// pass per block where the write-set proof holds:
+//  * [word-propose, doc-accept] is always legal: a block's word-propose
+//    writes only its own tokens' proposal slots, and its doc-accept reads
+//    only its own tokens' proposals — the same token set, written earlier in
+//    the same call. z is stable across the pair (propose never writes z, and
+//    accept stages its writes), so the row snapshots are schedule-invariant.
+//  * [word-accept, word-propose] requires cols_ok (every column inside one
+//    doc block): propose's alias table needs the whole column's
+//    post-acceptance counts, which only that block computed.
+//  * [doc-accept, doc-propose] requires rows_ok (every row inside one word
+//    block): propose positions into the whole row's post-acceptance topics,
+//    patched locally (ThreadScratch::local_row) before the barrier.
+// Fusion never changes the samples — only which barriers exist.
 
 void WarpLdaSampler::ReserveWorkers(uint32_t num_workers) {
   if (corpus_ == nullptr) {
@@ -438,43 +478,211 @@ void WarpLdaSampler::BeginSweep(const SweepPlan& plan) {
   if (!plan.Validate(corpus_->num_docs(), corpus_->num_words(), &error)) {
     throw std::invalid_argument("WarpLdaSampler: invalid SweepPlan: " + error);
   }
-  const uint32_t doc_blocks = plan.num_doc_blocks;
-  const uint32_t word_blocks = plan.num_word_blocks;
   BuildGridIndices(plan);
-  grid_.staged.assign(matrix_.num_entries(), 0);
   for (auto& s : scratch_) {
     std::fill(s.ck_delta.begin(), s.ck_delta.end(), 0);
+    s.staged_moves.clear();
   }
-  grid_.block_ran.assign(static_cast<size_t>(doc_blocks) * word_blocks, 0);
-  grid_.base_word = StreamBase(++phase_epoch_);
-  ck_fixed_ = ck_live_;
+  grid_.block_ran.assign(
+      static_cast<size_t>(plan.num_doc_blocks) * plan.num_word_blocks, 0);
+  // Mint both phase stream bases up front (the fused path's two ++epoch
+  // draws). Checkpoints therefore carry identical bytes at a given barrier
+  // regardless of which StageFusion setting produced them, and a restore
+  // under either setting resumes the same trajectory.
+  phase_epoch_ += 2;
+  grid_.base_word = StreamBase(phase_epoch_ - 1);
+  grid_.base_doc = StreamBase(phase_epoch_);
+  grid_.col_filled = false;
   grid_.stage = SweepStage::kWordAccept;
   grid_.open = true;
+  EnterSpan(SweepStage::kWordAccept);
 }
 
 void WarpLdaSampler::BuildGridIndices(const SweepPlan& plan) {
   if (grid_.indices_built && plan == grid_.plan) return;
   grid_.plan = plan;
-  grid_.block_rows.assign(plan.num_doc_blocks, {});
-  grid_.block_cols.assign(plan.num_word_blocks, {});
-  grid_.entry_doc_block.assign(matrix_.num_entries(), 0);
-  grid_.entry_word_block.assign(matrix_.num_entries(), 0);
+  const uint32_t num_wb = plan.num_word_blocks;
+  const uint32_t num_db = plan.num_doc_blocks;
+  const size_t num_blocks = static_cast<size_t>(num_db) * num_wb;
+  grid_.word_ix.assign(num_blocks, {});
+  grid_.doc_ix.assign(num_blocks, {});
+  grid_.cols_ok = true;
+  grid_.rows_ok = true;
+
+  // Per-entry doc-block map (scratch for the column grouping below).
+  std::vector<uint32_t> entry_doc_block(matrix_.num_entries(), 0);
   for (DocId d = 0; d < corpus_->num_docs(); ++d) {
     const uint32_t b = plan.doc_block.empty() ? 0 : plan.doc_block[d];
-    grid_.block_rows[b].push_back(d);
     auto row = matrix_.row(d);
     for (uint32_t i = 0; i < row.size(); ++i) {
-      grid_.entry_doc_block[row.entry_index(i)] = b;
+      entry_doc_block[row.entry_index(i)] = b;
     }
   }
+
+  // Word axis: group each column's CSC positions by doc block, giving every
+  // block its exact token list up front — the per-(block × column) rescan of
+  // the whole column with a per-entry filter (P redundant passes on a P×P
+  // plan) is gone.
+  std::vector<std::vector<uint64_t>> buckets(num_db);
   for (WordId w = 0; w < corpus_->num_words(); ++w) {
-    const uint32_t b = plan.word_block.empty() ? 0 : plan.word_block[w];
-    grid_.block_cols[b].push_back(w);
+    const uint32_t wb = plan.word_block.empty() ? 0 : plan.word_block[w];
     const uint64_t base = matrix_.col_offset(w);
     const uint64_t len = matrix_.col_data(w).size();
-    for (uint64_t p = 0; p < len; ++p) grid_.entry_word_block[base + p] = b;
+    if (len == 0) continue;
+    for (auto& bucket : buckets) bucket.clear();
+    for (uint64_t p = 0; p < len; ++p) {
+      buckets[entry_doc_block[base + p]].push_back(base + p);
+    }
+    uint32_t blocks_hit = 0;
+    for (uint32_t db = 0; db < num_db; ++db) {
+      if (buckets[db].empty()) continue;
+      ++blocks_hit;
+      BlockIndex& ix = grid_.word_ix[static_cast<size_t>(db) * num_wb + wb];
+      const uint32_t begin = static_cast<uint32_t>(ix.positions.size());
+      ix.positions.insert(ix.positions.end(), buckets[db].begin(),
+                          buckets[db].end());
+      ix.segments.push_back(
+          {w, begin, static_cast<uint32_t>(ix.positions.size())});
+    }
+    if (blocks_hit > 1) grid_.cols_ok = false;
+  }
+
+  // Doc axis: same grouping, rows by word block, preserving row order so a
+  // rows_ok segment's positions line up with the row's own indices.
+  buckets.assign(num_wb, {});
+  std::vector<uint32_t> entry_word_block(matrix_.num_entries(), 0);
+  for (WordId w = 0; w < corpus_->num_words(); ++w) {
+    const uint32_t wb = plan.word_block.empty() ? 0 : plan.word_block[w];
+    const uint64_t base = matrix_.col_offset(w);
+    const uint64_t len = matrix_.col_data(w).size();
+    for (uint64_t p = 0; p < len; ++p) entry_word_block[base + p] = wb;
+  }
+  for (DocId d = 0; d < corpus_->num_docs(); ++d) {
+    const uint32_t db = plan.doc_block.empty() ? 0 : plan.doc_block[d];
+    auto row = matrix_.row(d);
+    if (row.size() == 0) continue;
+    for (auto& bucket : buckets) bucket.clear();
+    for (uint32_t i = 0; i < row.size(); ++i) {
+      buckets[entry_word_block[row.entry_index(i)]].push_back(
+          row.entry_index(i));
+    }
+    uint32_t blocks_hit = 0;
+    for (uint32_t wb = 0; wb < num_wb; ++wb) {
+      if (buckets[wb].empty()) continue;
+      ++blocks_hit;
+      BlockIndex& ix = grid_.doc_ix[static_cast<size_t>(db) * num_wb + wb];
+      const uint32_t begin = static_cast<uint32_t>(ix.positions.size());
+      ix.positions.insert(ix.positions.end(), buckets[wb].begin(),
+                          buckets[wb].end());
+      ix.segments.push_back(
+          {d, begin, static_cast<uint32_t>(ix.positions.size())});
+    }
+    if (blocks_hit > 1) grid_.rows_ok = false;
   }
   grid_.indices_built = true;
+}
+
+int WarpLdaSampler::SpanLength(SweepStage s) const {
+  if (options_.fusion == StageFusion::kNone) return 1;
+  switch (s) {
+    case SweepStage::kWordAccept:
+      return grid_.cols_ok ? 2 : 1;
+    case SweepStage::kWordPropose:
+      return 2;  // [word-propose, doc-accept] is legal on every plan
+    case SweepStage::kDocAccept:
+      return grid_.rows_ok ? 2 : 1;
+    default:
+      return 1;
+  }
+}
+
+void WarpLdaSampler::EnterSpan(SweepStage begin) {
+  const int len = SpanLength(begin);
+  // Snapshot refresh: any span containing an accept stage needs ck_fixed =
+  // the fold state at its phase boundary. Refreshing at word-propose entry
+  // (post word-accept fold; word-propose itself never reads it) keeps the
+  // value — and hence the checkpoint bytes at the word-propose barrier —
+  // the same whether doc-accept is fused into this span or runs later.
+  // Doc-propose entry must NOT refresh: its barrier checkpoint carries the
+  // doc-accept snapshot, not the post-doc-accept fold.
+  if (begin != SweepStage::kDocPropose) ck_fixed_ = ck_live_;
+  switch (begin) {
+    case SweepStage::kWordAccept:
+      // Unfused word-accept blocks read the shared column tables; the fused
+      // [wa, wp] body builds its own per-column snapshot instead.
+      if (len == 1) BuildColArena();
+      break;
+    case SweepStage::kWordPropose:
+      // Post-acceptance column counts: patched in place at the word-accept
+      // barrier, or rebuilt from z on the restore path (where z is already
+      // post-acceptance).
+      if (!grid_.col_filled) BuildColArena();
+      BuildColAliases();
+      if (len == 2) BuildRowArena();  // fused doc-accept reads rows
+      break;
+    case SweepStage::kDocAccept:
+      BuildRowArena();
+      break;
+    default:
+      break;
+  }
+}
+
+void WarpLdaSampler::EnsureColArenaGeometry() {
+  if (col_counts_.ready) return;
+  std::vector<uint32_t> hints(corpus_->num_words());
+  for (WordId w = 0; w < corpus_->num_words(); ++w) {
+    hints[w] = std::min<uint32_t>(
+        config_.num_topics,
+        2 * static_cast<uint32_t>(matrix_.col_data(w).size()));
+  }
+  col_counts_.AllocateFromHints(hints);
+}
+
+void WarpLdaSampler::EnsureRowArenaGeometry() {
+  if (row_counts_.ready) return;
+  std::vector<uint32_t> hints(corpus_->num_docs());
+  for (DocId d = 0; d < corpus_->num_docs(); ++d) {
+    hints[d] = std::min<uint32_t>(config_.num_topics,
+                                  2 * matrix_.row(d).size());
+  }
+  row_counts_.AllocateFromHints(hints);
+}
+
+void WarpLdaSampler::BuildColArena() {
+  EnsureColArenaGeometry();
+  col_counts_.ClearSlots();
+  for (WordId w = 0; w < corpus_->num_words(); ++w) {
+    auto z = matrix_.col_data(w);
+    if (z.empty()) continue;
+    FlatCounts counts = col_counts_.view(w);
+    for (TopicId topic : z) counts.Inc(topic);
+  }
+  grid_.col_filled = true;
+}
+
+void WarpLdaSampler::BuildRowArena() {
+  EnsureRowArenaGeometry();
+  row_counts_.ClearSlots();
+  for (DocId d = 0; d < corpus_->num_docs(); ++d) {
+    auto row = matrix_.row(d);
+    if (row.size() == 0) continue;
+    FlatCounts counts = row_counts_.view(d);
+    for (uint32_t i = 0; i < row.size(); ++i) counts.Inc(row[i]);
+  }
+}
+
+void WarpLdaSampler::BuildColAliases() {
+  col_alias_.resize(corpus_->num_words());
+  // One order-stable build per column per sweep — not per (block × column);
+  // built at the span barrier where every worker is quiescent, so borrowing
+  // worker 0's entry scratch is safe.
+  ThreadScratch& s = scratch_[0];
+  for (WordId w = 0; w < corpus_->num_words(); ++w) {
+    if (matrix_.col_data(w).empty()) continue;
+    const FlatCounts counts = col_counts_.view(w);
+    BuildAliasInto(s, counts, col_alias_[w]);
+  }
 }
 
 void WarpLdaSampler::RunBlock(uint32_t doc_block, uint32_t word_block,
@@ -505,120 +713,314 @@ void WarpLdaSampler::RunBlock(uint32_t doc_block, uint32_t word_block,
   }
   ran = 1;
   ThreadScratch& scratch = scratch_[worker];
+  const int len = SpanLength(grid_.stage);
   switch (grid_.stage) {
     case SweepStage::kWordAccept:
-      RunWordAcceptBlock(doc_block, word_block, scratch);
+      if (len == 2) {
+        RunFusedWordPart(doc_block, word_block, scratch);
+      } else {
+        RunWordAcceptPart(doc_block, word_block, scratch);
+      }
       break;
     case SweepStage::kWordPropose:
-      RunWordProposeBlock(doc_block, word_block, scratch);
+      RunWordProposePart(doc_block, word_block, scratch);
+      // [wp, da]: this block's doc-accept reads exactly the proposals its
+      // word-propose half just wrote (the block's token set is the same on
+      // both axes), so no barrier is needed between them.
+      if (len == 2) {
+        RunDocAcceptPart(doc_block, word_block, scratch,
+                         /*fused_propose=*/false);
+      }
       break;
     case SweepStage::kDocAccept:
-      RunDocAcceptBlock(doc_block, word_block, scratch);
+      RunDocAcceptPart(doc_block, word_block, scratch,
+                       /*fused_propose=*/len == 2);
       break;
     case SweepStage::kDocPropose:
-      RunDocProposeBlock(doc_block, word_block);
+      RunDocProposePart(doc_block, word_block, scratch);
       break;
     case SweepStage::kDone:
       break;  // unreachable, checked above
   }
 }
 
-void WarpLdaSampler::RunWordAcceptBlock(uint32_t doc_block,
-                                        uint32_t word_block,
-                                        ThreadScratch& s) {
+template <typename Counts>
+void WarpLdaSampler::AcceptSegment(ThreadScratch& s, const Counts& counts,
+                                   const uint64_t* positions, uint32_t n,
+                                   const std::vector<double>* prior_vec,
+                                   double prior, uint64_t stream_base,
+                                   uint32_t move_item, TopicId* final_topics) {
   const uint32_t m = std::max(1u, config_.mh_steps);
-  const double beta = config_.beta;
-  for (uint32_t w : grid_.block_cols[word_block]) {
-    auto z = matrix_.col_data(w);
-    const uint64_t base = matrix_.col_offset(w);
-    bool built = false;
-    for (uint32_t i = 0; i < z.size(); ++i) {
-      if (grid_.entry_doc_block[base + i] != doc_block) continue;
-      if (!built) {
-        // Full-column snapshot of the pre-stage z (stages stage their writes,
-        // so every block sees the same column no matter the schedule).
-        BuildCounts(s.counts, z);
-        built = true;
+  if (tracer_ != nullptr) {
+    // The batched path elides the per-proposal slot probes the cache tracer
+    // replays, so trace runs take the scalar reference chain token by token.
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint64_t pos = positions[i];
+      const TopicId before = matrix_.entry_data(pos);
+      const TopicId after =
+          AcceptChain(s, counts, before, &proposals_[pos * m], m, prior_vec,
+                      prior, stream_base, pos);
+      if (after != before) s.staged_moves.push_back({pos, move_item, before, after});
+      if (final_topics != nullptr) final_topics[i] = after;
+    }
+    return;
+  }
+  const bool force_scalar = options_.force_scalar_kernels;
+  if (s.bat_ca.size() < kAcceptChunk) {
+    s.bat_ca.resize(kAcceptChunk);
+    s.bat_cb.resize(kAcceptChunk);
+    s.bat_cur.resize(kAcceptChunk);
+    s.bat_ratio.resize(kAcceptChunk);
+    s.bat_ge1.resize(kAcceptChunk);
+    s.bat_seeded.resize(kAcceptChunk);
+    s.bat_rng.resize(kAcceptChunk);
+  }
+  const size_t steps_cap = static_cast<size_t>(m) * kAcceptChunk;
+  if (s.bat_ta.size() < steps_cap) {
+    s.bat_ta.resize(steps_cap);
+    s.bat_tb.resize(steps_cap);
+    s.bat_topic.resize(steps_cap);
+  }
+  int64_t* ck_delta = s.ck_delta.data();
+  for (uint32_t chunk = 0; chunk < n; chunk += kAcceptChunk) {
+    const uint32_t nb = std::min(kAcceptChunk, n - chunk);
+    const uint64_t* chunk_pos = positions + chunk;
+    // Gather pass: every operand of every chain step, SoA per step. The
+    // count table is a delayed snapshot — immutable for the whole stage —
+    // so step j's operands can be fetched before steps 0..j-1 resolve.
+    for (uint32_t t = 0; t < nb; ++t) {
+      const uint64_t pos = chunk_pos[t];
+      const TopicId cur = matrix_.entry_data(pos);
+      s.bat_cur[t] = cur;
+      s.bat_ca[t] = counts.Get(cur) + (prior_vec ? (*prior_vec)[cur] : prior);
+      s.bat_cb[t] = ck_fixed_[cur] + beta_bar_;
+      s.bat_seeded[t] = 0;
+      const TopicId* props = &proposals_[pos * m];
+      for (uint32_t j = 0; j < m; ++j) {
+        const TopicId p = props[j];
+        s.bat_topic[j * kAcceptChunk + t] = p;
+        s.bat_ta[j * kAcceptChunk + t] =
+            counts.Get(p) + (prior_vec ? (*prior_vec)[p] : prior);
+        s.bat_tb[j * kAcceptChunk + t] = ck_fixed_[p] + beta_bar_;
       }
-      grid_.staged[base + i] =
-          AcceptChain(s, z[i], &proposals_[(base + i) * m], m, nullptr, beta,
-                      grid_.base_word, base + i);
+    }
+    s.obs_tokens += nb;
+    // Chain steps: vectorized ratio compute over the whole chunk, then a
+    // sequential resolve that reproduces the scalar chain exactly — same
+    // self-proposal skips, same lazy per-token stream seeding, same
+    // Bernoulli consumption, and on accept the running (a, b) switch to the
+    // target's gathered operands (legal because the snapshot is immutable).
+    for (uint32_t j = 0; j < m; ++j) {
+      const double* a_t = &s.bat_ta[static_cast<size_t>(j) * kAcceptChunk];
+      const double* b_t = &s.bat_tb[static_cast<size_t>(j) * kAcceptChunk];
+      const uint32_t* topic =
+          &s.bat_topic[static_cast<size_t>(j) * kAcceptChunk];
+      simd::ComputeAcceptRatios(nb, a_t, b_t, s.bat_ca.data(),
+                                s.bat_cb.data(), s.bat_ratio.data(),
+                                s.bat_ge1.data(), force_scalar);
+      for (uint32_t t = 0; t < nb; ++t) {
+        const TopicId p = topic[t];
+        if (p == s.bat_cur[t]) continue;
+        ++s.obs_proposals;
+        bool take = s.bat_ge1[t] != 0;
+        if (!take) {
+          if (!s.bat_seeded[t]) {
+            s.bat_rng[t] = StreamRng(stream_base, kTagAccept, chunk_pos[t]);
+            s.bat_seeded[t] = 1;
+          }
+          take = s.bat_rng[t].NextBernoulli(s.bat_ratio[t]);
+        }
+        if (take) {
+          ++s.obs_accepts;
+          --ck_delta[s.bat_cur[t]];
+          ++ck_delta[p];
+          s.bat_cur[t] = p;
+          s.bat_ca[t] = a_t[t];
+          s.bat_cb[t] = b_t[t];
+        }
+      }
+    }
+    for (uint32_t t = 0; t < nb; ++t) {
+      const uint64_t pos = chunk_pos[t];
+      const TopicId before = matrix_.entry_data(pos);
+      const TopicId after = s.bat_cur[t];
+      if (after != before) s.staged_moves.push_back({pos, move_item, before, after});
+      if (final_topics != nullptr) final_topics[chunk + t] = after;
     }
   }
 }
 
-void WarpLdaSampler::RunWordProposeBlock(uint32_t doc_block,
-                                         uint32_t word_block,
-                                         ThreadScratch& s) {
-  const uint32_t k_topics = config_.num_topics;
-  const double beta = config_.beta;
-  for (uint32_t w : grid_.block_cols[word_block]) {
-    auto z = matrix_.col_data(w);
-    const uint64_t base = matrix_.col_offset(w);
-    const double lw = static_cast<double>(z.size());
-    const double count_prob = lw / (lw + beta * k_topics);
-    bool built = false;
-    for (uint32_t i = 0; i < z.size(); ++i) {
-      if (grid_.entry_doc_block[base + i] != doc_block) continue;
-      if (!built) {
-        // Post-acceptance column (applied at the barrier); no move list
-        // exists here, so c_w comes from a fresh scan — the order-stable
-        // alias build makes that agree with the fused path's patched table.
-        BuildCounts(s.counts, z);
-        BuildAliasFromCounts(s);
-        built = true;
-      }
-      DrawWordProposalsForToken(s, grid_.base_word, base + i, count_prob);
-    }
-  }
-}
-
-void WarpLdaSampler::RunDocAcceptBlock(uint32_t doc_block,
+void WarpLdaSampler::RunWordAcceptPart(uint32_t doc_block,
                                        uint32_t word_block,
                                        ThreadScratch& s) {
+  const double beta = config_.beta;
+  const BlockIndex& ix =
+      grid_.word_ix[static_cast<size_t>(doc_block) *
+                        grid_.plan.num_word_blocks +
+                    word_block];
+  for (const BlockSegment& seg : ix.segments) {
+    // Shared pre-stage column table from the arena (immutable this stage).
+    const FlatCounts counts = col_counts_.view(seg.item);
+    AcceptSegment(s, counts, &ix.positions[seg.begin], seg.end - seg.begin,
+                  nullptr, beta, grid_.base_word, seg.item,
+                  /*final_topics=*/nullptr);
+  }
+}
+
+void WarpLdaSampler::RunFusedWordPart(uint32_t doc_block, uint32_t word_block,
+                                      ThreadScratch& s) {
+  // [wa, wp] span (cols_ok): each segment is a whole column, so this block
+  // alone computes the column's post-acceptance counts — patch the private
+  // snapshot with the staged endpoints and build the alias table in place,
+  // skipping both the shared arena and a barrier.
+  const uint32_t k_topics = config_.num_topics;
+  const double beta = config_.beta;
   const uint32_t m = std::max(1u, config_.mh_steps);
+  const BlockIndex& ix =
+      grid_.word_ix[static_cast<size_t>(doc_block) *
+                        grid_.plan.num_word_blocks +
+                    word_block];
+  for (const BlockSegment& seg : ix.segments) {
+    const uint32_t n = seg.end - seg.begin;
+    const uint64_t* positions = &ix.positions[seg.begin];
+    auto z = matrix_.col_data(seg.item);
+    BuildCounts(s.counts, z);
+    const size_t moves_before = s.staged_moves.size();
+    AcceptSegment(s, s.counts, positions, n, nullptr, beta, grid_.base_word,
+                  seg.item, /*final_topics=*/nullptr);
+    for (size_t i = moves_before; i < s.staged_moves.size(); ++i) {
+      s.counts.Dec(s.staged_moves[i].from);
+      s.counts.Inc(s.staged_moves[i].to);
+    }
+    BuildAliasInto(s, s.counts, s.alias);
+    const double lw = static_cast<double>(z.size());
+    const double count_prob = lw / (lw + beta * k_topics);
+    if (s.rng_states.size() < n) s.rng_states.resize(n);
+    simd::DeriveStreamStates(grid_.base_word, kTagPropose, positions, n,
+                             s.rng_states.data(),
+                             options_.force_scalar_kernels);
+    for (uint32_t i = 0; i < n; ++i) {
+      Rng rng = simd::RngFromState(s.rng_states[i]);
+      DrawWordProposalsInto(&proposals_[positions[i] * m], s.alias, rng,
+                            count_prob);
+    }
+  }
+}
+
+void WarpLdaSampler::RunWordProposePart(uint32_t doc_block,
+                                        uint32_t word_block,
+                                        ThreadScratch& s) {
+  const uint32_t k_topics = config_.num_topics;
+  const double beta = config_.beta;
+  const uint32_t m = std::max(1u, config_.mh_steps);
+  const BlockIndex& ix =
+      grid_.word_ix[static_cast<size_t>(doc_block) *
+                        grid_.plan.num_word_blocks +
+                    word_block];
+  for (const BlockSegment& seg : ix.segments) {
+    const uint32_t n = seg.end - seg.begin;
+    const uint64_t* positions = &ix.positions[seg.begin];
+    // Post-acceptance alias table, built once per column at the span entry.
+    const AliasTable& alias = col_alias_[seg.item];
+    const double lw = static_cast<double>(matrix_.col_data(seg.item).size());
+    const double count_prob = lw / (lw + beta * k_topics);
+    if (s.rng_states.size() < n) s.rng_states.resize(n);
+    simd::DeriveStreamStates(grid_.base_word, kTagPropose, positions, n,
+                             s.rng_states.data(),
+                             options_.force_scalar_kernels);
+    for (uint32_t i = 0; i < n; ++i) {
+      Rng rng = simd::RngFromState(s.rng_states[i]);
+      DrawWordProposalsInto(&proposals_[positions[i] * m], alias, rng,
+                            count_prob);
+    }
+  }
+}
+
+void WarpLdaSampler::RunDocAcceptPart(uint32_t doc_block, uint32_t word_block,
+                                      ThreadScratch& s, bool fused_propose) {
   const std::vector<double>* alpha_vec =
       config_.alpha_vector.empty() ? nullptr : &config_.alpha_vector;
   const double alpha = config_.alpha;
-  for (uint32_t r : grid_.block_rows[doc_block]) {
-    auto row = matrix_.row(r);
-    bool built = false;
-    for (uint32_t i = 0; i < row.size(); ++i) {
-      const uint64_t idx = row.entry_index(i);
-      if (grid_.entry_word_block[idx] != word_block) continue;
-      if (!built) {
-        BuildCounts(s.counts, row);  // full-row pre-stage snapshot
-        built = true;
-      }
-      grid_.staged[idx] = AcceptChain(s, row[i], &proposals_[idx * m], m,
-                                      alpha_vec, alpha, grid_.base_doc, idx);
+  const uint32_t m = std::max(1u, config_.mh_steps);
+  const BlockIndex& ix =
+      grid_.doc_ix[static_cast<size_t>(doc_block) *
+                       grid_.plan.num_word_blocks +
+                   word_block];
+  for (const BlockSegment& seg : ix.segments) {
+    const uint32_t n = seg.end - seg.begin;
+    const uint64_t* positions = &ix.positions[seg.begin];
+    const FlatCounts counts = row_counts_.view(seg.item);
+    if (!fused_propose) {
+      AcceptSegment(s, counts, positions, n, alpha_vec, alpha, grid_.base_doc,
+                    seg.item, /*final_topics=*/nullptr);
+      continue;
+    }
+    // [da, dp] span (rows_ok): the segment is the whole row in row order, so
+    // the post-acceptance topics land in local_row and the propose half can
+    // position into them before the barrier publishes the staged moves.
+    if (s.local_row.size() < n) s.local_row.resize(n);
+    AcceptSegment(s, counts, positions, n, alpha_vec, alpha, grid_.base_doc,
+                  seg.item, s.local_row.data());
+    const double position_prob =
+        static_cast<double>(n) / (static_cast<double>(n) + alpha_bar_);
+    if (s.rng_states.size() < n) s.rng_states.resize(n);
+    simd::DeriveStreamStates(grid_.base_doc, kTagPropose, positions, n,
+                             s.rng_states.data(),
+                             options_.force_scalar_kernels);
+    for (uint32_t i = 0; i < n; ++i) {
+      Rng rng = simd::RngFromState(s.rng_states[i]);
+      DrawDocProposalsInto(&proposals_[positions[i] * m], s.local_row.data(),
+                           n, rng, position_prob);
     }
   }
 }
 
-void WarpLdaSampler::RunDocProposeBlock(uint32_t doc_block,
-                                        uint32_t word_block) {
-  for (uint32_t r : grid_.block_rows[doc_block]) {
-    auto row = matrix_.row(r);
+void WarpLdaSampler::RunDocProposePart(uint32_t doc_block,
+                                       uint32_t word_block,
+                                       ThreadScratch& s) {
+  const uint32_t m = std::max(1u, config_.mh_steps);
+  const BlockIndex& ix =
+      grid_.doc_ix[static_cast<size_t>(doc_block) *
+                       grid_.plan.num_word_blocks +
+                   word_block];
+  for (const BlockSegment& seg : ix.segments) {
+    const uint32_t n = seg.end - seg.begin;
+    const uint64_t* positions = &ix.positions[seg.begin];
+    auto row = matrix_.row(seg.item);
     const uint32_t len = row.size();
-    if (len == 0) continue;
+    // Positioning reads the whole row's post-barrier topics; this block
+    // draws only for its own tokens.
     const double position_prob =
         static_cast<double>(len) / (static_cast<double>(len) + alpha_bar_);
-    for (uint32_t i = 0; i < len; ++i) {
-      const uint64_t idx = row.entry_index(i);
-      if (grid_.entry_word_block[idx] != word_block) continue;
-      DrawDocProposalsForToken(grid_.base_doc, idx, row, position_prob);
+    if (s.rng_states.size() < n) s.rng_states.resize(n);
+    simd::DeriveStreamStates(grid_.base_doc, kTagPropose, positions, n,
+                             s.rng_states.data(),
+                             options_.force_scalar_kernels);
+    for (uint32_t i = 0; i < n; ++i) {
+      Rng rng = simd::RngFromState(s.rng_states[i]);
+      DrawDocProposalsInto(&proposals_[positions[i] * m], row, len, rng,
+                           position_prob);
     }
   }
 }
 
-void WarpLdaSampler::ApplyStaged() {
-  for (uint64_t e = 0; e < matrix_.num_entries(); ++e) {
-    matrix_.entry_data(e) = grid_.staged[e];
-  }
-  // Fold the per-worker ck-delta partitions — the once-per-stage-barrier
-  // reduction that replaces a shared (contended) delta vector.
+void WarpLdaSampler::ApplyStagedMoves(bool patch_col_counts) {
+  // O(moved tokens), not O(all tokens): each stage's accepted moves are the
+  // only z writes. Values are schedule-independent — every position moves at
+  // most once per stage, and the arena patches commute — so any worker
+  // interleaving folds to the same state.
   for (auto& s : scratch_) {
+    for (const StagedMove& mv : s.staged_moves) {
+      matrix_.entry_data(mv.pos) = mv.to;
+      if (patch_col_counts) {
+        FlatCounts counts = col_counts_.view(mv.item);
+        counts.Dec(mv.from);
+        counts.Inc(mv.to);
+      }
+    }
+    s.staged_moves.clear();
+    // Fold the per-worker ck-delta partitions — the once-per-barrier
+    // reduction that replaces a shared (contended) delta vector.
     for (uint32_t k = 0; k < config_.num_topics; ++k) {
       ck_live_[k] += s.ck_delta[k];
     }
@@ -642,40 +1044,33 @@ void WarpLdaSampler::EndStage() {
         " stage with " + std::to_string(missing) + " of " +
         std::to_string(grid_.block_ran.size()) + " blocks not run");
   }
-  switch (grid_.stage) {
-    case SweepStage::kWordAccept:
-      ApplyStaged();
-      grid_.stage = SweepStage::kWordPropose;
-      break;
-    case SweepStage::kWordPropose:
-      // Word phase over: fold point between phases, matching the fused
-      // path's EndPhase()/BeginPhase() pair.
-      grid_.base_doc = StreamBase(++phase_epoch_);
-      ck_fixed_ = ck_live_;
-      grid_.stage = SweepStage::kDocAccept;
-      break;
-    case SweepStage::kDocAccept:
-      ApplyStaged();
-      grid_.stage = SweepStage::kDocPropose;
-      break;
-    case SweepStage::kDocPropose:
-      grid_.stage = SweepStage::kDone;
-      break;
-    case SweepStage::kDone:
-      break;  // unreachable, checked above
+  const SweepStage begin = grid_.stage;
+  const int len = SpanLength(begin);
+  const bool had_accept = begin == SweepStage::kWordAccept ||
+                          begin == SweepStage::kDocAccept ||
+                          (begin == SweepStage::kWordPropose && len == 2);
+  if (had_accept) {
+    // Patch the shared column tables in place only when the next span's
+    // alias builds will read them (an unfused word-accept feeding
+    // word-propose); everywhere else the moves only touch z.
+    ApplyStagedMoves(
+        /*patch_col_counts=*/begin == SweepStage::kWordAccept && len == 1);
   }
+  grid_.stage = static_cast<SweepStage>(static_cast<int>(begin) + len);
   std::fill(grid_.block_ran.begin(), grid_.block_ran.end(), 0);
+  if (grid_.stage != SweepStage::kDone) EnterSpan(grid_.stage);
   FlushScratchMetrics();  // workers are quiescent at the barrier
 }
 
 void WarpLdaSampler::AbortSweep() {
   if (!grid_.open) return;
-  // Discard the aborted stage's staged topics and unfolded deltas; the live
+  // Discard the aborted stage's staged moves and unfolded deltas; the live
   // state is whatever the last completed barrier applied, which keeps
   // matrix_ and ck_live_ consistent with each other. Pending proposals may
   // be stale — callers recover by running a fresh full sweep.
   for (auto& s : scratch_) {
     std::fill(s.ck_delta.begin(), s.ck_delta.end(), 0);
+    s.staged_moves.clear();
   }
   grid_.stage = SweepStage::kDone;
   grid_.open = false;
@@ -697,7 +1092,7 @@ bool WarpLdaSampler::CaptureSweepState(SweepCheckpoint* out) const {
   if (corpus_ == nullptr) return false;
   if (grid_.open) {
     // Only quiescent points are capturable: at a barrier every worker's
-    // staged writes are applied and every ck-delta partition is folded (and
+    // staged moves are applied and every ck-delta partition is folded (and
     // zeroed), so the live arrays below are the *whole* state. Mid-stage
     // they are not, and a checkpoint here would silently drop work.
     for (char ran : grid_.block_ran) {
@@ -708,8 +1103,8 @@ bool WarpLdaSampler::CaptureSweepState(SweepCheckpoint* out) const {
   // The sampler treats mh_steps == 0 as 1 everywhere; normalize so the
   // checkpoint's proposal count is self-consistent under validation.
   out->config.mh_steps = std::max(1u, config_.mh_steps);
-  // An open sweep whose four stages all completed (EndSweep still pending)
-  // is state-identical to "between sweeps": everything is applied.
+  // An open sweep whose stages all completed (EndSweep still pending) is
+  // state-identical to "between sweeps": everything is applied.
   const bool mid_sweep = grid_.open && grid_.stage != SweepStage::kDone;
   out->next_stage = mid_sweep ? grid_.stage : SweepStage::kWordAccept;
   out->plan = mid_sweep ? grid_.plan : SweepPlan::Trivial();
@@ -799,6 +1194,7 @@ bool WarpLdaSampler::RestoreSweepState(const SweepCheckpoint& state,
   grid_.base_doc = state.base_doc;
   for (auto& s : scratch_) {
     std::fill(s.ck_delta.begin(), s.ck_delta.end(), 0);
+    s.staged_moves.clear();
   }
   if (!mid_sweep) {
     // Between sweeps: proposals are the pending doc proposals the next word
@@ -807,18 +1203,23 @@ bool WarpLdaSampler::RestoreSweepState(const SweepCheckpoint& state,
     grid_.open = false;
     return true;
   }
-  // Reopen the sweep at the checkpointed barrier. The staged buffer starts
-  // clear — every accept stage overwrites all of it before the barrier
-  // applies it — and block_ran starts empty, exactly the post-EndStage
-  // state the checkpoint was captured in.
+  // Reopen the sweep at the checkpointed barrier: rebuild the plan indices
+  // and the span state EnterSpan would have prepared there. The snapshot
+  // refresh inside EnterSpan is a no-op on this path — at an accept span's
+  // entry barrier the checkpointed ck_fixed equals the fold state ck_live
+  // was just rebuilt to — and the arenas are rebuilt from the restored z,
+  // which is exactly the z the capturing run's arenas reflected.
   BuildGridIndices(state.plan);
-  grid_.staged.assign(n, 0);
   grid_.block_ran.assign(
       static_cast<size_t>(state.plan.num_doc_blocks) *
           state.plan.num_word_blocks,
       0);
+  grid_.col_filled = false;
   grid_.stage = state.next_stage;
   grid_.open = true;
+  if (state.next_stage != SweepStage::kDocPropose) {
+    EnterSpan(state.next_stage);
+  }
   return true;
 }
 

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "baselines/sampler.h"
+#include "core/count_arena.h"
+#include "core/simd_kernels.h"
 #include "core/sparse_matrix.h"
 #include "core/sweep_plan.h"
 #include "eval/topic_model.h"
@@ -14,12 +16,36 @@
 
 namespace warplda {
 
+/// Grid-stage fusion policy (see RunBlock / EndStage and the README
+/// "Threading model" section for the legality proof).
+enum class StageFusion {
+  /// Always run the four-stage protocol, one stage per barrier. Keeps the
+  /// historical barrier structure for drivers that hand-step stages.
+  kNone,
+  /// Fuse adjacent stages into one RunBlock pass wherever the write-set
+  /// proof holds for the plan: word-propose+doc-accept always (propose
+  /// writes only its own tokens' proposal slots, which no accept reads);
+  /// word-accept+word-propose when every column lies within one doc block;
+  /// doc-accept+doc-propose when every row lies within one word block.
+  /// Cuts a full sweep from 4 barriers to 3 (grids) or 2 (trivial plans)
+  /// while remaining bit-identical to Iterate() and to kNone.
+  kAuto,
+};
+
 /// Runtime options for WarpLDA beyond the shared LdaConfig.
 struct WarpLdaOptions {
   /// Worker threads for the row/column visits (§5.3.1). Tracing requires 1.
   /// Sampling results are independent of the thread count: every token owns
   /// its own RNG stream, so parallel runs are bit-identical to serial runs.
   uint32_t num_threads = 1;
+  /// Stage fusion for grid sweeps. Results are identical either way; kNone
+  /// only changes which barriers exist (4 per sweep instead of 2–3).
+  StageFusion fusion = StageFusion::kAuto;
+  /// Routes the batched kernels through their scalar reference paths even
+  /// when the CPU supports the vector ones. Results are bit-identical either
+  /// way (the test matrix proves it); this exists to run that proof and to
+  /// measure the SIMD contribution in isolation.
+  bool force_scalar_kernels = false;
 };
 
 /// WarpLDA (paper §4): Monte-Carlo EM training of LDA with O(1) per-token
@@ -53,8 +79,17 @@ struct WarpLdaOptions {
 /// identical assignments. Distinct blocks of a stage may run concurrently
 /// (e.g. under ParallelExecutor): each RunBlock call works out of the
 /// calling worker's ThreadScratch — including its partition of the c_k
-/// deltas, folded once at the EndStage barrier — and writes only its own
-/// tokens' staged state, so block bodies share no mutable memory.
+/// deltas and its deferred move list, folded/applied once at the EndStage
+/// barrier — and writes only its own tokens' slots, so block bodies share
+/// no mutable memory.
+///
+/// The grid hot loops are the optimized implementation: per-item count
+/// tables come from shared flat arenas built once per sweep (CountArena),
+/// per-token RNG streams are derived in vectorizable batches, and the MH
+/// accept chain runs as a gather → vectorized-ratio → masked-select batch
+/// (core/simd_kernels.h). The fused Iterate() path keeps the simple scalar
+/// per-token form as the reference semantics; the bit-identity test matrix
+/// holds the two equal at every thread count, plan, and fusion setting.
 class WarpLdaSampler : public Sampler, public GridSampler {
  public:
   explicit WarpLdaSampler(const WarpLdaOptions& options = {})
@@ -75,7 +110,10 @@ class WarpLdaSampler : public Sampler, public GridSampler {
 
   /// GridSampler: block-wise sweep execution (see core/sweep_plan.h for the
   /// protocol). Produces the same samples as Iterate() for any plan, any
-  /// block schedule, and any worker count.
+  /// block schedule, any worker count, and any StageFusion setting. Under
+  /// fusion, sweep_stage() names the *first* stage of the current span and
+  /// RunBlock executes every fused stage of the span for that block;
+  /// EndStage() advances past the whole span.
   void BeginSweep(const SweepPlan& plan) override;
   void RunBlock(uint32_t doc_block, uint32_t word_block,
                 uint32_t worker = 0) override;
@@ -91,13 +129,14 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   void ReserveWorkers(uint32_t num_workers) override;
 
   /// Durability hooks (core/checkpoint.h): capture is legal between sweeps
-  /// and at stage barriers (deltas folded, staged writes applied — the
+  /// and at stage barriers (deltas folded, staged moves applied — the
   /// per-worker state is empty, so the checkpoint is just assignments,
   /// proposals, c_k snapshot, and RNG stream bases); restore reproduces that
   /// exact state in a fresh process, mid-sweep when the checkpoint was. Any
-  /// thread count may finish a restored sweep bit-identically to the
-  /// uninterrupted run — per-token RNG streams make worker count and block
-  /// schedule irrelevant to the samples.
+  /// thread count — and any StageFusion setting; both stream bases are
+  /// minted at BeginSweep, so the checkpoint bytes do not depend on which
+  /// barriers the capturing run had — may finish a restored sweep
+  /// bit-identically to the uninterrupted run.
   bool CaptureSweepState(SweepCheckpoint* out) const override;
   bool RestoreSweepState(const SweepCheckpoint& state,
                          std::string* error) override;
@@ -124,6 +163,18 @@ class WarpLdaSampler : public Sampler, public GridSampler {
       std::vector<WordId>* changed_words);
 
  private:
+  /// A deferred write from an accept stage: token at CSC position `pos`
+  /// moves from topic `from` to `to`. `item` is the token's column (word
+  /// stages) so the barrier can patch the column count arena; unused by doc
+  /// stages. Replaces the old full-length staged-topics array: the barrier
+  /// applies O(moved tokens) instead of copying every token.
+  struct StagedMove {
+    uint64_t pos;
+    uint32_t item;
+    TopicId from;
+    TopicId to;
+  };
+
   struct ThreadScratch {
     HashCount counts;
     AliasTable alias;
@@ -134,6 +185,23 @@ class WarpLdaSampler : public Sampler, public GridSampler {
     /// (from, to) net topic moves of the current column's acceptances; the
     /// fused word phase replays them into `counts` instead of rescanning.
     std::vector<std::pair<TopicId, TopicId>> moves;
+    /// Deferred z writes of the current grid stage; applied (and count-arena
+    /// patched) at the EndStage barrier.
+    std::vector<StagedMove> staged_moves;
+    /// Batch-derived per-token RNG stream states for a propose segment.
+    std::vector<simd::RngState> rng_states;
+    /// Fused doc-accept+propose: the row's post-acceptance topics, patched
+    /// locally so the propose half positions into post-accept values before
+    /// the barrier publishes them.
+    std::vector<TopicId> local_row;
+    /// Accept-batch SoA scratch (one chunk of tokens; see AcceptSegment):
+    /// per-proposal a=count+prior / b=ck_fixed+beta_bar gathers, the current
+    /// topic's running a/b, computed ratios and accept masks, and the
+    /// lazily seeded per-token chain RNGs.
+    std::vector<double> bat_ta, bat_tb, bat_ca, bat_cb, bat_ratio;
+    std::vector<uint32_t> bat_topic, bat_cur;
+    std::vector<uint8_t> bat_ge1, bat_seeded;
+    std::vector<Rng> bat_rng;
     /// Plain (non-atomic) obs accumulators, bumped on the hot path and
     /// drained into the global registry by FlushScratchMetrics() at phase /
     /// stage barriers — never an atomic op per token.
@@ -141,6 +209,22 @@ class WarpLdaSampler : public Sampler, public GridSampler {
     uint64_t obs_proposals = 0;    ///< non-self MH proposals considered
     uint64_t obs_accepts = 0;      ///< proposals accepted (topic moved)
     uint64_t obs_alias_builds = 0; ///< alias tables (re)built
+  };
+
+  /// Per-(block × stage-axis) work list, precomputed by BuildGridIndices:
+  /// the CSC positions a block owns, grouped into per-column (word stages)
+  /// or per-row (doc stages) segments. Kills the old per-block rescan of
+  /// every full column/row with a per-entry block filter — the dominant
+  /// redundancy of the grid path (a P×P plan rescanned each column P times
+  /// per stage).
+  struct BlockSegment {
+    uint32_t item;    // column (word axis) or row (doc axis)
+    uint32_t begin;   // [begin, end) into BlockIndex::positions
+    uint32_t end;
+  };
+  struct BlockIndex {
+    std::vector<BlockSegment> segments;
+    std::vector<uint64_t> positions;  // CSC entry positions
   };
 
   /// State of an open grid sweep (BeginSweep .. EndSweep).
@@ -151,31 +235,41 @@ class WarpLdaSampler : public Sampler, public GridSampler {
     /// True when the plan-derived indices below match `plan`; BeginSweep
     /// skips rebuilding them for repeated sweeps of the same plan.
     bool indices_built = false;
+    /// Fusion legality, per plan: cols_ok — every column's tokens lie in a
+    /// single doc block (word-accept may fuse with word-propose); rows_ok —
+    /// every row's tokens lie in a single word block (doc-accept may fuse
+    /// with doc-propose).
+    bool cols_ok = false;
+    bool rows_ok = false;
+    /// True once BuildColArena filled the column tables for this sweep (the
+    /// word-accept barrier then patches them in place instead of rebuilding).
+    bool col_filled = false;
     uint64_t base_word = 0;  // word-phase RNG stream base (see StreamBase)
     uint64_t base_doc = 0;   // doc-phase RNG stream base
-    std::vector<TopicId> staged;             // accepted topics, CSC order
-    std::vector<uint32_t> entry_doc_block;   // CSC position -> doc block
-    std::vector<uint32_t> entry_word_block;  // CSC position -> word block
-    std::vector<std::vector<uint32_t>> block_cols;  // word block -> columns
-    std::vector<std::vector<uint32_t>> block_rows;  // doc block -> rows
-    std::vector<char> block_ran;  // per (doc, word) block, current stage
+    std::vector<BlockIndex> word_ix;  // (doc×word) block -> column segments
+    std::vector<BlockIndex> doc_ix;   // (doc×word) block -> row segments
+    std::vector<char> block_ran;  // per (doc, word) block, current span
   };
 
   /// RNG stream tags: each (epoch, tag, token) triple names one stream.
   static constexpr uint32_t kTagAccept = 0x51;
   static constexpr uint32_t kTagPropose = 0xA3;
 
+  /// Tokens per accept-batch chunk: large enough to expose memory-level
+  /// parallelism in the gather pass and fill the vector lanes, small enough
+  /// that the SoA scratch stays L1-resident.
+  static constexpr uint32_t kAcceptChunk = 256;
+
   /// Per-phase base of the token RNG streams. Hashed once when a phase (or
-  /// grid stage pair) opens, not once per token — the ROADMAP-flagged
-  /// batching of stream seeding: per token only the final mix in StreamRng
-  /// remains.
+  /// grid sweep) opens, not once per token.
   uint64_t StreamBase(uint64_t epoch) const {
     return SplitMix64(config_.seed ^ (epoch * 0x9E3779B97F4A7C15ULL));
   }
 
   /// Deterministic per-token RNG stream. Grid blocks may run in any order
   /// (or on any thread), so each token's draws come from its own stream,
-  /// named by the (stream_base, tag, token) triple.
+  /// named by the (stream_base, tag, token) triple. The batched equivalent
+  /// is simd::DeriveStreamStates (bit-identical by construction).
   static Rng StreamRng(uint64_t stream_base, uint32_t tag, uint64_t token) {
     return Rng(
         SplitMix64(stream_base ^ (static_cast<uint64_t>(tag) << 56) ^ token));
@@ -194,14 +288,34 @@ class WarpLdaSampler : public Sampler, public GridSampler {
 
   /// Runs one token's MH acceptance chain against the delayed snapshots
   /// (Eq. 7) and returns the final topic, reading the delayed counts from
-  /// `s.counts` and folding topic moves into `s.ck_delta`. The word phase
+  /// `counts` and folding topic moves into `s.ck_delta`. The word phase
   /// passes (prior_vec=nullptr, prior=β); the doc phase passes the α_k
   /// vector (or nullptr) and the symmetric α. The RNG stream is seeded
   /// lazily — chains whose proposals all equal the current topic, or always
-  /// accept, draw nothing.
-  TopicId AcceptChain(ThreadScratch& s, TopicId current, const TopicId* props,
-                      uint32_t m, const std::vector<double>* prior_vec,
-                      double prior, uint64_t stream_base, uint64_t token);
+  /// accept, draw nothing. This is the scalar reference accept path; the
+  /// grid stages run the batched equivalent (AcceptSegment) unless a tracer
+  /// is attached.
+  template <typename Counts>
+  TopicId AcceptChain(ThreadScratch& s, const Counts& counts, TopicId current,
+                      const TopicId* props, uint32_t m,
+                      const std::vector<double>* prior_vec, double prior,
+                      uint64_t stream_base, uint64_t token);
+
+  /// Batched MH acceptance over one segment's tokens: gathers each token's
+  /// (count+prior, ck_fixed+beta_bar) operands into SoA chunks, computes
+  /// the chain-step ratios with the vectorized kernel, then resolves
+  /// accepts sequentially per token (preserving each token's lazy RNG
+  /// stream consumption exactly). Appends a StagedMove per moved token
+  /// (tagged `move_item`) and, when `final_topics` is non-null, writes every
+  /// token's final topic there (the fused doc path's local row patch).
+  /// Bit-identical to running AcceptChain per token; falls back to exactly
+  /// that when a memory tracer is attached, for trace fidelity.
+  template <typename Counts>
+  void AcceptSegment(ThreadScratch& s, const Counts& counts,
+                     const uint64_t* positions, uint32_t n,
+                     const std::vector<double>* prior_vec, double prior,
+                     uint64_t stream_base, uint32_t move_item,
+                     TopicId* final_topics);
 
   /// Drains every worker's obs accumulators into the global metrics
   /// registry (when metrics are enabled; the accumulators are zeroed either
@@ -210,19 +324,29 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   void FlushScratchMetrics();
 
   /// Loads the word-proposal alias table over q_word ∝ C_wk (the count
-  /// branch of the mixture) from scratch.counts, which must hold the
+  /// branch of the mixture) from `counts`, which must hold the
   /// post-acceptance c_w. Entries are emitted in ascending-topic order, so
   /// the table depends only on the count *values* — not on how the hash
   /// table was filled — letting the fused path update counts incrementally
-  /// (replaying the acceptance moves) while the grid path rebuilds them from
-  /// the column after the stage barrier, bit-identically.
-  void BuildAliasFromCounts(ThreadScratch& scratch);
+  /// (replaying the acceptance moves) while the grid path patches the shared
+  /// column arena at the stage barrier, bit-identically.
+  template <typename Counts>
+  void BuildAliasInto(ThreadScratch& scratch, const Counts& counts,
+                      AliasTable& alias);
 
-  /// Draws M word proposals for one token from the count/β mixture.
+  /// Draws M word proposals into `slot` from the count/β mixture using a
+  /// pre-seeded stream RNG.
+  void DrawWordProposalsInto(TopicId* slot, const AliasTable& alias, Rng& rng,
+                             double count_prob);
+  /// Draws M word proposals for one token (constructs the token's stream).
   void DrawWordProposalsForToken(ThreadScratch& scratch, uint64_t stream_base,
                                  uint64_t token, double count_prob);
-  /// Draws M doc proposals for one token by random positioning into the
-  /// (updated) row, with the α branch as fallback (§4.3 mixture).
+  /// Draws M doc proposals into `slot` by random positioning into `values`
+  /// (any indexable view of the row's topics), α branch as fallback (§4.3).
+  template <typename Values>
+  void DrawDocProposalsInto(TopicId* slot, const Values& values, uint32_t len,
+                            Rng& rng, double position_prob);
+  /// Draws M doc proposals for one token (constructs the token's stream).
   void DrawDocProposalsForToken(uint64_t stream_base, uint64_t token,
                                 SparseMatrix<TopicId>::RowView row,
                                 double position_prob);
@@ -230,25 +354,49 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   void DrawDocProposals(uint64_t stream_base,
                         SparseMatrix<TopicId>::RowView row);
 
-  /// (Re)builds the plan-derived grid indices (entry→block maps, per-block
-  /// row/column lists) unless they already match `plan`. Shared by
-  /// BeginSweep and RestoreSweepState.
+  /// (Re)builds the plan-derived grid indices (per-block segment lists,
+  /// fusion legality) unless they already match `plan`. Shared by BeginSweep
+  /// and RestoreSweepState.
   void BuildGridIndices(const SweepPlan& plan);
 
-  /// Grid helpers: per-stage block bodies. Concurrency-safe across distinct
-  /// blocks: they read the shared pre-stage state, write only their own
-  /// tokens' staged/proposal slots, and use scratch_[worker] for everything
-  /// else.
-  void RunWordAcceptBlock(uint32_t doc_block, uint32_t word_block,
-                          ThreadScratch& scratch);
-  void RunWordProposeBlock(uint32_t doc_block, uint32_t word_block,
-                           ThreadScratch& scratch);
-  void RunDocAcceptBlock(uint32_t doc_block, uint32_t word_block,
-                         ThreadScratch& scratch);
-  void RunDocProposeBlock(uint32_t doc_block, uint32_t word_block);
-  /// Copies staged topics into z and folds the per-worker ck-delta
-  /// partitions into ck_live_.
-  void ApplyStaged();
+  /// Length (1 or 2) of the fused stage span entered at `s`, under the
+  /// current plan's legality bits and the fusion option.
+  int SpanLength(SweepStage s) const;
+  /// Barrier-side preparation for the span entered at `begin`: snapshot
+  /// refreshes and count-arena/alias (re)builds its stages read.
+  void EnterSpan(SweepStage begin);
+
+  /// Shared count-table arenas (see count_arena.h). Geometry is sized once
+  /// per corpus; contents are rebuilt per sweep (columns at BeginSweep,
+  /// rows at the doc-accept span entry) and the column arena is patched
+  /// in place with the word-accept moves at the barrier.
+  void EnsureColArenaGeometry();
+  void EnsureRowArenaGeometry();
+  void BuildColArena();
+  void BuildRowArena();
+  /// Builds every column's word-proposal alias table from the (patched)
+  /// column arena — once per column per sweep, replacing the old
+  /// once-per-(block × column) rebuilds.
+  void BuildColAliases();
+
+  /// Grid block bodies, one per (span pattern, axis). Concurrency-safe
+  /// across distinct blocks: they read shared *immutable* span state, write
+  /// only their own tokens' proposal slots, and defer z/count writes into
+  /// scratch_[worker]'s move list and ck-delta partition.
+  void RunWordAcceptPart(uint32_t doc_block, uint32_t word_block,
+                         ThreadScratch& s);
+  void RunFusedWordPart(uint32_t doc_block, uint32_t word_block,
+                        ThreadScratch& s);
+  void RunWordProposePart(uint32_t doc_block, uint32_t word_block,
+                          ThreadScratch& s);
+  void RunDocAcceptPart(uint32_t doc_block, uint32_t word_block,
+                        ThreadScratch& s, bool fused_propose);
+  void RunDocProposePart(uint32_t doc_block, uint32_t word_block,
+                         ThreadScratch& s);
+  /// Applies every worker's staged moves to z (and, when the next span's
+  /// alias builds will read it, patches the column count arena), then folds
+  /// the per-worker ck-delta partitions into ck_live_.
+  void ApplyStagedMoves(bool patch_col_counts);
 
   WarpLdaOptions options_;
   const Corpus* corpus_ = nullptr;
@@ -266,6 +414,9 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   std::vector<int64_t> ck_fixed_;   // snapshot used in acceptance
   std::vector<int64_t> ck_live_;    // maintained across phases
   std::vector<ThreadScratch> scratch_;
+  CountArena col_counts_;                // per-column c_w tables (grid path)
+  CountArena row_counts_;                // per-row c_d tables (grid path)
+  std::vector<AliasTable> col_alias_;    // per-column word-proposal tables
   uint64_t phase_epoch_ = 0;  // one per phase; RNG stream epoch
   GridState grid_;
 };

@@ -116,7 +116,7 @@ IterationTiming ClusterSim::RunSweep(GridSampler& sampler,
   } else {
     sampler.BeginSweep(plan_);
     try {
-      for (int stage = 0; stage < 4; ++stage) {
+      while (sampler.sweep_stage() != SweepStage::kDone) {
         // Rotation schedule: in round r worker i holds word slice (i+r)
         // mod P. Blocks within a stage are order-independent (the
         // GridSampler contract), so this choice documents the deployment

@@ -321,7 +321,9 @@ TEST(CheckpointFuzzTest, SweepTruncationAtEveryByteIsRejected) {
   std::string error;
   bool saved = false;
   executor.RunSweep(sampler, plan, [&](SweepStage next) {
-    if (next != SweepStage::kDocAccept || saved) return;
+    // doc-propose is a barrier under every StageFusion setting (doc-accept
+    // is fused away on this plan under kAuto).
+    if (next != SweepStage::kDocPropose || saved) return;
     SweepCheckpoint captured;
     ASSERT_TRUE(sampler.CaptureSweepState(&captured));
     captured.iteration = 0;
@@ -368,10 +370,15 @@ TEST_P(SweepRestoreBitIdentityTest, MidSweepRestoreMatchesUninterrupted) {
   }
 
   // Every barrier of the interrupted sweep is a legal capture point; check
-  // them all (word-propose, doc-accept, doc-propose).
+  // them all (word-propose, doc-accept, doc-propose). The victim runs with
+  // stage fusion off so all three barriers exist; the resumed sampler keeps
+  // the fused default — a restore must resume the same trajectory under
+  // either StageFusion setting, whichever produced the checkpoint.
+  WarpLdaOptions unfused;
+  unfused.fusion = StageFusion::kNone;
   for (SweepStage barrier : {SweepStage::kWordPropose, SweepStage::kDocAccept,
                              SweepStage::kDocPropose}) {
-    WarpLdaSampler victim;
+    WarpLdaSampler victim(unfused);
     victim.Init(corpus, config);
     ParallelExecutor capture_exec(capture_threads);
     for (uint32_t i = 0; i + 1 < kInterruptedSweep; ++i) {
@@ -559,11 +566,12 @@ TEST(CheckpointKillAndResumeTest, SigkillMidSweepResumesBitIdentical) {
   const pid_t pid = fork();
   ASSERT_GE(pid, 0);
   if (pid == 0) {
-    // Child: train until the doc-accept barrier of sweep 4, then die hard.
+    // Child: train until the doc-propose barrier of sweep 4 (the mid-sweep
+    // barrier present under every StageFusion setting), then die hard.
     TrainOptions child_options = options;
     child_options.checkpoint_hook = [](uint32_t completed,
                                        SweepStage next_stage) {
-      if (completed == 3 && next_stage == SweepStage::kDocAccept) {
+      if (completed == 3 && next_stage == SweepStage::kDocPropose) {
         kill(getpid(), SIGKILL);
       }
     };

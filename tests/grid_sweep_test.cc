@@ -1,9 +1,12 @@
 #include "core/sweep_plan.h"
 
 #include <stdexcept>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "core/checkpoint.h"
+#include "core/parallel_executor.h"
 #include "core/warp_lda.h"
 #include "corpus/synthetic.h"
 #include "dist/cluster_sim.h"
@@ -77,7 +80,7 @@ TEST(GridSweepTest, BlockOrderAndRectangularGridsDoNotChangeSamples) {
     canonical.RunSweep(plan);
     // Same plan, blocks visited back-to-front within every stage.
     reversed.BeginSweep(plan);
-    for (int stage = 0; stage < 4; ++stage) {
+    while (reversed.sweep_stage() != SweepStage::kDone) {
       for (uint32_t i = plan.num_doc_blocks; i-- > 0;) {
         for (uint32_t j = plan.num_word_blocks; j-- > 0;) {
           reversed.RunBlock(i, j);
@@ -163,7 +166,9 @@ TEST(GridSweepTest, SweepProtocolViolationsThrow) {
   EXPECT_EQ(sampler.sweep_stage(), SweepStage::kWordPropose);
 
   // Finish the sweep cleanly; the sampler must be fully usable afterwards.
-  for (int stage = 1; stage < 4; ++stage) {
+  // (The number of barriers left depends on stage fusion, so step until the
+  // sampler reports completion.)
+  while (sampler.sweep_stage() != SweepStage::kDone) {
     for (uint32_t i = 0; i < 2; ++i) {
       for (uint32_t j = 0; j < 2; ++j) sampler.RunBlock(i, j);
     }
@@ -172,6 +177,99 @@ TEST(GridSweepTest, SweepProtocolViolationsThrow) {
   EXPECT_EQ(sampler.sweep_stage(), SweepStage::kDone);
   sampler.EndSweep();
   EXPECT_NO_THROW(sampler.Iterate());
+}
+
+// The full bit-identity matrix for the stage-fusion work: fused spans,
+// the four-stage schedule, SIMD and scalar kernels, and 1/2/8 executor
+// threads must all reproduce the serial Iterate() trajectory exactly — on
+// plans that trigger every fusion shape (1x4 fuses [wa,wp] per column,
+// 4x1 fuses [da,dp] per row, Trivial fuses both, 8x8 fuses only [wp,da])
+// and with an asymmetric α so the doc-proposal prior alias is exercised.
+TEST(GridSweepTest, FusionKernelThreadMatrixMatchesIterate) {
+  Corpus corpus = TestCorpus();
+  LdaConfig config = TestConfig();
+  config.alpha_vector.assign(config.num_topics, 0.08);
+  config.alpha_vector[0] = 1.4;  // asymmetric: strong pull toward topic 0
+  config.alpha_vector[3] = 0.4;
+
+  WarpLdaSampler serial;
+  serial.Init(corpus, config);
+  for (int sweep = 0; sweep < 2; ++sweep) serial.Iterate();
+  const std::vector<TopicId> expected = serial.Assignments();
+
+  struct NamedPlan {
+    const char* name;
+    SweepPlan plan;
+  };
+  const NamedPlan plans[] = {
+      {"1x4", MakeSweepPlan(corpus, 1, 4, PartitionStrategy::kGreedy)},
+      {"4x1", MakeSweepPlan(corpus, 4, 1, PartitionStrategy::kGreedy)},
+      {"trivial", SweepPlan::Trivial()},
+      {"8x8", MakeSweepPlan(corpus, 8, 8, PartitionStrategy::kGreedy)},
+  };
+  for (const NamedPlan& np : plans) {
+    for (StageFusion fusion : {StageFusion::kNone, StageFusion::kAuto}) {
+      for (bool force_scalar : {false, true}) {
+        for (uint32_t threads : {1u, 2u, 8u}) {
+          WarpLdaOptions options;
+          options.fusion = fusion;
+          options.force_scalar_kernels = force_scalar;
+          WarpLdaSampler grid(options);
+          grid.Init(corpus, config);
+          ParallelExecutor executor(threads);
+          for (int sweep = 0; sweep < 2; ++sweep) {
+            executor.RunSweep(grid, np.plan);
+          }
+          EXPECT_EQ(grid.Assignments(), expected)
+              << "plan " << np.name << " fusion "
+              << (fusion == StageFusion::kAuto ? "auto" : "none")
+              << " scalar " << force_scalar << " threads " << threads;
+        }
+      }
+    }
+  }
+}
+
+// Checkpoint capture at the barrier that ends the fused [word-propose,
+// doc-accept] span (the only mid-sweep barrier besides word-accept's under
+// kAuto on a general plan) must restore and finish bit-identically.
+TEST(GridSweepTest, CheckpointAcrossFusedSpanBarrierRestoresBitIdentical) {
+  Corpus corpus = TestCorpus();
+  LdaConfig config = TestConfig();
+  SweepPlan plan = MakeSweepPlan(corpus, 3, 3, PartitionStrategy::kGreedy);
+
+  WarpLdaSampler reference;  // default options: fusion on
+  reference.Init(corpus, config);
+  ParallelExecutor reference_exec(2);
+  for (int sweep = 0; sweep < 3; ++sweep) reference_exec.RunSweep(reference, plan);
+
+  WarpLdaSampler victim;
+  victim.Init(corpus, config);
+  ParallelExecutor capture_exec(2);
+  capture_exec.RunSweep(victim, plan);
+  SweepCheckpoint captured;
+  bool saved = false;
+  capture_exec.RunSweep(victim, plan, [&](SweepStage next) {
+    // Under kAuto on a 3x3 plan the sweep's barriers are word-accept ->
+    // [word-propose, doc-accept] -> doc-propose; next == kDocPropose is the
+    // barrier right after the fused span ran.
+    if (next != SweepStage::kDocPropose || saved) return;
+    ASSERT_TRUE(victim.CaptureSweepState(&captured));
+    saved = true;
+  });
+  ASSERT_TRUE(saved);
+  EXPECT_EQ(captured.next_stage, SweepStage::kDocPropose);
+
+  WarpLdaSampler resumed;
+  resumed.Init(corpus, config);
+  std::string error;
+  ASSERT_TRUE(resumed.RestoreSweepState(captured, &error)) << error;
+  ParallelExecutor resume_exec(8);
+  resume_exec.FinishSweep(resumed, captured.plan);
+  resume_exec.RunSweep(resumed, plan);
+
+  EXPECT_EQ(resumed.Assignments(), reference.Assignments());
+  EXPECT_EQ(resumed.topic_counts(), reference.topic_counts());
 }
 
 TEST(GridSweepTest, MakeSweepPlanCoversCorpusAndValidates) {

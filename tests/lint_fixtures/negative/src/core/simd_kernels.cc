@@ -1,0 +1,14 @@
+// Negative fixture: the scalar reference kernel stays portable, the vector
+// twin behind the target attribute may use intrinsics, and hot kernel
+// bodies accumulate into caller-owned output instead of synchronizing.
+#include <immintrin.h>
+
+void ComputeAcceptRatiosScalar(unsigned long n, const double* a, double* out) {
+  for (unsigned long i = 0; i < n; ++i) out[i] = a[i] * 2.0;
+}
+
+__attribute__((target("avx2")))
+void ComputeAcceptRatiosAvx2(unsigned long n, const double* a, double* out) {
+  __m256d va = _mm256_loadu_pd(a);
+  _mm256_storeu_pd(out, va);
+}

@@ -1,0 +1,13 @@
+// Positive fixture: per-token synchronization inside a SIMD kernel free
+// function, and intrinsics inside a *Scalar reference kernel.
+#include <atomic>
+#include <immintrin.h>
+
+void DeriveStreamStates(const unsigned long* tokens, unsigned long n) {
+  for (unsigned long i = 0; i < n; ++i) streams_derived.fetch_add(1);
+}
+
+void ComputeAcceptRatiosScalar(unsigned long n, const double* a, double* out) {
+  __m256d va = _mm256_loadu_pd(a);
+  _mm256_storeu_pd(out, va);
+}

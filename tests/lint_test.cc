@@ -92,9 +92,22 @@ TEST_F(PositiveFixtures, UnorderedIterFiresOnRangeForAndIterators) {
 
 TEST_F(PositiveFixtures, HotpathSyncFiresInsideHotBodiesOnly) {
   auto hits = FindingsFor(run_->output, "hotpath-sync");
+  ASSERT_EQ(hits.size(), 5u) << run_->output;
+  EXPECT_EQ(hits[0], "src/core/simd_kernels.cc:7");  // fetch_add in a free
+                                                     // kernel function
+  EXPECT_EQ(hits[1], "src/core/warp_lda.cc:8");    // fetch_add in RunBlock
+  EXPECT_EQ(hits[2], "src/core/warp_lda.cc:13");   // lock_guard in DocPhase
+  EXPECT_EQ(hits[3], "src/core/warp_lda.cc:17");   // lock_guard in
+                                                   // RunFusedWordPart
+  EXPECT_EQ(hits[4], "src/core/warp_lda.cc:21");   // fetch_add in
+                                                   // AcceptSegment
+}
+
+TEST_F(PositiveFixtures, ScalarRefFiresOnIntrinsicsInScalarKernels) {
+  auto hits = FindingsFor(run_->output, "scalar-ref");
   ASSERT_EQ(hits.size(), 2u) << run_->output;
-  EXPECT_EQ(hits[0], "src/core/warp_lda.cc:8");    // fetch_add in RunBlock
-  EXPECT_EQ(hits[1], "src/core/warp_lda.cc:13");   // lock_guard in DocPhase
+  EXPECT_EQ(hits[0], "src/core/simd_kernels.cc:11");  // __m256d load
+  EXPECT_EQ(hits[1], "src/core/simd_kernels.cc:12");  // _mm256 store
 }
 
 TEST_F(PositiveFixtures, LayeringFiresOnUpwardIncludesAndCycles) {
@@ -161,9 +174,11 @@ TEST(JsonOutput, PositiveSummaryIsMachineReadable) {
   EXPECT_NE(run.output.find("\"violations\": ["), std::string::npos);
   EXPECT_NE(run.output.find("\"rule\": \"warplint-determinism\""),
             std::string::npos);
-  EXPECT_NE(run.output.find("\"warplint-hotpath-sync\": 2"),
+  EXPECT_NE(run.output.find("\"warplint-hotpath-sync\": 5"),
             std::string::npos);
-  EXPECT_NE(run.output.find("\"total\": 22"), std::string::npos)
+  EXPECT_NE(run.output.find("\"warplint-scalar-ref\": 2"),
+            std::string::npos);
+  EXPECT_NE(run.output.find("\"total\": 27"), std::string::npos)
       << run.output;
 }
 

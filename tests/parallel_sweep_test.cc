@@ -273,11 +273,11 @@ TEST(ParallelSweepTest, WorkerReservationIsEnforced) {
   initialized.RunBlock(0, 1, 2);
   initialized.RunBlock(1, 0, 1);
   initialized.RunBlock(1, 1, 0);
-  for (int stage = 0; stage < 4; ++stage) {
-    if (stage > 0) {
-      for (uint32_t i = 0; i < 2; ++i) {
-        for (uint32_t j = 0; j < 2; ++j) initialized.RunBlock(i, j);
-      }
+  initialized.EndStage();
+  // Finish the sweep (how many barriers remain depends on stage fusion).
+  while (initialized.sweep_stage() != SweepStage::kDone) {
+    for (uint32_t i = 0; i < 2; ++i) {
+      for (uint32_t j = 0; j < 2; ++j) initialized.RunBlock(i, j);
     }
     initialized.EndStage();
   }
@@ -308,7 +308,11 @@ size_t CountTraceEvents(const std::string& json, const std::string& name,
 // block spans, with every thread's B/E events forming a proper nesting.
 TEST(ParallelSweepTest, RunSweepEmitsBalancedStageAndBlockSpans) {
   Corpus corpus = TestCorpus();
-  WarpLdaSampler sampler;
+  // Fusion off pins the historical four-span trace shape; the fused span
+  // shape is covered by FusedSweepTraceNamesSpanEntryStages below.
+  WarpLdaOptions unfused;
+  unfused.fusion = StageFusion::kNone;
+  WarpLdaSampler sampler(unfused);
   sampler.Init(corpus, TestConfig());
   SweepPlan plan = MakeSweepPlan(corpus, 3, 3);
   ParallelExecutor executor(2);
@@ -345,13 +349,44 @@ TEST(ParallelSweepTest, RunSweepEmitsBalancedStageAndBlockSpans) {
   EXPECT_EQ(begins["block"], 4 * 9);
 }
 
+// Under the default fusion policy a grid plan runs [word-accept],
+// [word-propose + doc-accept], [doc-propose]: three spans named by their
+// entry stage, three barriers, and one block pass per span.
+TEST(ParallelSweepTest, FusedSweepTraceNamesSpanEntryStages) {
+  Corpus corpus = TestCorpus();
+  WarpLdaSampler sampler;  // default options: StageFusion::kAuto
+  sampler.Init(corpus, TestConfig());
+  SweepPlan plan = MakeSweepPlan(corpus, 3, 3);
+  ParallelExecutor executor(2);
+
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.Start();
+  executor.RunSweep(sampler, plan);
+  rec.Stop();
+  const std::vector<obs::TraceEvent> events = rec.Snapshot();
+  rec.Clear();
+
+  std::map<std::string, int> begins;
+  for (const obs::TraceEvent& event : events) {
+    if (event.phase == 'B') ++begins[event.name];
+  }
+  EXPECT_EQ(begins["word-accept"], 1);
+  EXPECT_EQ(begins["word-propose"], 1);  // doc-accept runs inside this span
+  EXPECT_EQ(begins["doc-accept"], 0);
+  EXPECT_EQ(begins["doc-propose"], 1);
+  EXPECT_EQ(begins["end-stage"], 3);
+  EXPECT_EQ(begins["block"], 3 * 9);
+}
+
 // The PR's trace acceptance criterion: a grid-execution Train() with
 // trace_path set writes a Chrome trace whose JSON contains all four stage
 // spans per sweep plus per-worker block spans.
 TEST(ParallelSweepTest, TrainWithTracePathWritesChromeTraceJson) {
   Corpus corpus = TestCorpus();
   LdaConfig config = TestConfig();
-  WarpLdaSampler sampler;
+  WarpLdaOptions unfused;
+  unfused.fusion = StageFusion::kNone;  // pin the four-stage trace shape
+  WarpLdaSampler sampler(unfused);
   TrainOptions options;
   options.iterations = 3;
   options.eval_every = 0;

@@ -15,9 +15,16 @@
 //                             published snapshots, checkpoints) loses
 //                             bit-identity.
 //   warplint-hotpath-sync     no atomic RMW or lock acquisition inside
-//                             RunBlock / token-loop bodies in
-//                             core/warp_lda.cc and baselines — accumulate
-//                             in ThreadScratch, flush at stage barriers.
+//                             RunBlock / token-loop / fused-part /
+//                             SIMD-kernel bodies in core/warp_lda.cc,
+//                             core/simd_kernels.cc and baselines —
+//                             accumulate in ThreadScratch, flush at stage
+//                             barriers.
+//   warplint-scalar-ref       the *Scalar reference kernels in
+//                             core/simd_kernels.cc must stay free of SIMD
+//                             intrinsics — they are the bit-identity
+//                             oracle the vector paths are checked against,
+//                             so they must compile and run on any CPU.
 //   warplint-layering         util/ includes nothing above it; core/ never
 //                             includes serve/ or dist/; the only sanctioned
 //                             cross-cutting seams are obs/metrics.h and
@@ -84,6 +91,7 @@ struct SourceFile {
 const char* const kRuleIds[] = {
     "determinism",   "unordered-iter",     "hotpath-sync", "layering",
     "naked-new",     "memcpy-nontrivial",  "alignas-pad",  "nolint",
+    "scalar-ref",
 };
 
 bool IsKnownRule(const std::string& id) {
@@ -488,8 +496,105 @@ std::vector<BodyRange> ExtractMethodBodies(const SourceFile& f) {
   return bodies;
 }
 
+// Free-function map for TUs whose hot code is namespace-scope functions
+// rather than class methods (core/simd_kernels.cc). Matches
+// `Name(args) [attrs] {` at whatever scope it appears, skipping control
+// keywords; recorded bodies are jumped over whole, so `if (...) {` inside
+// a function never masquerades as a definition.
+std::vector<BodyRange> ExtractFreeFunctionBodies(const SourceFile& f) {
+  static const std::set<std::string> kNotFunctions = {
+      "if",     "for",    "while",  "switch",   "catch",  "return",
+      "sizeof", "new",    "delete", "alignof",  "defined",
+  };
+  std::vector<BodyRange> bodies;
+  std::string text;
+  std::vector<size_t> line_of;
+  for (size_t ln = 0; ln < f.code.size(); ++ln) {
+    for (char c : f.code[ln]) {
+      text.push_back(c);
+      line_of.push_back(ln);
+    }
+    text.push_back('\n');
+    line_of.push_back(ln);
+  }
+  size_t i = 0;
+  while (i < text.size()) {
+    if (!IsIdent(text[i])) {
+      ++i;
+      continue;
+    }
+    size_t name_start = i;
+    while (i < text.size() && IsIdent(text[i])) ++i;
+    std::string name = text.substr(name_start, i - name_start);
+    // Method definitions (Name::Method) are ExtractMethodBodies' job.
+    bool qualified = name_start >= 2 && text[name_start - 1] == ':' &&
+                     text[name_start - 2] == ':';
+    size_t j = i;
+    while (j < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[j])))
+      ++j;
+    if (j >= text.size() || text[j] != '(' || qualified ||
+        kNotFunctions.count(name) > 0) {
+      continue;
+    }
+    int pdepth = 0;
+    for (; j < text.size(); ++j) {
+      if (text[j] == '(') ++pdepth;
+      if (text[j] == ')' && --pdepth == 0) {
+        ++j;
+        break;
+      }
+    }
+    // A definition continues with `{`, possibly after const/noexcept/
+    // override; declarations and calls continue with `;`, `,`, `)`, and an
+    // attribute's `((...))` is followed by the real declaration — any other
+    // identifier here means this paren group was not a parameter list.
+    size_t body_open = std::string::npos;
+    for (; j < text.size(); ++j) {
+      char c = text[j];
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      if (c == '{') body_open = j;
+      if (c != '{' && IsIdent(c)) {
+        size_t w = j;
+        while (w < text.size() && IsIdent(text[w])) ++w;
+        const std::string word = text.substr(j, w - j);
+        if (word != "const" && word != "noexcept" && word != "override" &&
+            word != "final")
+          break;
+        j = w - 1;
+        continue;
+      }
+      break;
+    }
+    if (body_open == std::string::npos) {
+      i = j;
+      continue;
+    }
+    int d = 0;
+    size_t k = body_open;
+    for (; k < text.size(); ++k) {
+      if (text[k] == '{') ++d;
+      if (text[k] == '}' && --d == 0) break;
+    }
+    if (k < text.size()) {
+      bodies.push_back({name, line_of[body_open] + 1, line_of[k] + 1});
+      i = k + 1;
+    } else {
+      i = body_open + 1;
+    }
+  }
+  return bodies;
+}
+
 bool IsHotFunction(const std::string& name) {
   if (name.find("Block") != std::string::npos) return true;
+  // Fused span parts, the batched accept kernel and its helpers run inside
+  // RunBlock on every token; the Derive/ComputeAccept kernels are the SIMD
+  // inner loops themselves.
+  if (name.find("Part") != std::string::npos) return true;
+  if (name.find("Segment") != std::string::npos) return true;
+  if (StartsWith(name, "Derive") || StartsWith(name, "ComputeAccept"))
+    return true;
   if (name == "Iterate" || name == "WordPhase" || name == "DocPhase" ||
       name == "AcceptChain")
     return true;
@@ -498,7 +603,8 @@ bool IsHotFunction(const std::string& name) {
 }
 
 void CheckHotpathSync(const SourceFile& f, std::vector<Finding>* out) {
-  bool scoped = f.rel == "src/core/warp_lda.cc" ||
+  const bool kernel_tu = f.rel == "src/core/simd_kernels.cc";
+  bool scoped = f.rel == "src/core/warp_lda.cc" || kernel_tu ||
                 (StartsWith(f.rel, "src/baselines/") &&
                  f.rel.size() > 3 && f.rel.substr(f.rel.size() - 3) == ".cc");
   if (!scoped) return;
@@ -509,6 +615,11 @@ void CheckHotpathSync(const SourceFile& f, std::vector<Finding>* out) {
       "scoped_lock", "shared_lock", "try_lock",       "mutex",
   };
   std::vector<BodyRange> bodies = ExtractMethodBodies(f);
+  if (kernel_tu) {
+    // The SIMD kernel TU's hot code is free functions, not methods.
+    std::vector<BodyRange> free_bodies = ExtractFreeFunctionBodies(f);
+    bodies.insert(bodies.end(), free_bodies.begin(), free_bodies.end());
+  }
   for (const BodyRange& b : bodies) {
     if (!IsHotFunction(b.name)) continue;
     for (size_t ln = b.begin_line; ln <= b.end_line && ln <= f.code.size();
@@ -541,6 +652,41 @@ void CheckHotpathSync(const SourceFile& f, std::vector<Finding>* out) {
           break;
         }
         p = s.find("lock(", p + 1);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------- rule: R3b -----
+
+// The *Scalar kernels in core/simd_kernels.cc are the portable reference
+// implementations the vector paths are verified bit-identical against —
+// an intrinsic inside one silently turns the oracle into the thing under
+// test (and breaks non-x86 builds, where only the scalar paths compile).
+void CheckScalarRef(const SourceFile& f, std::vector<Finding>* out) {
+  if (f.rel != "src/core/simd_kernels.cc") return;
+  auto is_intrinsic_at = [&](const std::string& s, size_t p) {
+    if (p > 0 && IsIdent(s[p - 1])) return false;  // mid-identifier
+    if (s.compare(p, 3, "_mm") == 0) return true;  // _mm_/_mm256_/_mm512_
+    // Vector register types: __m128*, __m256*, __m512*.
+    return s.compare(p, 4, "__m1") == 0 || s.compare(p, 4, "__m2") == 0 ||
+           s.compare(p, 4, "__m5") == 0;
+  };
+  for (const BodyRange& b : ExtractFreeFunctionBodies(f)) {
+    if (b.name.find("Scalar") == std::string::npos) continue;
+    for (size_t ln = b.begin_line; ln <= b.end_line && ln <= f.code.size();
+         ++ln) {
+      const std::string& s = f.code[ln - 1];
+      for (size_t p = 0; p < s.size(); ++p) {
+        if (!is_intrinsic_at(s, p)) continue;
+        out->push_back(
+            {f.rel, ln, "scalar-ref",
+             "SIMD intrinsic inside scalar reference kernel '" + b.name +
+                 "' — the scalar path is the bit-identity oracle and must "
+                 "stay portable; move vector code to an *Avx2 twin behind "
+                 "runtime dispatch",
+             false});
+        break;  // one finding per line is enough
       }
     }
   }
@@ -1013,6 +1159,7 @@ int main(int argc, char** argv) {
     CheckDeterminism(f, &findings);
     CheckUnorderedIter(f, &findings);
     CheckHotpathSync(f, &findings);
+    CheckScalarRef(f, &findings);
     CheckNakedNew(f, &findings);
     CheckMemcpyNontrivial(f, &findings);
     CheckAlignasPad(f, aligned_types, &findings);
