@@ -1,21 +1,31 @@
 // Quickstart: train WarpLDA on a small synthetic corpus, inspect topics,
 // save the model, and infer topic proportions for a new document.
 //
-//   ./quickstart [--k 10] [--iters 50]
+//   ./quickstart [--k 10] [--iters 50] [--out /path/for/model]
 #include <cstdio>
+
+#include <filesystem>
 
 #include "core/inference.h"
 #include "core/trainer.h"
 #include "core/warp_lda.h"
 #include "corpus/synthetic.h"
+#include "util/checkpoint_io.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
   int64_t k = 10;
   int64_t iterations = 50;
+  // Artifacts go under --out (default: a temp subdir), never the CWD —
+  // running an example must not litter whatever directory you happen to
+  // be in.
+  std::string out =
+      (std::filesystem::temp_directory_path() / "warplda_quickstart")
+          .string();
   warplda::FlagSet flags;
-  flags.Int("k", &k, "number of topics").Int("iters", &iterations,
-                                             "training iterations");
+  flags.Int("k", &k, "number of topics")
+      .Int("iters", &iterations, "training iterations")
+      .String("out", &out, "directory for the saved model");
   if (!flags.Parse(argc, argv)) return 1;
 
   // 1. Get a corpus. Synthetic here; see the other examples for building one
@@ -53,11 +63,17 @@ int main(int argc, char** argv) {
 
   // 4. Persist and reload the model.
   std::string error;
-  if (!model.Save("quickstart_model.bin", &error)) {
+  if (!warplda::EnsureDirectory(out, &error)) {
+    std::fprintf(stderr, "cannot create --out: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string model_path =
+      (std::filesystem::path(out) / "quickstart_model.bin").string();
+  if (!model.Save(model_path, &error)) {
     std::fprintf(stderr, "save failed: %s\n", error.c_str());
     return 1;
   }
-  std::printf("model saved to quickstart_model.bin\n");
+  std::printf("model saved to %s\n", model_path.c_str());
 
   // 5. Infer topic proportions for an unseen document.
   warplda::Inferencer inferencer(model);

@@ -3,23 +3,31 @@
 // model save/load cycle and reports inference throughput — the deployment
 // pattern for recommendation/advertising systems the paper cites.
 //
-//   ./streaming_inference [--k 20] [--docs 2000]
+//   ./streaming_inference [--k 20] [--docs 2000] [--out /path/for/model]
 #include <cstdio>
+
+#include <filesystem>
 #include <vector>
 
 #include "core/inference.h"
 #include "core/trainer.h"
 #include "core/warp_lda.h"
 #include "corpus/synthetic.h"
+#include "util/checkpoint_io.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
 int main(int argc, char** argv) {
   int64_t k = 20;
   int64_t stream_docs = 2000;
+  // Artifacts go under --out (default: a temp subdir), never the CWD.
+  std::string out =
+      (std::filesystem::temp_directory_path() / "warplda_streaming")
+          .string();
   warplda::FlagSet flags;
   flags.Int("k", &k, "number of topics")
-      .Int("docs", &stream_docs, "unseen documents to fold in");
+      .Int("docs", &stream_docs, "unseen documents to fold in")
+      .String("out", &out, "directory for the saved model");
   if (!flags.Parse(argc, argv)) return 1;
 
   // Train on one half of a synthetic corpus.
@@ -45,12 +53,18 @@ int main(int argc, char** argv) {
   // Persist + reload, as a serving process would.
   warplda::TopicModel model = result.ToModel(data.corpus, config);
   std::string error;
-  if (!model.Save("streaming_model.bin", &error)) {
+  if (!warplda::EnsureDirectory(out, &error)) {
+    std::fprintf(stderr, "cannot create --out: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string model_path =
+      (std::filesystem::path(out) / "streaming_model.bin").string();
+  if (!model.Save(model_path, &error)) {
     std::fprintf(stderr, "save failed: %s\n", error.c_str());
     return 1;
   }
   warplda::TopicModel serving;
-  if (!serving.Load("streaming_model.bin", &error)) {
+  if (!serving.Load(model_path, &error)) {
     std::fprintf(stderr, "load failed: %s\n", error.c_str());
     return 1;
   }

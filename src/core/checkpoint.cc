@@ -131,8 +131,8 @@ bool LoadCheckpoint(const std::string& path, TrainingCheckpoint* checkpoint,
   return true;
 }
 
-bool SaveSweepCheckpoint(const SweepCheckpoint& checkpoint,
-                         const std::string& path, std::string* error) {
+void EncodeSweepCheckpointPayload(const SweepCheckpoint& checkpoint,
+                                  std::vector<uint8_t>* payload) {
   PayloadWriter out;
   PutConfig(out, checkpoint.config);
   out.Put(checkpoint.iteration);
@@ -147,7 +147,14 @@ bool SaveSweepCheckpoint(const SweepCheckpoint& checkpoint,
   out.PutVec(checkpoint.ck_fixed);
   out.PutVec(checkpoint.assignments);
   out.PutVec(checkpoint.proposals);
-  return WriteFrame(path, FrameKind::kSweepCheckpoint, out.bytes(), error);
+  *payload = out.bytes();
+}
+
+bool SaveSweepCheckpoint(const SweepCheckpoint& checkpoint,
+                         const std::string& path, std::string* error) {
+  std::vector<uint8_t> payload;
+  EncodeSweepCheckpointPayload(checkpoint, &payload);
+  return WriteFrame(path, FrameKind::kSweepCheckpoint, payload, error);
 }
 
 bool LoadSweepCheckpoint(const std::string& path, SweepCheckpoint* checkpoint,
@@ -156,6 +163,14 @@ bool LoadSweepCheckpoint(const std::string& path, SweepCheckpoint* checkpoint,
   if (!ReadFrame(path, FrameKind::kSweepCheckpoint, &payload, error)) {
     return false;
   }
+  return DecodeSweepCheckpointPayload(payload, path, checkpoint, error);
+}
+
+bool DecodeSweepCheckpointPayload(const std::vector<uint8_t>& payload,
+                                  const std::string& context,
+                                  SweepCheckpoint* checkpoint,
+                                  std::string* error) {
+  const std::string& path = context;  // error-message naming
   PayloadReader in(payload);
   if (!GetConfig(in, &checkpoint->config, path, error)) return false;
 

@@ -92,6 +92,19 @@ bool SaveSweepCheckpoint(const SweepCheckpoint& checkpoint,
 bool LoadSweepCheckpoint(const std::string& path, SweepCheckpoint* checkpoint,
                          std::string* error);
 
+/// The payload codec behind Save/LoadSweepCheckpoint, exposed so the
+/// distributed tier can ship a checkpoint over a socket (inside its own
+/// framed message) without touching disk. Decode applies the full
+/// validation battery — structural bounds, topic ranges, the ck-histogram
+/// sum — exactly as the file loader does; `context` names the source in
+/// error messages the way a path would.
+void EncodeSweepCheckpointPayload(const SweepCheckpoint& checkpoint,
+                                  std::vector<uint8_t>* payload);
+bool DecodeSweepCheckpointPayload(const std::vector<uint8_t>& payload,
+                                  const std::string& context,
+                                  SweepCheckpoint* checkpoint,
+                                  std::string* error);
+
 /// Restores a sampler from a checkpoint: Init() with the stored config,
 /// then SetAssignments. The corpus must be the one the checkpoint was
 /// trained on (token count is validated).

@@ -63,6 +63,35 @@ const char* ToString(SweepStage stage);
 
 struct SweepCheckpoint;  // core/checkpoint.h
 
+/// The externally visible effect of running one grid block for one stage
+/// span — the unit a distributed execution tier ships between processes.
+///
+/// Within a stage, blocks share no mutable state: accepted topic moves are
+/// staged (z is untouched until the barrier) and proposal draws write only
+/// the block's own tokens' slots. A block's entire effect is therefore
+/// capturable as (staged moves, proposal writes) and replayable in another
+/// process that holds the same pre-stage state — after which EndStage()
+/// applies it exactly as if the block had run locally. `proposals` is in the
+/// block's canonical token order (the plan-derived segment position order,
+/// identical in every process that built indices from the same plan and
+/// corpus), mh_steps entries per token; empty when the span draws none.
+struct GridBlockDelta {
+  SweepStage stage = SweepStage::kDone;  ///< span the block ran in
+  uint32_t doc_block = 0;
+  uint32_t word_block = 0;
+  /// One staged z write: token at storage position `pos` moves `from`→`to`;
+  /// `item` is the token's column (word stages) or row (doc stages), kept so
+  /// the barrier can patch per-item count tables.
+  struct Move {
+    uint64_t pos = 0;
+    uint32_t item = 0;
+    uint32_t from = 0;
+    uint32_t to = 0;
+  };
+  std::vector<Move> moves;
+  std::vector<uint32_t> proposals;  ///< TopicId, mh_steps per token
+};
+
 /// Grid-execution interface of a sampler whose sweep can run block-by-block.
 ///
 /// Protocol: BeginSweep(plan), then for each of the four stages call
@@ -102,6 +131,43 @@ class GridSampler {
   /// the one RestoreSweepState reopens — but never while the current stage
   /// has blocks in flight. The default accepts any count, keeps no scratch.
   virtual void ReserveWorkers(uint32_t num_workers) { (void)num_workers; }
+
+  /// Distributed execution: runs a block exactly like RunBlock and
+  /// additionally captures its externally visible effect into `*out`, ready
+  /// to ship to a peer process holding the same pre-stage state. Returns
+  /// false when the sampler does not support delta capture (the default).
+  virtual bool RunBlockCaptured(uint32_t doc_block, uint32_t word_block,
+                                uint32_t worker, GridBlockDelta* out) {
+    (void)doc_block;
+    (void)word_block;
+    (void)worker;
+    (void)out;
+    return false;
+  }
+
+  /// Distributed execution: injects a peer's captured block effect, marking
+  /// the block as run for the current stage — EndStage() then applies it
+  /// exactly as if the block had run locally. Idempotent: a delta for a
+  /// block that already ran this stage (a duplicate frame) is accepted and
+  /// ignored. Returns false on a malformed delta (wrong stage, out-of-range
+  /// positions/topics) or when unsupported (the default); `*error` explains.
+  virtual bool ApplyBlockDelta(const GridBlockDelta& delta,
+                               std::string* error) {
+    (void)delta;
+    if (error != nullptr) {
+      *error = "this sampler does not support block deltas";
+    }
+    return false;
+  }
+
+  /// Distributed execution hint: this process will only RunBlock the blocks
+  /// whose flag is set in `owned` (size num_doc_blocks × num_word_blocks,
+  /// row-major; empty = unrestricted, the default), every other block
+  /// arriving via ApplyBlockDelta. Implementations may skip building
+  /// per-item caches no owned block reads. Purely an optimization — results
+  /// are identical with or without the hint. Call before BeginSweep or
+  /// RestoreSweepState; cleared state persists until the next call.
+  virtual void SetLocalBlocks(const std::vector<char>& owned) { (void)owned; }
 
   /// Barrier: checks every block of the current stage ran, applies the
   /// stage's staged updates, and advances to the next stage.

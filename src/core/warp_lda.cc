@@ -478,6 +478,12 @@ void WarpLdaSampler::BeginSweep(const SweepPlan& plan) {
   if (!plan.Validate(corpus_->num_docs(), corpus_->num_words(), &error)) {
     throw std::invalid_argument("WarpLdaSampler: invalid SweepPlan: " + error);
   }
+  if (!local_blocks_.empty() &&
+      local_blocks_.size() !=
+          static_cast<size_t>(plan.num_doc_blocks) * plan.num_word_blocks) {
+    throw std::invalid_argument(
+        "WarpLdaSampler: SetLocalBlocks mask sized for a different plan");
+  }
   BuildGridIndices(plan);
   for (auto& s : scratch_) {
     std::fill(s.ck_delta.begin(), s.ck_delta.end(), 0);
@@ -664,9 +670,15 @@ void WarpLdaSampler::BuildColArena() {
 void WarpLdaSampler::BuildRowArena() {
   EnsureRowArenaGeometry();
   row_counts_.ClearSlots();
+  // Row tables are only ever read by doc-accept block bodies, so a
+  // SetLocalBlocks filter restricts the fill to the rows owned blocks
+  // actually visit (unlike the column arena, which the word-accept barrier
+  // patches for every block's moves and must stay complete).
+  const std::vector<char> needed = LocalItemFilter(/*word_axis=*/false);
   for (DocId d = 0; d < corpus_->num_docs(); ++d) {
     auto row = matrix_.row(d);
     if (row.size() == 0) continue;
+    if (!needed.empty() && !needed[d]) continue;
     FlatCounts counts = row_counts_.view(d);
     for (uint32_t i = 0; i < row.size(); ++i) counts.Inc(row[i]);
   }
@@ -676,10 +688,14 @@ void WarpLdaSampler::BuildColAliases() {
   col_alias_.resize(corpus_->num_words());
   // One order-stable build per column per sweep — not per (block × column);
   // built at the span barrier where every worker is quiescent, so borrowing
-  // worker 0's entry scratch is safe.
+  // worker 0's entry scratch is safe. Under a SetLocalBlocks filter only the
+  // columns an owned block will read are built: a distributed worker skips
+  // the (V − V/P) tables whose propose work happens in other processes.
+  const std::vector<char> needed = LocalItemFilter(/*word_axis=*/true);
   ThreadScratch& s = scratch_[0];
   for (WordId w = 0; w < corpus_->num_words(); ++w) {
     if (matrix_.col_data(w).empty()) continue;
+    if (!needed.empty() && !needed[w]) continue;
     const FlatCounts counts = col_counts_.view(w);
     BuildAliasInto(s, counts, col_alias_[w]);
   }
@@ -1174,6 +1190,12 @@ bool WarpLdaSampler::RestoreSweepState(const SweepCheckpoint& state,
       return fail("checkpoint sweep plan does not fit the corpus: " +
                   plan_error);
     }
+    if (!local_blocks_.empty() &&
+        local_blocks_.size() != static_cast<size_t>(
+                                    state.plan.num_doc_blocks) *
+                                    state.plan.num_word_blocks) {
+      return fail("SetLocalBlocks mask sized for a different plan");
+    }
   }
 
   // Vector-aware prior refresh (SetPriors would overwrite the asymmetric ᾱ
@@ -1220,6 +1242,195 @@ bool WarpLdaSampler::RestoreSweepState(const SweepCheckpoint& state,
   if (state.next_stage != SweepStage::kDocPropose) {
     EnterSpan(state.next_stage);
   }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// Distributed execution: block deltas. Within a stage, a block's entire
+// externally visible effect is (staged moves, own tokens' proposal slots) —
+// z is untouched until the barrier and every other write lands in
+// per-worker scratch. Capturing those two pieces and replaying them in a
+// peer process that holds the same pre-stage state makes the peer's
+// EndStage() fold bit-identical to having run the block locally: staged
+// moves land in scratch (with their ck-delta net effect, intermediates of
+// an MH chain cancel), and proposals scatter into the very slots the block
+// would have written. Proposal order is the plan-derived segment position
+// order, which every process computes identically from (plan, corpus).
+
+bool WarpLdaSampler::SpanWritesProposals(SweepStage begin,
+                                         bool* word_axis) const {
+  switch (begin) {
+    case SweepStage::kWordAccept:
+      *word_axis = true;
+      return SpanLength(begin) == 2;  // fused [wa, wp] draws word proposals
+    case SweepStage::kWordPropose:
+      // Word proposals always; a fused [wp, da] span's doc-accept half only
+      // stages moves, so the axis stays word.
+      *word_axis = true;
+      return true;
+    case SweepStage::kDocAccept:
+      *word_axis = false;
+      return SpanLength(begin) == 2;  // fused [da, dp] draws doc proposals
+    case SweepStage::kDocPropose:
+      *word_axis = false;
+      return true;
+    default:
+      *word_axis = false;
+      return false;
+  }
+}
+
+std::vector<char> WarpLdaSampler::LocalItemFilter(bool word_axis) const {
+  if (local_blocks_.empty()) return {};
+  const auto& indices = word_axis ? grid_.word_ix : grid_.doc_ix;
+  std::vector<char> needed(
+      word_axis ? corpus_->num_words() : corpus_->num_docs(), 0);
+  for (size_t b = 0; b < indices.size() && b < local_blocks_.size(); ++b) {
+    if (!local_blocks_[b]) continue;
+    for (const BlockSegment& seg : indices[b].segments) {
+      needed[seg.item] = 1;
+    }
+  }
+  return needed;
+}
+
+void WarpLdaSampler::SetLocalBlocks(const std::vector<char>& owned) {
+  local_blocks_ = owned;
+}
+
+bool WarpLdaSampler::RunBlockCaptured(uint32_t doc_block, uint32_t word_block,
+                                      uint32_t worker, GridBlockDelta* out) {
+  if (!grid_.open || grid_.stage == SweepStage::kDone) {
+    throw std::logic_error(
+        "WarpLdaSampler: RunBlockCaptured() outside an active stage");
+  }
+  if (worker >= scratch_.size()) {
+    throw std::invalid_argument(
+        "WarpLdaSampler: worker id out of range; ReserveWorkers() first");
+  }
+  const SweepStage begin = grid_.stage;
+  ThreadScratch& s = scratch_[worker];
+  const size_t moves_before = s.staged_moves.size();
+  RunBlock(doc_block, word_block, worker);
+  out->stage = begin;
+  out->doc_block = doc_block;
+  out->word_block = word_block;
+  out->moves.clear();
+  out->moves.reserve(s.staged_moves.size() - moves_before);
+  for (size_t i = moves_before; i < s.staged_moves.size(); ++i) {
+    const StagedMove& mv = s.staged_moves[i];
+    out->moves.push_back({mv.pos, mv.item, mv.from, mv.to});
+  }
+  out->proposals.clear();
+  bool word_axis = false;
+  if (SpanWritesProposals(begin, &word_axis)) {
+    const BlockIndex& ix =
+        (word_axis ? grid_.word_ix : grid_.doc_ix)
+            [static_cast<size_t>(doc_block) * grid_.plan.num_word_blocks +
+             word_block];
+    const uint32_t m = std::max(1u, config_.mh_steps);
+    out->proposals.reserve(ix.positions.size() * m);
+    for (uint64_t pos : ix.positions) {
+      for (uint32_t j = 0; j < m; ++j) {
+        out->proposals.push_back(proposals_[pos * m + j]);
+      }
+    }
+  }
+  return true;
+}
+
+bool WarpLdaSampler::ApplyBlockDelta(const GridBlockDelta& delta,
+                                     std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = "WarpLdaSampler: " + message;
+    return false;
+  };
+  if (!grid_.open || grid_.stage == SweepStage::kDone) {
+    return fail("ApplyBlockDelta() outside an active stage");
+  }
+  if (delta.stage != grid_.stage) {
+    return fail(std::string("delta captured in ") + ToString(delta.stage) +
+                " applied in " + ToString(grid_.stage) + " stage");
+  }
+  if (delta.doc_block >= grid_.plan.num_doc_blocks ||
+      delta.word_block >= grid_.plan.num_word_blocks) {
+    return fail("delta block index out of range");
+  }
+  char& ran =
+      grid_.block_ran[static_cast<size_t>(delta.doc_block) *
+                          grid_.plan.num_word_blocks +
+                      delta.word_block];
+  // Duplicate-frame idempotence: a redelivered delta for a block this stage
+  // already ran (locally or injected) is acknowledged without reapplying —
+  // applying twice would double its moves and ck updates.
+  if (ran) return true;
+
+  // Validate the whole delta before mutating anything, so a malformed frame
+  // leaves the sampler untouched.
+  const uint32_t k_topics = config_.num_topics;
+  const uint64_t num_entries = matrix_.num_entries();
+  // Moves carry the item AcceptSegment tagged them with: the column for the
+  // word-accept stage (the barrier may patch the column arena through it),
+  // the row for spans whose accept half runs on the doc axis.
+  const bool word_items = delta.stage == SweepStage::kWordAccept;
+  const uint64_t item_bound =
+      word_items ? corpus_->num_words() : corpus_->num_docs();
+  const bool stages_moves =
+      delta.stage == SweepStage::kWordAccept ||
+      delta.stage == SweepStage::kDocAccept ||
+      (delta.stage == SweepStage::kWordPropose &&
+       SpanLength(SweepStage::kWordPropose) == 2);
+  if (!stages_moves && !delta.moves.empty()) {
+    return fail("delta stages moves in a pure propose span");
+  }
+  for (const GridBlockDelta::Move& mv : delta.moves) {
+    if (mv.pos >= num_entries) return fail("delta move position out of range");
+    if (mv.from >= k_topics || mv.to >= k_topics) {
+      return fail("delta move topic out of range");
+    }
+    if (mv.item >= item_bound) return fail("delta move item out of range");
+    // z is stable for the whole span, so `from` must match the current
+    // assignment — anything else means the peer ran from different state.
+    if (matrix_.entry_data(mv.pos) != mv.from) {
+      return fail("delta move disagrees with the current assignment");
+    }
+  }
+  bool word_axis = false;
+  const bool has_proposals = SpanWritesProposals(delta.stage, &word_axis);
+  const BlockIndex& ix =
+      (word_axis ? grid_.word_ix : grid_.doc_ix)
+          [static_cast<size_t>(delta.doc_block) * grid_.plan.num_word_blocks +
+           delta.word_block];
+  const uint32_t m = std::max(1u, config_.mh_steps);
+  const size_t expected_proposals =
+      has_proposals ? ix.positions.size() * static_cast<size_t>(m) : 0;
+  if (delta.proposals.size() != expected_proposals) {
+    return fail("delta proposal count " +
+                std::to_string(delta.proposals.size()) + " (expected " +
+                std::to_string(expected_proposals) + ")");
+  }
+  for (uint32_t p : delta.proposals) {
+    if (p >= k_topics) return fail("delta proposal topic out of range");
+  }
+
+  // Injected work lands in worker 0's scratch — the same commutative fold
+  // EndStage() applies to local work (scratch_[0] always exists: Init sizes
+  // the pool to at least one).
+  ThreadScratch& s = scratch_[0];
+  for (const GridBlockDelta::Move& mv : delta.moves) {
+    s.staged_moves.push_back({mv.pos, mv.item, mv.from, mv.to});
+    --s.ck_delta[mv.from];
+    ++s.ck_delta[mv.to];
+  }
+  if (has_proposals) {
+    size_t i = 0;
+    for (uint64_t pos : ix.positions) {
+      for (uint32_t j = 0; j < m; ++j) {
+        proposals_[pos * m + j] = delta.proposals[i++];
+      }
+    }
+  }
+  ran = 1;
   return true;
 }
 

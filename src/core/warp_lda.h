@@ -141,6 +141,24 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   bool RestoreSweepState(const SweepCheckpoint& state,
                          std::string* error) override;
 
+  /// Distributed execution hooks (see core/sweep_plan.h). A block's effect
+  /// is its staged moves plus the proposal slots its span wrote, gathered /
+  /// scattered in the plan-derived segment position order — canonical
+  /// because every process builds identical indices from the same plan and
+  /// corpus. Injected deltas land in worker 0's scratch (staged moves +
+  /// ck-delta) and the block's own proposal slots, so EndStage() applies
+  /// them exactly as local work; a full set of deltas makes this sampler's
+  /// state evolve bit-identically to the process that ran the blocks.
+  bool RunBlockCaptured(uint32_t doc_block, uint32_t word_block,
+                        uint32_t worker, GridBlockDelta* out) override;
+  bool ApplyBlockDelta(const GridBlockDelta& delta,
+                       std::string* error) override;
+  /// Restricts per-item cache builds (column alias tables, row count
+  /// tables) to the items owned blocks actually read. The column count
+  /// arena is always built in full: the word-accept barrier patches it with
+  /// *every* block's moves, local and injected alike.
+  void SetLocalBlocks(const std::vector<char>& owned) override;
+
   /// Live global topic counts c_k (size K). Deltas are folded in at phase /
   /// stage barriers, so between Iterate() calls (or outside an open sweep)
   /// this is exactly the histogram of Assignments().
@@ -362,6 +380,14 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   /// Length (1 or 2) of the fused stage span entered at `s`, under the
   /// current plan's legality bits and the fusion option.
   int SpanLength(SweepStage s) const;
+  /// Whether the span entered at `begin` draws proposals, and on which axis
+  /// (word_ix vs doc_ix position order) they are gathered / scattered.
+  /// Shared by RunBlockCaptured and ApplyBlockDelta so the two sides agree.
+  bool SpanWritesProposals(SweepStage begin, bool* word_axis) const;
+  /// True when `item` (word for the word axis, doc otherwise) is read by a
+  /// locally owned block, or when no SetLocalBlocks filter is active.
+  /// Implements the filtered cache builds.
+  std::vector<char> LocalItemFilter(bool word_axis) const;
   /// Barrier-side preparation for the span entered at `begin`: snapshot
   /// refreshes and count-arena/alias (re)builds its stages read.
   void EnterSpan(SweepStage begin);
@@ -419,6 +445,9 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   std::vector<AliasTable> col_alias_;    // per-column word-proposal tables
   uint64_t phase_epoch_ = 0;  // one per phase; RNG stream epoch
   GridState grid_;
+  /// SetLocalBlocks ownership flags (num_blocks, row-major); empty = no
+  /// filter, build every per-item cache.
+  std::vector<char> local_blocks_;
 };
 
 }  // namespace warplda

@@ -1,0 +1,896 @@
+#include "dist/dist_executor.h"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "core/checkpoint.h"
+#include "dist/partitioner.h"
+#include "util/checkpoint_io.h"
+#include "util/rng.h"
+
+namespace warplda {
+namespace {
+
+/// Application message types carried by FrameChannel data frames.
+constexpr uint32_t kMsgHello = 1;      ///< worker -> coord: u32 worker_id
+constexpr uint32_t kMsgAssign = 2;     ///< coord -> worker: epoch, iter, owner
+constexpr uint32_t kMsgRestore = 3;    ///< coord -> worker: + sweep checkpoint
+constexpr uint32_t kMsgBlockDelta = 4; ///< either way: one block's effect
+constexpr uint32_t kMsgRecover = 5;    ///< coord -> worker: abort, epoch bump
+constexpr uint32_t kMsgShutdown = 6;   ///< coord -> worker: run complete
+constexpr uint32_t kMsgStats = 7;      ///< worker -> coord: channel stats
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint32_t BlockOf(const SweepPlan& plan, uint32_t doc_block,
+                 uint32_t word_block) {
+  return doc_block * plan.num_word_blocks + word_block;
+}
+
+std::vector<char> OwnedMask(const std::vector<uint32_t>& owner,
+                            uint32_t worker_id) {
+  std::vector<char> mask(owner.size(), 0);
+  for (size_t b = 0; b < owner.size(); ++b) {
+    mask[b] = owner[b] == worker_id ? 1 : 0;
+  }
+  return mask;
+}
+
+/// Per-direction fault schedule seeds derived from the one run seed, so a
+/// single number reproduces the whole run's fault pattern yet no two
+/// channel directions share a schedule.
+FaultSpec ChannelFault(const FaultSpec& base, uint32_t worker_id,
+                       bool coordinator_side) {
+  FaultSpec spec = base;
+  if (spec.seed != 0) {
+    spec.seed = SplitMix64(spec.seed ^
+                           (static_cast<uint64_t>(worker_id) * 2 +
+                            (coordinator_side ? 1 : 0) + 0x9E37u));
+    if (spec.seed == 0) spec.seed = 1;
+  }
+  return spec;
+}
+
+void AccumulateStats(FrameChannel::Stats* into,
+                     const FrameChannel::Stats& from) {
+  into->frames_sent += from.frames_sent;
+  into->frames_received += from.frames_received;
+  into->bytes_sent += from.bytes_sent;
+  into->bytes_received += from.bytes_received;
+  into->retransmits += from.retransmits;
+  into->crc_rejects += from.crc_rejects;
+  into->dup_suppressed += from.dup_suppressed;
+  into->naks_sent += from.naks_sent;
+  into->naks_received += from.naks_received;
+  into->faults_injected += from.faults_injected;
+}
+
+std::vector<uint8_t> EncodeStats(const FrameChannel::Stats& s) {
+  PayloadWriter out;
+  out.Put(s.frames_sent);
+  out.Put(s.frames_received);
+  out.Put(s.bytes_sent);
+  out.Put(s.bytes_received);
+  out.Put(s.retransmits);
+  out.Put(s.crc_rejects);
+  out.Put(s.dup_suppressed);
+  out.Put(s.naks_sent);
+  out.Put(s.naks_received);
+  out.Put(s.faults_injected);
+  return out.bytes();
+}
+
+bool DecodeStats(const std::vector<uint8_t>& body, FrameChannel::Stats* s) {
+  PayloadReader in(body);
+  return in.Get(&s->frames_sent) && in.Get(&s->frames_received) &&
+         in.Get(&s->bytes_sent) && in.Get(&s->bytes_received) &&
+         in.Get(&s->retransmits) && in.Get(&s->crc_rejects) &&
+         in.Get(&s->dup_suppressed) && in.Get(&s->naks_sent) &&
+         in.Get(&s->naks_received) && in.Get(&s->faults_injected);
+}
+
+std::vector<uint8_t> EncodeDelta(uint64_t epoch, const GridBlockDelta& d) {
+  PayloadWriter out;
+  out.Put(epoch);
+  out.Put(static_cast<uint32_t>(d.stage));
+  out.Put(d.doc_block);
+  out.Put(d.word_block);
+  out.Put(static_cast<uint64_t>(d.moves.size()));
+  for (const GridBlockDelta::Move& mv : d.moves) {
+    out.Put(mv.pos);
+    out.Put(mv.item);
+    out.Put(mv.from);
+    out.Put(mv.to);
+  }
+  out.PutVec(d.proposals);
+  return out.bytes();
+}
+
+bool DecodeDelta(const std::vector<uint8_t>& body, uint64_t* epoch,
+                 GridBlockDelta* d) {
+  PayloadReader in(body);
+  uint32_t stage = 0;
+  uint64_t num_moves = 0;
+  if (!in.Get(epoch) || !in.Get(&stage) || !in.Get(&d->doc_block) ||
+      !in.Get(&d->word_block) || !in.Get(&num_moves)) {
+    return false;
+  }
+  if (stage > static_cast<uint32_t>(SweepStage::kDone)) return false;
+  d->stage = static_cast<SweepStage>(stage);
+  // 20 bytes per move on the wire; bound before resizing.
+  if (num_moves > in.remaining() / 20) return false;
+  d->moves.resize(static_cast<size_t>(num_moves));
+  for (GridBlockDelta::Move& mv : d->moves) {
+    if (!in.Get(&mv.pos) || !in.Get(&mv.item) || !in.Get(&mv.from) ||
+        !in.Get(&mv.to)) {
+      return false;
+    }
+  }
+  return in.GetVec(&d->proposals);
+}
+
+/// kMsgAssign / kMsgRestore share a prefix: epoch, iteration, owner map.
+std::vector<uint8_t> EncodeAssignment(uint64_t epoch, uint32_t iteration,
+                                      const std::vector<uint32_t>& owner,
+                                      const std::vector<uint8_t>* ckpt) {
+  PayloadWriter out;
+  out.Put(epoch);
+  out.Put(iteration);
+  out.PutVec(owner);
+  if (ckpt != nullptr) out.PutVec(*ckpt);
+  return out.bytes();
+}
+
+bool DecodeAssignment(const std::vector<uint8_t>& body, uint64_t* epoch,
+                      uint32_t* iteration, std::vector<uint32_t>* owner,
+                      std::vector<uint8_t>* ckpt) {
+  PayloadReader in(body);
+  if (!in.Get(epoch) || !in.Get(iteration) || !in.GetVec(owner)) return false;
+  if (ckpt != nullptr && !in.GetVec(ckpt)) return false;
+  return true;
+}
+
+// ==========================================================================
+// Worker side (runs in the forked child; _exit()s, never returns).
+
+struct WorkerState {
+  GridSampler* sampler = nullptr;
+  FrameChannel* channel = nullptr;
+  const SweepPlan* plan = nullptr;
+  const DistConfig* cfg = nullptr;
+  uint32_t worker_id = 0;
+  uint32_t num_blocks = 0;
+
+  uint64_t epoch = 0;
+  uint32_t iteration = 0;
+  std::vector<uint32_t> owner;
+  bool have_assignment = false;
+  bool sweep_open = false;
+
+  std::vector<char> ran;  ///< per block, current span
+  uint32_t ran_count = 0;
+  bool restored = false;    ///< a kMsgRestore landed; span state is stale
+  bool recovering = false;  ///< between kMsgRecover and its kMsgRestore
+  bool shutdown = false;
+  bool failed = false;
+  uint32_t barriers_done = 0;  ///< spans completed since process start
+};
+
+void ResetSpan(WorkerState& ws) {
+  ws.ran.assign(ws.num_blocks, 0);
+  ws.ran_count = 0;
+}
+
+void MarkRan(WorkerState& ws, uint32_t block) {
+  if (!ws.ran[block]) {
+    ws.ran[block] = 1;
+    ++ws.ran_count;
+  }
+}
+
+/// Applies one received message to the worker state. Returns false when the
+/// span completed (caller should fall through to the barrier before
+/// processing more messages — the queue's next deltas belong to the next
+/// span).
+bool WorkerHandle(WorkerState& ws, const FrameChannel::Message& msg) {
+  switch (msg.type) {
+    case kMsgAssign: {
+      uint64_t epoch = 0;
+      uint32_t iteration = 0;
+      std::vector<uint32_t> owner;
+      if (!DecodeAssignment(msg.body, &epoch, &iteration, &owner, nullptr) ||
+          owner.size() != ws.num_blocks) {
+        ws.failed = true;
+        return false;
+      }
+      ws.epoch = epoch;
+      ws.iteration = iteration;
+      ws.owner = std::move(owner);
+      ws.sampler->SetLocalBlocks(OwnedMask(ws.owner, ws.worker_id));
+      ws.have_assignment = true;
+      // Stop draining: if our assign frame was delayed (dropped and
+      // retransmitted), faster peers' first-span deltas may already be
+      // queued behind it — they must wait until BeginSweep has run.
+      return false;
+    }
+    case kMsgRecover: {
+      // Abort now so staged state from the interrupted stage is gone; the
+      // restore that follows on this same FIFO channel rebuilds everything.
+      ws.sampler->AbortSweep();
+      ws.sweep_open = false;
+      ws.recovering = true;
+      return true;
+    }
+    case kMsgRestore: {
+      uint64_t epoch = 0;
+      uint32_t iteration = 0;
+      std::vector<uint32_t> owner;
+      std::vector<uint8_t> ckpt_bytes;
+      SweepCheckpoint ckpt;
+      std::string error;
+      if (!DecodeAssignment(msg.body, &epoch, &iteration, &owner,
+                            &ckpt_bytes) ||
+          owner.size() != ws.num_blocks ||
+          !DecodeSweepCheckpointPayload(ckpt_bytes, "restore message", &ckpt,
+                                        &error)) {
+        ws.failed = true;
+        return false;
+      }
+      ws.sampler->AbortSweep();  // idempotent; normally kMsgRecover already did
+      ws.epoch = epoch;
+      ws.iteration = iteration;
+      ws.owner = std::move(owner);
+      // Ownership first: the restore's cache rebuilds honor the new mask.
+      ws.sampler->SetLocalBlocks(OwnedMask(ws.owner, ws.worker_id));
+      if (!ws.sampler->RestoreSweepState(ckpt, &error)) {
+        ws.failed = true;
+        return false;
+      }
+      ws.sweep_open = ckpt.next_stage != SweepStage::kWordAccept;
+      ws.recovering = false;
+      ws.restored = true;
+      ResetSpan(ws);
+      return false;  // span state is new — re-enter the span loop
+    }
+    case kMsgBlockDelta: {
+      uint64_t epoch = 0;
+      GridBlockDelta delta;
+      if (!DecodeDelta(msg.body, &epoch, &delta)) {
+        ws.failed = true;
+        return false;
+      }
+      if (epoch != ws.epoch || ws.recovering) return true;  // stale epoch
+      const uint32_t b = BlockOf(*ws.plan, delta.doc_block, delta.word_block);
+      if (b >= ws.num_blocks) {
+        ws.failed = true;
+        return false;
+      }
+      std::string error;
+      if (!ws.sampler->ApplyBlockDelta(delta, &error)) {
+        ws.failed = true;
+        return false;
+      }
+      MarkRan(ws, b);
+      // Span complete: stop draining — anything still queued is the next
+      // span's traffic and must wait for our own EndStage.
+      return ws.ran_count < ws.num_blocks;
+    }
+    case kMsgShutdown: {
+      ws.channel->Send(kMsgStats, EncodeStats(ws.channel->stats()));
+      ws.shutdown = true;
+      return false;
+    }
+    default:
+      return true;  // unknown types are ignored (forward compatibility)
+  }
+}
+
+/// Drains available messages; with `timeout_ms` > 0 waits for the first.
+/// Returns false when the channel is dead and drained.
+bool WorkerPump(WorkerState& ws, uint32_t timeout_ms) {
+  FrameChannel::Message msg;
+  bool keep_going = true;
+  if (timeout_ms > 0) {
+    const FrameChannel::RecvStatus st = ws.channel->Receive(&msg, timeout_ms);
+    if (st == FrameChannel::RecvStatus::kClosed) return false;
+    if (st == FrameChannel::RecvStatus::kTimeout) return true;
+    keep_going = WorkerHandle(ws, msg);
+  }
+  while (keep_going && !ws.failed && ws.channel->TryReceive(&msg)) {
+    keep_going = WorkerHandle(ws, msg);
+  }
+  return true;
+}
+
+void MaybeSelfKill(const WorkerState& ws, bool mid_stage) {
+  const DistConfig::KillSpec& kill = ws.cfg->kill;
+  if (kill.worker == ws.worker_id && kill.mid_stage == mid_stage &&
+      kill.barrier == ws.barriers_done) {
+    // SIGKILL, not exit(): no atexit, no flushes, the io thread dies with
+    // us and unsent frames are simply lost — the case recovery must handle.
+    ::kill(::getpid(), SIGKILL);
+  }
+}
+
+void WorkerMain(WorkerState& ws) {
+  ws.channel->Send(kMsgHello, [&] {
+    PayloadWriter out;
+    out.Put(ws.worker_id);
+    return out.bytes();
+  }());
+
+  while (!ws.have_assignment && !ws.shutdown && !ws.failed) {
+    if (!WorkerPump(ws, 100)) return;
+  }
+
+  while (!ws.shutdown && !ws.failed) {
+    if (ws.recovering) {
+      // A kMsgRecover aborted our sweep; all sweep work stops until the
+      // kMsgRestore behind it (possibly still in flight) rebuilds state.
+      if (!WorkerPump(ws, 100)) return;
+      continue;
+    }
+    if (ws.iteration >= ws.cfg->iterations && !ws.sweep_open) {
+      // Run complete — wait for the shutdown handshake (the channel must
+      // stay up so the coordinator's final frames get their acks).
+      if (!WorkerPump(ws, 100)) return;
+      continue;
+    }
+    if (!ws.sweep_open) {
+      ws.sampler->BeginSweep(*ws.plan);
+      ws.sweep_open = true;
+    }
+    while (ws.sampler->sweep_stage() != SweepStage::kDone && !ws.shutdown &&
+           !ws.failed && !ws.recovering) {
+      ws.restored = false;
+      ResetSpan(ws);
+      bool first_delta_sent = false;
+      for (uint32_t b = 0; b < ws.num_blocks && !ws.restored &&
+                           !ws.recovering && !ws.shutdown;
+           ++b) {
+        if (ws.owner[b] != ws.worker_id) continue;
+        GridBlockDelta delta;
+        if (!ws.sampler->RunBlockCaptured(b / ws.plan->num_word_blocks,
+                                          b % ws.plan->num_word_blocks,
+                                          /*worker=*/0, &delta)) {
+          ws.failed = true;
+          break;
+        }
+        MarkRan(ws, b);
+        ws.channel->Send(kMsgBlockDelta, EncodeDelta(ws.epoch, delta));
+        if (!first_delta_sent) {
+          first_delta_sent = true;
+          MaybeSelfKill(ws, /*mid_stage=*/true);
+        }
+        // Overlap: apply peers' deltas while our own blocks still compute.
+        // Skip once the span is complete — if our last own block finished
+        // it, a fast peer may already be past the barrier, and anything
+        // queued from it belongs to the next span.
+        if (ws.ran_count < ws.num_blocks && !WorkerPump(ws, 0)) return;
+      }
+      while (!ws.restored && !ws.recovering && !ws.shutdown && !ws.failed &&
+             ws.ran_count < ws.num_blocks) {
+        if (!WorkerPump(ws, 50)) return;
+      }
+      if (ws.restored || ws.recovering || ws.shutdown || ws.failed) break;
+      MaybeSelfKill(ws, /*mid_stage=*/false);
+      ws.sampler->EndStage();
+      ++ws.barriers_done;
+    }
+    if (ws.restored || ws.recovering || ws.shutdown || ws.failed) continue;
+    if (ws.sweep_open && ws.sampler->sweep_stage() == SweepStage::kDone) {
+      ws.sampler->EndSweep();
+      ws.sweep_open = false;
+      ++ws.iteration;
+    }
+  }
+  ws.channel->DrainSends(ws.cfg->shutdown_timeout_ms);
+}
+
+// ==========================================================================
+// Coordinator side.
+
+struct WorkerSlot {
+  int pid = -1;
+  std::unique_ptr<FrameChannel> channel;
+  bool live = false;
+  bool reaped = false;
+};
+
+struct Coordinator {
+  GridSampler* sampler = nullptr;
+  const SweepPlan* plan = nullptr;
+  const DistConfig* cfg = nullptr;
+  uint32_t num_blocks = 0;
+  std::vector<uint64_t> weights;
+
+  std::vector<WorkerSlot> workers;
+  uint64_t epoch = 0;
+  uint32_t iteration = 0;
+  std::vector<uint32_t> owner;
+  bool sweep_open = false;
+  SweepCheckpoint barrier_ckpt;  ///< state at the last stage barrier
+
+  std::vector<char> ran;
+  uint32_t ran_count = 0;
+
+  DistResult result;
+
+  bool Fail(const std::string& message) {
+    if (result.error.empty()) result.error = message;
+    return false;
+  }
+
+  std::vector<uint32_t> LiveIds() const {
+    std::vector<uint32_t> ids;
+    for (uint32_t w = 0; w < workers.size(); ++w) {
+      if (workers[w].live) ids.push_back(w);
+    }
+    return ids;
+  }
+
+  void ReapWorker(uint32_t w, bool force_kill) {
+    WorkerSlot& slot = workers[w];
+    if (slot.pid < 0 || slot.reaped) return;
+    if (force_kill) ::kill(slot.pid, SIGKILL);
+    int status = 0;
+    if (::waitpid(slot.pid, &status, force_kill ? 0 : WNOHANG) == slot.pid) {
+      slot.reaped = true;
+    }
+  }
+
+  /// Captures the current barrier state; every recovery restores to it.
+  bool CaptureBarrier() {
+    if (!sampler->CaptureSweepState(&barrier_ckpt)) {
+      return Fail("sampler refused a barrier checkpoint (mid-stage state?)");
+    }
+    barrier_ckpt.iteration = iteration;
+    return true;
+  }
+
+  /// Declares worker `w` dead, repartitions its blocks, and restores every
+  /// survivor (and the coordinator's replica) to the last barrier.
+  bool Recover(uint32_t w) {
+    ReapWorker(w, /*force_kill=*/true);  // ensure it is really gone
+    workers[w].live = false;
+    workers[w].channel->Close();
+    const std::vector<uint32_t> live = LiveIds();
+    if (live.empty()) {
+      return Fail("all workers dead (last: " +
+                  workers[w].channel->death_reason() + ")");
+    }
+    ++epoch;
+    ++result.recoveries;
+    owner = ReassignToSurvivors(weights, owner, live);
+    // Rewind the coordinator replica to the barrier. The abort discards the
+    // interrupted stage's staged state; the restore overwrites the rest
+    // (injected proposal writes included), mirroring what survivors do.
+    sampler->AbortSweep();
+    sweep_open = false;
+    std::string error;
+    if (!sampler->RestoreSweepState(barrier_ckpt, &error)) {
+      return Fail("coordinator restore failed: " + error);
+    }
+    sweep_open = barrier_ckpt.next_stage != SweepStage::kWordAccept;
+    iteration = barrier_ckpt.iteration;
+    std::vector<uint8_t> ckpt_bytes;
+    EncodeSweepCheckpointPayload(barrier_ckpt, &ckpt_bytes);
+    for (uint32_t s : live) {
+      // FIFO per channel orders recover before restore before any relay of
+      // the new epoch, so survivors abort before they see the new state.
+      workers[s].channel->Send(kMsgRecover, {});
+      workers[s].channel->Send(
+          kMsgRestore, EncodeAssignment(epoch, iteration, owner, &ckpt_bytes));
+    }
+    ResetSpan();
+    return true;
+  }
+
+  void ResetSpan() {
+    ran.assign(num_blocks, 0);
+    ran_count = 0;
+  }
+
+  /// One pass over live channels: applies + relays any received deltas,
+  /// returns true if anything arrived. Death is detected by the caller.
+  bool PumpDeltas() {
+    bool any = false;
+    FrameChannel::Message msg;
+    for (uint32_t w = 0; w < workers.size(); ++w) {
+      if (!workers[w].live) continue;
+      while (ran_count < num_blocks && workers[w].channel->TryReceive(&msg)) {
+        any = true;
+        if (msg.type == kMsgStats || msg.type == kMsgHello) continue;
+        if (msg.type != kMsgBlockDelta) continue;
+        uint64_t delta_epoch = 0;
+        GridBlockDelta delta;
+        if (!DecodeDelta(msg.body, &delta_epoch, &delta)) {
+          Fail("malformed delta from worker " + std::to_string(w));
+          return any;
+        }
+        if (delta_epoch != epoch) continue;  // pre-recovery straggler
+        const uint32_t b = BlockOf(*plan, delta.doc_block, delta.word_block);
+        if (b >= num_blocks || ran[b]) continue;  // duplicate: idempotent
+        std::string error;
+        if (!sampler->ApplyBlockDelta(delta, &error)) {
+          Fail("delta rejected (worker " + std::to_string(w) + "): " + error);
+          return any;
+        }
+        ran[b] = 1;
+        ++ran_count;
+        // Relay to every other live worker; FIFO guarantees each worker
+        // holds all of a span's deltas before any next-span frame.
+        for (uint32_t o = 0; o < workers.size(); ++o) {
+          if (o != w && workers[o].live) {
+            workers[o].channel->Send(kMsgBlockDelta, msg.body);
+          }
+        }
+      }
+    }
+    return any;
+  }
+
+  /// Finds a dead live-marked worker (EOF / write error / heartbeat
+  /// silence), or kNoWorker.
+  uint32_t DetectDeath() {
+    for (uint32_t w = 0; w < workers.size(); ++w) {
+      if (!workers[w].live) continue;
+      if (!workers[w].channel->alive()) return w;
+      if (workers[w].channel->ms_since_last_rx() >
+          static_cast<int64_t>(cfg->heartbeat_timeout_ms)) {
+        return w;
+      }
+    }
+    return DistConfig::kNoWorker;
+  }
+
+  /// Waits until every block of the current span has been applied locally,
+  /// recovering from worker deaths along the way.
+  bool WaitForSpan() {
+    while (ran_count < num_blocks) {
+      if (!result.error.empty()) return false;
+      const bool any = PumpDeltas();
+      if (!result.error.empty()) return false;
+      const uint32_t dead = DetectDeath();
+      if (dead != DistConfig::kNoWorker) {
+        if (!Recover(dead)) return false;
+        return true;  // span state rewound; caller re-enters its loop
+      }
+      if (!any) std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return true;
+  }
+};
+
+void SumChannelStats(Coordinator& coord) {
+  for (WorkerSlot& slot : coord.workers) {
+    if (slot.channel != nullptr) {
+      AccumulateStats(&coord.result.coordinator_stats, slot.channel->stats());
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint64_t> BlockTokenWeights(const Corpus& corpus,
+                                        const SweepPlan& plan) {
+  std::vector<uint64_t> weights(
+      static_cast<size_t>(plan.num_doc_blocks) * plan.num_word_blocks, 0);
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    const uint32_t db = plan.doc_block.empty() ? 0 : plan.doc_block[d];
+    for (WordId w : corpus.doc_tokens(d)) {
+      const uint32_t wb = plan.word_block.empty() ? 0 : plan.word_block[w];
+      ++weights[static_cast<size_t>(db) * plan.num_word_blocks + wb];
+    }
+  }
+  return weights;
+}
+
+DistResult RunDistributedSweeps(GridSampler& sampler, const Corpus& corpus,
+                                const SweepPlan& plan,
+                                const DistConfig& config) {
+  Coordinator coord;
+  coord.sampler = &sampler;
+  coord.plan = &plan;
+  coord.cfg = &config;
+  coord.num_blocks = plan.num_doc_blocks * plan.num_word_blocks;
+
+  std::string error;
+  if (config.num_workers == 0) {
+    coord.Fail("num_workers must be >= 1");
+    return coord.result;
+  }
+  if (!plan.Validate(corpus.num_docs(), corpus.num_words(), &error)) {
+    coord.Fail("invalid plan: " + error);
+    return coord.result;
+  }
+  if (!sampler.CaptureSweepState(&coord.barrier_ckpt)) {
+    coord.Fail("sampler does not support sweep checkpointing");
+    return coord.result;
+  }
+  coord.barrier_ckpt.iteration = 0;
+
+  coord.weights = BlockTokenWeights(corpus, plan);
+  coord.owner = PartitionByTokens(coord.weights, config.num_workers,
+                                  PartitionStrategy::kGreedy);
+  coord.result.initial_owner = coord.owner;
+
+  // ---- spawn phase: sockets first, then every fork, then (only once the
+  // coordinator is done forking) the channels and their io threads.
+  uint16_t port = 0;
+  int listen_fd = -1;
+  std::vector<int> parent_fds(config.num_workers, -1);
+  std::vector<int> child_fds(config.num_workers, -1);
+  if (config.use_tcp) {
+    listen_fd = ListenLoopback(&port, &error);
+    if (listen_fd < 0) {
+      coord.Fail("listen failed: " + error);
+      return coord.result;
+    }
+  } else {
+    for (uint32_t w = 0; w < config.num_workers; ++w) {
+      int fds[2];
+      if (!MakeSocketPair(fds, &error)) {
+        coord.Fail("socketpair failed: " + error);
+        for (uint32_t c = 0; c < w; ++c) {
+          ::close(parent_fds[c]);
+          ::close(child_fds[c]);
+        }
+        return coord.result;
+      }
+      parent_fds[w] = fds[0];
+      child_fds[w] = fds[1];
+    }
+  }
+
+  coord.workers.resize(config.num_workers);
+  std::vector<int> pids;
+  for (uint32_t w = 0; w < config.num_workers; ++w) {
+    const int pid = ::fork();
+    if (pid < 0) {
+      coord.Fail("fork failed: " + std::string(std::strerror(errno)));
+      for (uint32_t o = 0; o < config.num_workers; ++o) {
+        if (coord.workers[o].pid > 0) {
+          ::kill(coord.workers[o].pid, SIGKILL);
+          ::waitpid(coord.workers[o].pid, nullptr, 0);
+        }
+        if (parent_fds[o] >= 0) ::close(parent_fds[o]);
+        if (child_fds[o] >= 0) ::close(child_fds[o]);
+      }
+      if (listen_fd >= 0) ::close(listen_fd);
+      return coord.result;
+    }
+    if (pid == 0) {
+      // ---- worker process. It inherited the initialized sampler replica;
+      // everything else it needs arrives over the channel.
+      ::signal(SIGPIPE, SIG_IGN);
+      int fd = -1;
+      if (config.use_tcp) {
+        ::close(listen_fd);
+        fd = ConnectLoopback(port, config.connect_timeout_ms, &error);
+      } else {
+        for (uint32_t o = 0; o < config.num_workers; ++o) {
+          if (parent_fds[o] >= 0) ::close(parent_fds[o]);
+          if (o != w && child_fds[o] >= 0) ::close(child_fds[o]);
+        }
+        fd = child_fds[w];
+      }
+      if (fd < 0) ::_exit(3);
+      {
+        FrameChannel::Options opts = config.channel;
+        opts.fault = ChannelFault(config.fault, w, /*coordinator_side=*/false);
+        opts.peer = "coordinator";
+        FrameChannel channel(fd, opts);
+        WorkerState ws;
+        ws.sampler = &sampler;
+        ws.channel = &channel;
+        ws.plan = &plan;
+        ws.cfg = &config;
+        ws.worker_id = w;
+        ws.num_blocks = coord.num_blocks;
+        // The child inherited the coordinator's whole stack (test harness
+        // included); an escaping exception would unwind into a copy of a
+        // caller that must never run twice. Trap it here — a worker that
+        // throws is simply a dead worker for the coordinator to recover.
+        try {
+          WorkerMain(ws);
+        } catch (...) {
+          ws.failed = true;
+        }
+        channel.Close();
+        if (ws.failed) ::_exit(2);
+      }
+      ::_exit(0);
+    }
+    coord.workers[w].pid = pid;
+    pids.push_back(pid);
+  }
+
+  // ---- coordinator. Channels (and their io threads) only exist from here
+  // on; the process was single-threaded through every fork above.
+  ::signal(SIGPIPE, SIG_IGN);
+  if (config.use_tcp) {
+    // Accepted connections are identified by their Hello, not accept order.
+    std::vector<int> accepted;
+    for (uint32_t w = 0; w < config.num_workers; ++w) {
+      const int fd = AcceptWithTimeout(listen_fd, config.connect_timeout_ms,
+                                       &error);
+      if (fd < 0) break;
+      accepted.push_back(fd);
+    }
+    ::close(listen_fd);
+    if (accepted.size() != config.num_workers) {
+      coord.Fail("accept failed: " + error);
+      for (int fd : accepted) ::close(fd);
+      for (WorkerSlot& slot : coord.workers) {
+        if (slot.pid > 0) {
+          ::kill(slot.pid, SIGKILL);
+          ::waitpid(slot.pid, nullptr, 0);
+        }
+      }
+      return coord.result;
+    }
+    // Temporary slots until each Hello names its worker.
+    std::vector<std::unique_ptr<FrameChannel>> pending;
+    for (size_t i = 0; i < accepted.size(); ++i) {
+      FrameChannel::Options opts = config.channel;
+      opts.fault = ChannelFault(config.fault, static_cast<uint32_t>(i),
+                                /*coordinator_side=*/true);
+      opts.peer = "worker?";
+      pending.push_back(
+          std::make_unique<FrameChannel>(accepted[i], opts));
+    }
+    for (auto& channel : pending) {
+      FrameChannel::Message msg;
+      uint32_t id = 0;
+      if (channel->Receive(&msg, config.connect_timeout_ms) !=
+              FrameChannel::RecvStatus::kOk ||
+          msg.type != kMsgHello ||
+          !PayloadReader(msg.body).Get(&id) || id >= config.num_workers ||
+          coord.workers[id].channel != nullptr) {
+        coord.Fail("worker handshake failed");
+        break;
+      }
+      coord.workers[id].channel = std::move(channel);
+      coord.workers[id].live = true;
+    }
+  } else {
+    for (uint32_t w = 0; w < config.num_workers; ++w) {
+      ::close(child_fds[w]);
+      FrameChannel::Options opts = config.channel;
+      opts.fault = ChannelFault(config.fault, w, /*coordinator_side=*/true);
+      opts.peer = "worker" + std::to_string(w);
+      coord.workers[w].channel =
+          std::make_unique<FrameChannel>(parent_fds[w], opts);
+      FrameChannel::Message msg;
+      uint32_t id = 0;
+      if (coord.workers[w].channel->Receive(&msg, config.connect_timeout_ms) !=
+              FrameChannel::RecvStatus::kOk ||
+          msg.type != kMsgHello || !PayloadReader(msg.body).Get(&id) ||
+          id != w) {
+        coord.Fail("worker " + std::to_string(w) + " handshake failed");
+        break;
+      }
+      coord.workers[w].live = true;
+    }
+  }
+
+  if (config.on_workers_spawned) config.on_workers_spawned(pids);
+
+  if (coord.result.error.empty()) {
+    const std::vector<uint8_t> assign =
+        EncodeAssignment(coord.epoch, 0, coord.owner, nullptr);
+    for (WorkerSlot& slot : coord.workers) {
+      if (slot.live) slot.channel->Send(kMsgAssign, assign);
+    }
+    // The coordinator replica owns no blocks: per-item cache builds are
+    // skipped entirely, it only folds deltas at barriers.
+    sampler.SetLocalBlocks(std::vector<char>(coord.num_blocks, 0));
+
+    // ---- main loop: sweeps -> spans -> delta exchange.
+    while (coord.iteration < config.iterations &&
+           coord.result.error.empty()) {
+      const int64_t sweep_start = NowMs();
+      if (!coord.sweep_open) {
+        sampler.BeginSweep(plan);
+        coord.sweep_open = true;
+      }
+      bool rewound = false;
+      while (sampler.sweep_stage() != SweepStage::kDone) {
+        coord.ResetSpan();
+        if (!coord.WaitForSpan()) break;
+        if (coord.ran_count < coord.num_blocks) {
+          // A recovery rewound the sweep; re-enter from the restored state
+          // (possibly a different stage, possibly between sweeps).
+          rewound = true;
+          break;
+        }
+        sampler.EndStage();
+        if (!coord.CaptureBarrier()) break;
+      }
+      if (!coord.result.error.empty()) break;
+      if (rewound || !coord.sweep_open) continue;
+      if (sampler.sweep_stage() == SweepStage::kDone) {
+        sampler.EndSweep();
+        coord.sweep_open = false;
+        ++coord.iteration;
+        ++coord.result.iterations_completed;
+        coord.result.sweep_seconds.push_back(
+            static_cast<double>(NowMs() - sweep_start) / 1000.0);
+        if (!coord.CaptureBarrier()) break;
+      }
+    }
+  }
+
+  // ---- shutdown: handshake stats out of live workers, then reap everyone.
+  for (uint32_t w = 0; w < coord.workers.size(); ++w) {
+    WorkerSlot& slot = coord.workers[w];
+    if (!slot.live) continue;
+    slot.channel->Send(kMsgShutdown, {});
+  }
+  const int64_t deadline = NowMs() + config.shutdown_timeout_ms;
+  for (uint32_t w = 0; w < coord.workers.size(); ++w) {
+    WorkerSlot& slot = coord.workers[w];
+    if (!slot.live) continue;
+    FrameChannel::Message msg;
+    while (NowMs() < deadline) {
+      const FrameChannel::RecvStatus st = slot.channel->Receive(
+          &msg, static_cast<uint32_t>(std::max<int64_t>(1, deadline - NowMs())));
+      if (st != FrameChannel::RecvStatus::kOk) break;
+      if (msg.type == kMsgStats) {
+        FrameChannel::Stats stats;
+        if (DecodeStats(msg.body, &stats)) {
+          AccumulateStats(&coord.result.worker_stats, stats);
+        }
+        break;
+      }
+    }
+    slot.channel->DrainSends(
+        static_cast<uint32_t>(std::max<int64_t>(1, deadline - NowMs())));
+  }
+  SumChannelStats(coord);
+  for (WorkerSlot& slot : coord.workers) {
+    if (slot.channel != nullptr) slot.channel->Close();
+  }
+  for (uint32_t w = 0; w < coord.workers.size(); ++w) {
+    WorkerSlot& slot = coord.workers[w];
+    if (slot.pid <= 0 || slot.reaped) continue;
+    const int64_t reap_deadline = NowMs() + 2000;
+    bool reaped = false;
+    while (NowMs() < reap_deadline) {
+      if (::waitpid(slot.pid, nullptr, WNOHANG) == slot.pid) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (!reaped) {
+      ::kill(slot.pid, SIGKILL);
+      ::waitpid(slot.pid, nullptr, 0);
+    }
+    slot.reaped = true;
+  }
+
+  coord.result.block_owner = coord.owner;
+  coord.result.final_epoch = coord.epoch;
+  if (coord.result.error.empty()) {
+    coord.result.ok = true;
+    // The trailing mask would leak into later single-process use.
+    sampler.SetLocalBlocks({});
+  }
+  return coord.result;
+}
+
+}  // namespace warplda

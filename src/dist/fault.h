@@ -1,0 +1,113 @@
+#ifndef WARPLDA_DIST_FAULT_H_
+#define WARPLDA_DIST_FAULT_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace warplda {
+
+/// Deterministic fault injection for the distributed transport
+/// (dist/transport.h). Every failure path the robustness envelope claims to
+/// handle — dropped, delayed, duplicated, and corrupted frames, plus a
+/// worker killed at a chosen barrier — becomes a *testable code path*:
+/// faults are decided by hashing (seed, frame sequence number), never by
+/// wall-clock or real randomness, so a given seed injects the identical
+/// fault schedule on every run, under every sanitizer, at any machine speed.
+///
+/// Injection discipline (what keeps faulted runs convergent):
+///  * Faults apply to a frame's FIRST transmission only. Retransmissions go
+///    out clean, so a frame suffers at most one fault and the channel's
+///    bounded-retry envelope always makes progress — the test matrix can
+///    assert both "the fault happened" (stats) and "the sweep still
+///    finished bit-identical".
+///  * Corruption flips payload bytes, never header bytes. On a TCP stream a
+///    corrupted length field would desynchronize framing for the rest of
+///    the connection — in reality the kernel's checksum discards such a
+///    segment, so payload corruption (what the frame CRC exists to catch)
+///    is the fault that actually reaches userspace.
+///  * Control frames (acks, naks, heartbeats) are exempt; data frames carry
+///    the protocol, and faulting only them keeps every injected fault
+///    attributable to one observable message.
+struct FaultSpec {
+  uint64_t seed = 0;          ///< 0 disables injection entirely
+  double drop = 0.0;          ///< P(first transmission silently dropped)
+  double corrupt = 0.0;       ///< P(payload bytes flipped → CRC reject)
+  double duplicate = 0.0;     ///< P(frame sent twice back-to-back)
+  double delay = 0.0;         ///< P(transmission held back delay_ms)
+  uint32_t delay_ms = 20;     ///< hold-back for delayed frames
+  uint32_t max_faults = 0xFFFFFFFFu;  ///< total injection budget
+
+  bool enabled() const {
+    return seed != 0 &&
+           (drop > 0.0 || corrupt > 0.0 || duplicate > 0.0 || delay > 0.0);
+  }
+};
+
+enum class FaultAction : uint8_t {
+  kNone = 0,
+  kDrop,
+  kCorrupt,
+  kDuplicate,
+  kDelay,
+};
+
+/// Per-channel-direction injector. Decide(seq) is a pure function of
+/// (spec.seed, seq) except for the max_faults budget, which is consumed in
+/// seq order on the single io thread that owns the channel.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultSpec& spec) : spec_(spec) {}
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// The fault (if any) to inject on the first transmission of frame `seq`.
+  /// Thresholded slices of one uniform draw per frame: the same seed always
+  /// yields the same schedule, independent of timing.
+  FaultAction Decide(uint64_t seq) {
+    if (!spec_.enabled() || faults_used_ >= spec_.max_faults) {
+      return FaultAction::kNone;
+    }
+    // SplitMix64 over the (seed, seq) pair → uniform in [0, 1).
+    const uint64_t h =
+        SplitMix64(spec_.seed ^ SplitMix64(seq * 0x9E3779B97F4A7C15ULL + 1));
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    double edge = spec_.drop;
+    FaultAction action = FaultAction::kNone;
+    if (u < edge) {
+      action = FaultAction::kDrop;
+    } else if (u < (edge += spec_.corrupt)) {
+      action = FaultAction::kCorrupt;
+    } else if (u < (edge += spec_.duplicate)) {
+      action = FaultAction::kDuplicate;
+    } else if (u < (edge += spec_.delay)) {
+      action = FaultAction::kDelay;
+    }
+    if (action != FaultAction::kNone) ++faults_used_;
+    return action;
+  }
+
+  /// Deterministic payload mutation for kCorrupt: flips a few bytes chosen
+  /// by the same (seed, seq) hash. Guaranteed to change at least one bit of
+  /// a non-empty payload, so the frame CRC must catch it.
+  void CorruptPayload(uint64_t seq, uint8_t* payload, uint64_t size) const {
+    if (size == 0) return;
+    uint64_t h = SplitMix64(spec_.seed ^ SplitMix64(seq ^ 0xC0DEC0DEC0DEC0DEULL));
+    const uint32_t flips = 1 + static_cast<uint32_t>(h % 3);
+    for (uint32_t i = 0; i < flips; ++i) {
+      h = SplitMix64(h);
+      payload[h % size] ^= static_cast<uint8_t>(0x80 | (h >> 56));
+    }
+  }
+
+  uint32_t faults_used() const { return faults_used_; }
+
+ private:
+  FaultSpec spec_;
+  uint32_t faults_used_ = 0;
+};
+
+}  // namespace warplda
+
+#endif  // WARPLDA_DIST_FAULT_H_

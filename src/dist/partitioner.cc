@@ -112,6 +112,52 @@ double ImbalanceIndex(const std::vector<uint64_t>& weights,
   return static_cast<double>(max_load) / mean - 1.0;
 }
 
+std::vector<uint32_t> ReassignToSurvivors(
+    const std::vector<uint64_t>& weights,
+    const std::vector<uint32_t>& assignment,
+    const std::vector<uint32_t>& survivors) {
+  std::vector<uint32_t> out = assignment;
+  if (survivors.empty() || weights.empty()) return out;
+  // Survivor membership + current loads (the LPT heap seed: repartitioning
+  // onto already-loaded survivors must account for what they keep).
+  const uint32_t max_part =
+      1 + *std::max_element(survivors.begin(), survivors.end());
+  std::vector<char> alive(max_part, 0);
+  for (uint32_t s : survivors) alive[s] = 1;
+  using Load = std::pair<uint64_t, uint32_t>;  // (load, survivor index)
+  std::vector<uint64_t> loads(survivors.size(), 0);
+  std::vector<uint32_t> orphans;
+  for (size_t i = 0; i < weights.size() && i < assignment.size(); ++i) {
+    const uint32_t owner = assignment[i];
+    if (owner < max_part && alive[owner]) {
+      for (size_t s = 0; s < survivors.size(); ++s) {
+        if (survivors[s] == owner) {
+          loads[s] += weights[i];
+          break;
+        }
+      }
+    } else {
+      orphans.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  // Heaviest orphan first onto the least-loaded survivor; ties break by
+  // survivor order (the heap key's second component), so the result is
+  // deterministic and every process that runs this computes the same map.
+  std::stable_sort(orphans.begin(), orphans.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return weights[a] > weights[b];
+                   });
+  std::priority_queue<Load, std::vector<Load>, std::greater<Load>> heap;
+  for (uint32_t s = 0; s < survivors.size(); ++s) heap.emplace(loads[s], s);
+  for (uint32_t item : orphans) {
+    auto [load, s] = heap.top();
+    heap.pop();
+    out[item] = survivors[s];
+    heap.emplace(load + weights[item], s);
+  }
+  return out;
+}
+
 SweepPlan MakeSweepPlan(const Corpus& corpus, uint32_t num_doc_blocks,
                         uint32_t num_word_blocks, PartitionStrategy strategy,
                         uint64_t seed) {

@@ -57,6 +57,20 @@ SweepPlan MakeSweepPlan(const Corpus& corpus, uint32_t num_doc_blocks,
                         PartitionStrategy strategy = PartitionStrategy::kGreedy,
                         uint64_t seed = 0x5EEDULL);
 
+/// Elastic recovery: redistributes the items owned by dead partitions across
+/// the `survivors`, greedy-LPT style — each orphaned item (heaviest first)
+/// goes to the currently least-loaded survivor, with the survivors' existing
+/// loads seeding the heap so a repartition after a worker death stays
+/// balanced instead of dogpiling one survivor. Items already owned by a
+/// survivor keep their owner (their caches and in-flight state stay valid).
+/// `survivors` must be non-empty and name partitions only; items owned by a
+/// partition absent from `survivors` are the ones reassigned. Deterministic:
+/// ties break by survivor order.
+std::vector<uint32_t> ReassignToSurvivors(
+    const std::vector<uint64_t>& weights,
+    const std::vector<uint32_t>& assignment,
+    const std::vector<uint32_t>& survivors);
+
 }  // namespace warplda
 
 #endif  // WARPLDA_DIST_PARTITIONER_H_

@@ -59,7 +59,7 @@ struct FrameHeader {
   uint64_t payload_size;
   uint32_t payload_crc;
 } __attribute__((packed));
-static_assert(sizeof(FrameHeader) == 36);
+static_assert(sizeof(FrameHeader) == kFrameHeaderBytes);
 
 bool Fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
@@ -71,7 +71,7 @@ std::string Errno(const std::string& what) {
 }
 
 /// write() until done; short writes are legal for regular files under signal
-/// interruption, so loop.
+/// interruption — and routine on sockets — so loop.
 bool WriteAll(int fd, const uint8_t* data, size_t size) {
   size_t done = 0;
   while (done < size) {
@@ -83,6 +83,27 @@ bool WriteAll(int fd, const uint8_t* data, size_t size) {
     done += static_cast<size_t>(n);
   }
   return true;
+}
+
+/// read() until `size` bytes arrive, looping on short reads and retrying
+/// EINTR — a pipe or socket legally delivers one byte at a time, so a
+/// single-shot read of a multi-byte header is a stream-semantics bug.
+/// Returns the bytes actually read; < size means EOF (or, with *failed set,
+/// a hard read error).
+size_t ReadExact(int fd, uint8_t* data, size_t size, bool* failed) {
+  if (failed != nullptr) *failed = false;
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (failed != nullptr) *failed = true;
+      return done;
+    }
+    if (n == 0) return done;  // EOF
+    done += static_cast<size_t>(n);
+  }
+  return done;
 }
 
 /// fsync() the directory containing `path`, making a completed rename()
@@ -169,9 +190,11 @@ bool ReadFrame(const std::string& path, FrameKind expected_kind,
     return fail(path + ": truncated header (" + std::to_string(file_size) +
                 " of " + std::to_string(sizeof(header)) + " bytes)");
   }
-  ssize_t n = ::read(fd, &header, sizeof(header));
-  if (n != static_cast<ssize_t>(sizeof(header))) {
-    return fail(Errno("read error on " + path));
+  bool read_failed = false;
+  if (ReadExact(fd, reinterpret_cast<uint8_t*>(&header), sizeof(header),
+                &read_failed) != sizeof(header)) {
+    return fail(read_failed ? Errno("read error on " + path)
+                            : path + ": unexpected EOF in header");
   }
   if (header.magic != kMagic) {
     if (header.magic == kMagicV1) {
@@ -211,20 +234,117 @@ bool ReadFrame(const std::string& path, FrameKind expected_kind,
   }
 
   payload->resize(static_cast<size_t>(header.payload_size));
-  size_t done = 0;
-  while (done < payload->size()) {
-    n = ::read(fd, payload->data() + done, payload->size() - done);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      return fail(Errno("read error on " + path));
-    }
-    done += static_cast<size_t>(n);
+  if (ReadExact(fd, payload->data(), payload->size(), &read_failed) !=
+      payload->size()) {
+    return fail(read_failed ? Errno("read error on " + path)
+                            : path + ": unexpected EOF in payload");
   }
   ::close(fd);
 
   const uint32_t crc = Crc32(payload->data(), payload->size());
   if (crc != header.payload_crc) {
     return Fail(error, path + ": payload CRC mismatch (stored " +
+                           std::to_string(header.payload_crc) +
+                           ", computed " + std::to_string(crc) + ")");
+  }
+  return true;
+}
+
+bool ParseFrameHeader(const uint8_t* bytes, ParsedFrameHeader* header,
+                      std::string* error) {
+  FrameHeader raw;
+  std::memcpy(&raw, bytes, sizeof(raw));
+  if (raw.magic != kMagic) {
+    return Fail(error, raw.magic == kMagicV1
+                           ? "unversioned v1 frame (WARPCKP1) rejected"
+                           : "bad frame magic");
+  }
+  if (raw.endian != kEndianTag) {
+    return Fail(error, "frame endianness mismatch");
+  }
+  if (raw.version != kFrameVersion) {
+    return Fail(error, "unsupported frame version " +
+                           std::to_string(raw.version) + " (expected " +
+                           std::to_string(kFrameVersion) + ")");
+  }
+  if (raw.reserved != 0) {
+    return Fail(error, "nonzero reserved field in frame header");
+  }
+  header->kind = static_cast<FrameKind>(raw.kind);
+  header->payload_size = raw.payload_size;
+  header->payload_crc = raw.payload_crc;
+  return true;
+}
+
+std::vector<uint8_t> EncodeFrame(FrameKind kind,
+                                 const std::vector<uint8_t>& payload) {
+  FrameHeader header;
+  header.magic = kMagic;
+  header.version = kFrameVersion;
+  header.endian = kEndianTag;
+  header.kind = static_cast<uint32_t>(kind);
+  header.reserved = 0;
+  header.payload_size = payload.size();
+  header.payload_crc = Crc32(payload.data(), payload.size());
+  std::vector<uint8_t> wire(sizeof(header) + payload.size());
+  std::memcpy(wire.data(), &header, sizeof(header));
+  if (!payload.empty()) {
+    std::memcpy(wire.data() + sizeof(header), payload.data(), payload.size());
+  }
+  return wire;
+}
+
+bool WriteFrameFd(int fd, FrameKind kind, const std::vector<uint8_t>& payload,
+                  std::string* error) {
+  const std::vector<uint8_t> wire = EncodeFrame(kind, payload);
+  if (!WriteAll(fd, wire.data(), wire.size())) {
+    return Fail(error, Errno("frame write to fd failed"));
+  }
+  return true;
+}
+
+bool ReadFrameFd(int fd, FrameKind expected_kind, uint64_t max_payload,
+                 std::vector<uint8_t>* payload, std::string* error,
+                 bool* eof) {
+  if (eof != nullptr) *eof = false;
+  uint8_t raw[kFrameHeaderBytes];
+  bool read_failed = false;
+  const size_t got = ReadExact(fd, raw, sizeof(raw), &read_failed);
+  if (got != sizeof(raw)) {
+    if (got == 0 && !read_failed) {
+      if (eof != nullptr) *eof = true;
+      return Fail(error, "EOF before frame header");
+    }
+    return Fail(error, read_failed ? Errno("frame header read failed")
+                                   : "unexpected EOF inside frame header");
+  }
+  ParsedFrameHeader header;
+  if (!ParseFrameHeader(raw, &header, error)) return false;
+  if (header.kind != expected_kind) {
+    return Fail(error, "wrong frame kind " +
+                           std::to_string(static_cast<uint32_t>(header.kind)) +
+                           " (expected " +
+                           std::to_string(
+                               static_cast<uint32_t>(expected_kind)) +
+                           ")");
+  }
+  // No file size exists on a stream; the caller's bound stands in for it so
+  // a corrupt header can never provoke an unbounded allocation.
+  if (header.payload_size > max_payload) {
+    return Fail(error, "frame payload size " +
+                           std::to_string(header.payload_size) +
+                           " exceeds stream bound " +
+                           std::to_string(max_payload));
+  }
+  payload->resize(static_cast<size_t>(header.payload_size));
+  if (ReadExact(fd, payload->data(), payload->size(), &read_failed) !=
+      payload->size()) {
+    return Fail(error, read_failed ? Errno("frame payload read failed")
+                                   : "unexpected EOF inside frame payload");
+  }
+  const uint32_t crc = Crc32(payload->data(), payload->size());
+  if (crc != header.payload_crc) {
+    return Fail(error, "frame payload CRC mismatch (stored " +
                            std::to_string(header.payload_crc) +
                            ", computed " + std::to_string(crc) + ")");
   }

@@ -44,9 +44,13 @@ enum class FrameKind : uint32_t {
   kModelBase = 3,           ///< serve/model_store.h full model checkpoint
   kModelDelta = 4,          ///< serve/model_store.h changed-rows delta
   kStreamingState = 5,      ///< core/streaming.h online trainer state
+  kDistMessage = 6,         ///< dist/transport.h socket protocol message
 };
 
 inline constexpr uint32_t kFrameVersion = 2;
+
+/// Size of the frame header preceding every payload (the table above).
+inline constexpr size_t kFrameHeaderBytes = 36;
 
 /// Accumulates a payload in memory. Only trivially copyable scalar types may
 /// be written (they are memcpy'd in native byte order; the frame's endian tag
@@ -132,6 +136,51 @@ bool WriteFrame(const std::string& path, FrameKind kind,
 /// than the file's real on-disk size.
 bool ReadFrame(const std::string& path, FrameKind expected_kind,
                std::vector<uint8_t>* payload, std::string* error);
+
+/// The same frame, stream-shaped (sockets, pipes): no file size exists to
+/// validate the header against, so the payload size is instead bounded by
+/// the caller's `max_payload` before any allocation, and every read loops on
+/// short reads and retries EINTR — the regular-file single-read assumption
+/// is exactly what breaks on a socket.
+
+/// A frame header parsed out of `kFrameHeaderBytes` raw bytes. `Parse`
+/// validates magic, version, endianness, and the reserved field; kind and
+/// size policy are the caller's (streams accept any registered kind and
+/// bound the size themselves).
+struct ParsedFrameHeader {
+  FrameKind kind = FrameKind::kTrainingCheckpoint;
+  uint64_t payload_size = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// Parses + validates the fixed-size frame header from `bytes` (at least
+/// kFrameHeaderBytes). Returns false and fills `*error` on a malformed
+/// header — for a stream that means framing is lost and the connection must
+/// be torn down, so callers treat it as fatal, not retryable.
+bool ParseFrameHeader(const uint8_t* bytes, ParsedFrameHeader* header,
+                      std::string* error);
+
+/// Serializes a complete frame (header + payload) into one contiguous wire
+/// image — what WriteFrameFd sends and what fault-injection tests mutate.
+std::vector<uint8_t> EncodeFrame(FrameKind kind,
+                                 const std::vector<uint8_t>& payload);
+
+/// Blocking frame write to a socket/pipe fd: loops on short writes, retries
+/// EINTR. Returns false on any other error (EPIPE after a peer death being
+/// the expected one).
+bool WriteFrameFd(int fd, FrameKind kind, const std::vector<uint8_t>& payload,
+                  std::string* error);
+
+/// Blocking frame read from a socket/pipe fd: loops on short reads (a
+/// socket may deliver one byte at a time), retries EINTR, validates the
+/// header and the payload CRC. `max_payload` bounds the allocation a corrupt
+/// header could otherwise provoke — there is no file size to check against
+/// on a stream. Returns false on EOF, malformed header, oversized payload,
+/// or CRC mismatch; `*eof` (when non-null) distinguishes a clean EOF before
+/// any header byte from mid-frame errors.
+bool ReadFrameFd(int fd, FrameKind expected_kind, uint64_t max_payload,
+                 std::vector<uint8_t>* payload, std::string* error,
+                 bool* eof = nullptr);
 
 /// Creates `dir` (and parents) if missing. Returns false + `*error` when the
 /// path exists as a non-directory or creation fails.

@@ -1,14 +1,17 @@
 #include "core/checkpoint.h"
 
+#include <pthread.h>
 #include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -820,6 +823,143 @@ INSTANTIATE_TEST_SUITE_P(AllSamplers, CheckpointResumeTest,
                            }
                            return name;
                          });
+
+// ---------------------------------------------------------------------------
+// Stream semantics of the frame readers/writers. A pipe (like a socket) may
+// deliver one byte per read() and accept less than asked per write(); the
+// helpers must loop, and must retry EINTR instead of failing — these are the
+// seams the distributed transport (src/dist/) reads frames through.
+
+std::vector<uint8_t> TestPayload(size_t size) {
+  std::vector<uint8_t> payload(size);
+  for (size_t i = 0; i < size; ++i) payload[i] = static_cast<uint8_t>(i * 7);
+  return payload;
+}
+
+TEST(FrameStreamTest, ReadFrameFdSurvivesByteDribbledPipe) {
+  const std::vector<uint8_t> payload = TestPayload(513);
+  const std::vector<uint8_t> wire =
+      EncodeFrame(FrameKind::kDistMessage, payload);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  // Dribble the frame one byte at a time: every read() on the other end
+  // sees a 1-byte short read, for the header and the payload both.
+  std::thread writer([&] {
+    for (uint8_t byte : wire) {
+      ASSERT_EQ(::write(fds[1], &byte, 1), 1);
+    }
+    ::close(fds[1]);
+  });
+
+  std::vector<uint8_t> got;
+  std::string error;
+  bool eof = true;
+  EXPECT_TRUE(ReadFrameFd(fds[0], FrameKind::kDistMessage, 1 << 20, &got,
+                          &error, &eof))
+      << error;
+  EXPECT_FALSE(eof);
+  EXPECT_EQ(got, payload);
+
+  // The stream then ends cleanly: the next read reports EOF, not an error.
+  EXPECT_FALSE(ReadFrameFd(fds[0], FrameKind::kDistMessage, 1 << 20, &got,
+                           &error, &eof));
+  EXPECT_TRUE(eof);
+  writer.join();
+  ::close(fds[0]);
+}
+
+TEST(FrameStreamTest, WriteFrameFdSurvivesShortWritesIntoFullPipe) {
+  // Larger than any default pipe buffer, so write() must block and return
+  // short while the reader drains in tiny sips.
+  const std::vector<uint8_t> payload = TestPayload(1 << 20);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  std::vector<uint8_t> got;
+  std::string read_error;
+  bool read_ok = false;
+  std::thread reader([&] {
+    read_ok = ReadFrameFd(fds[0], FrameKind::kDistMessage, 2 << 20, &got,
+                          &read_error, nullptr);
+    ::close(fds[0]);
+  });
+
+  std::string error;
+  EXPECT_TRUE(WriteFrameFd(fds[1], FrameKind::kDistMessage, payload, &error))
+      << error;
+  ::close(fds[1]);
+  reader.join();
+  EXPECT_TRUE(read_ok) << read_error;
+  EXPECT_EQ(got, payload);
+}
+
+TEST(FrameStreamTest, TruncatedStreamReportsErrorNotEof) {
+  const std::vector<uint8_t> payload = TestPayload(300);
+  const std::vector<uint8_t> wire =
+      EncodeFrame(FrameKind::kDistMessage, payload);
+  // Cut mid-header and mid-payload: both are hard errors (the peer died
+  // mid-frame), never a clean EOF.
+  for (const size_t cut : {kFrameHeaderBytes / 2, wire.size() - 10}) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ASSERT_EQ(::write(fds[1], wire.data(), cut), static_cast<ssize_t>(cut));
+    ::close(fds[1]);
+    std::vector<uint8_t> got;
+    std::string error;
+    bool eof = true;
+    EXPECT_FALSE(ReadFrameFd(fds[0], FrameKind::kDistMessage, 1 << 20, &got,
+                             &error, &eof));
+    EXPECT_FALSE(eof) << "a mid-frame cut must not look like a clean EOF";
+    EXPECT_FALSE(error.empty());
+    ::close(fds[0]);
+  }
+}
+
+// EINTR: signals without SA_RESTART make blocked read()/write() return
+// -1/EINTR; the helpers must retry, not fail. A sibling thread peppers the
+// blocked reader with signals while dribbling bytes between them.
+void FrameStreamSigusr1(int) {}
+
+TEST(FrameStreamTest, ReadFrameFdRetriesEintr) {
+  struct sigaction action {};
+  struct sigaction old_action {};
+  action.sa_handler = FrameStreamSigusr1;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &old_action), 0);
+
+  const std::vector<uint8_t> payload = TestPayload(4096);
+  const std::vector<uint8_t> wire =
+      EncodeFrame(FrameKind::kDistMessage, payload);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  const pthread_t reader_thread = pthread_self();
+  std::thread writer([&] {
+    size_t sent = 0;
+    while (sent < wire.size()) {
+      // Interrupt the (likely blocked) reader, then feed it a sliver.
+      pthread_kill(reader_thread, SIGUSR1);
+      const size_t chunk = std::min<size_t>(64, wire.size() - sent);
+      ASSERT_EQ(::write(fds[1], wire.data() + sent, chunk),
+                static_cast<ssize_t>(chunk));
+      sent += chunk;
+      pthread_kill(reader_thread, SIGUSR1);
+    }
+    ::close(fds[1]);
+  });
+
+  std::vector<uint8_t> got;
+  std::string error;
+  EXPECT_TRUE(ReadFrameFd(fds[0], FrameKind::kDistMessage, 1 << 20, &got,
+                          &error, nullptr))
+      << error;
+  EXPECT_EQ(got, payload);
+  writer.join();
+  ::close(fds[0]);
+  ASSERT_EQ(sigaction(SIGUSR1, &old_action, nullptr), 0);
+}
 
 }  // namespace
 }  // namespace warplda

@@ -1,0 +1,5 @@
+// Negative fixture: dist/ using its sanctioned dependencies — the frame
+// codec it reuses for delta transport and the instrumentation seam.
+#include "util/checkpoint_io.h"
+
+#include "obs/metrics.h"

@@ -1,0 +1,3 @@
+// Positive fixture: dist/ reaching up into the serving tier. The dist
+// executor may include util/checkpoint_io and the obs/ seams, never serve/.
+#include "serve/model_store.h"

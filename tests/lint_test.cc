@@ -112,10 +112,14 @@ TEST_F(PositiveFixtures, ScalarRefFiresOnIntrinsicsInScalarKernels) {
 
 TEST_F(PositiveFixtures, LayeringFiresOnUpwardIncludesAndCycles) {
   auto hits = FindingsFor(run_->output, "layering");
-  ASSERT_EQ(hits.size(), 3u) << run_->output;
+  ASSERT_EQ(hits.size(), 4u) << run_->output;
   EXPECT_NE(run_->output.find("layer 'util' must not include 'core/"),
             std::string::npos);
   EXPECT_NE(run_->output.find("layer 'core' must not include 'serve/"),
+            std::string::npos);
+  // dist/ sits below the serving tier: it may reuse util/checkpoint_io and
+  // the obs/ seams, but a dist -> serve edge is always a violation.
+  EXPECT_NE(run_->output.find("layer 'dist' must not include 'serve/"),
             std::string::npos);
   EXPECT_NE(run_->output.find(
                 "include cycle: core/cycle_a.h -> core/cycle_b.h -> "
@@ -178,7 +182,7 @@ TEST(JsonOutput, PositiveSummaryIsMachineReadable) {
             std::string::npos);
   EXPECT_NE(run.output.find("\"warplint-scalar-ref\": 2"),
             std::string::npos);
-  EXPECT_NE(run.output.find("\"total\": 27"), std::string::npos)
+  EXPECT_NE(run.output.find("\"total\": 28"), std::string::npos)
       << run.output;
 }
 
