@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/sweep_plan.h"
+#include "util/contracts.h"
 
 namespace warplda {
 
@@ -101,14 +102,16 @@ class ParallelExecutor {
   /// Claims and executes tasks of `job` until the cursor is exhausted.
   void RunTasks(Job& job, uint32_t worker);
 
-  uint32_t num_threads_;
-  std::vector<std::thread> workers_;
+  WARP_IMMUTABLE_AFTER(ParallelExecutor) uint32_t num_threads_;
+  WARP_IMMUTABLE_AFTER(ParallelExecutor) std::vector<std::thread> workers_;
 
   std::mutex mutex_;
   std::condition_variable cv_work_;  // workers wait here for a job
   std::condition_variable cv_done_;  // Run() waits here for completion
-  std::shared_ptr<Job> job_;         // guarded by mutex_
-  bool shutdown_ = false;            // guarded by mutex_
+  /// Published by Run() under mutex_ before workers wake, cleared after the
+  /// cv_done_ handshake — never touched from inside a task body.
+  WARP_BARRIER_ONLY std::shared_ptr<Job> job_;   // guarded by mutex_
+  WARP_BARRIER_ONLY bool shutdown_ = false;      // guarded by mutex_
 };
 
 }  // namespace warplda

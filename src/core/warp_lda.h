@@ -12,6 +12,7 @@
 #include "core/sweep_plan.h"
 #include "eval/topic_model.h"
 #include "util/alias_table.h"
+#include "util/contracts.h"
 #include "util/hash_count.h"
 
 namespace warplda {
@@ -193,7 +194,7 @@ class WarpLdaSampler : public Sampler, public GridSampler {
     TopicId to;
   };
 
-  struct ThreadScratch {
+  struct WARP_WORKER_LOCAL ThreadScratch {
     HashCount counts;
     AliasTable alias;
     /// This worker's partition of the c_k updates; folded into ck_live_ at
@@ -245,28 +246,37 @@ class WarpLdaSampler : public Sampler, public GridSampler {
     std::vector<uint64_t> positions;  // CSC entry positions
   };
 
-  /// State of an open grid sweep (BeginSweep .. EndSweep).
+  /// State of an open grid sweep (BeginSweep .. EndSweep). Workers read it
+  /// freely inside a stage; every mutation happens on the driver thread at
+  /// sweep/stage boundaries — the WARP_* contracts below make warplint
+  /// enforce exactly that split.
   struct GridState {
-    SweepPlan plan;
-    SweepStage stage = SweepStage::kDone;
-    bool open = false;
+    WARP_IMMUTABLE_AFTER(BuildGridIndices) SweepPlan plan;
+    WARP_BARRIER_ONLY SweepStage stage = SweepStage::kDone;
+    WARP_BARRIER_ONLY bool open = false;
     /// True when the plan-derived indices below match `plan`; BeginSweep
     /// skips rebuilding them for repeated sweeps of the same plan.
-    bool indices_built = false;
+    WARP_IMMUTABLE_AFTER(BuildGridIndices) bool indices_built = false;
     /// Fusion legality, per plan: cols_ok — every column's tokens lie in a
     /// single doc block (word-accept may fuse with word-propose); rows_ok —
     /// every row's tokens lie in a single word block (doc-accept may fuse
     /// with doc-propose).
-    bool cols_ok = false;
-    bool rows_ok = false;
+    WARP_IMMUTABLE_AFTER(BuildGridIndices) bool cols_ok = false;
+    WARP_IMMUTABLE_AFTER(BuildGridIndices) bool rows_ok = false;
     /// True once BuildColArena filled the column tables for this sweep (the
     /// word-accept barrier then patches them in place instead of rebuilding).
-    bool col_filled = false;
-    uint64_t base_word = 0;  // word-phase RNG stream base (see StreamBase)
-    uint64_t base_doc = 0;   // doc-phase RNG stream base
-    std::vector<BlockIndex> word_ix;  // (doc×word) block -> column segments
-    std::vector<BlockIndex> doc_ix;   // (doc×word) block -> row segments
-    std::vector<char> block_ran;  // per (doc, word) block, current span
+    WARP_BARRIER_ONLY bool col_filled = false;
+    // word/doc-phase RNG stream bases (see StreamBase).
+    WARP_IMMUTABLE_AFTER(BeginSweep, RestoreSweepState) uint64_t base_word = 0;
+    WARP_IMMUTABLE_AFTER(BeginSweep, RestoreSweepState) uint64_t base_doc = 0;
+    // (doc×word) block -> column / row segments.
+    WARP_IMMUTABLE_AFTER(BuildGridIndices) std::vector<BlockIndex> word_ix;
+    WARP_IMMUTABLE_AFTER(BuildGridIndices) std::vector<BlockIndex> doc_ix;
+    /// Per (doc, word) block: ran in the current span. Deliberately
+    /// unannotated — RunBlock marks its own block done through a reference,
+    /// a per-block-disjoint write the line-level contract model cannot
+    /// distinguish from a race.
+    std::vector<char> block_ran;
   };
 
   /// RNG stream tags: each (epoch, tag, token) triple names one stream.
@@ -434,20 +444,31 @@ class WarpLdaSampler : public Sampler, public GridSampler {
   /// diff base for incremental publishing.
   std::shared_ptr<const TopicModel> last_export_;
 
-  SparseMatrix<TopicId> matrix_;    // z, CSC order
-  std::vector<TopicId> proposals_;  // M per token, CSC order
-  AliasTable prior_alias_;          // over α_k (asymmetric prior only)
-  std::vector<int64_t> ck_fixed_;   // snapshot used in acceptance
-  std::vector<int64_t> ck_live_;    // maintained across phases
-  std::vector<ThreadScratch> scratch_;
-  CountArena col_counts_;                // per-column c_w tables (grid path)
-  CountArena row_counts_;                // per-row c_d tables (grid path)
-  std::vector<AliasTable> col_alias_;    // per-column word-proposal tables
-  uint64_t phase_epoch_ = 0;  // one per phase; RNG stream epoch
+  /// z in CSC order. Shared-read during grid stages; mutations are staged in
+  /// ThreadScratch::staged_moves and applied under the EndStage barrier.
+  WARP_BARRIER_ONLY SparseMatrix<TopicId> matrix_;
+  /// M proposals per token, CSC order. Deliberately unannotated: propose
+  /// stages legitimately write their own tokens' slots concurrently (the
+  /// slot ranges are disjoint by construction), which a per-member contract
+  /// would mislabel as a race.
+  std::vector<TopicId> proposals_;
+  WARP_BARRIER_ONLY AliasTable prior_alias_;  // over α_k (asymmetric prior)
+  /// c_k snapshot used in acceptance — frozen while any phase/span is open.
+  WARP_IMMUTABLE_AFTER(Init, SetAssignments, BeginPhase, EnterSpan,
+                       RestoreSweepState)
+  std::vector<int64_t> ck_fixed_;
+  /// Live c_k, maintained across phases by folding per-worker ck_delta
+  /// partitions at barriers.
+  WARP_BARRIER_ONLY std::vector<int64_t> ck_live_;
+  WARP_WORKER_LOCAL std::vector<ThreadScratch> scratch_;
+  WARP_BARRIER_ONLY CountArena col_counts_;  // per-column c_w (grid path)
+  WARP_BARRIER_ONLY CountArena row_counts_;  // per-row c_d (grid path)
+  WARP_BARRIER_ONLY std::vector<AliasTable> col_alias_;  // word proposals
+  WARP_BARRIER_ONLY uint64_t phase_epoch_ = 0;  // RNG stream epoch
   GridState grid_;
   /// SetLocalBlocks ownership flags (num_blocks, row-major); empty = no
   /// filter, build every per-item cache.
-  std::vector<char> local_blocks_;
+  WARP_BARRIER_ONLY std::vector<char> local_blocks_;
 };
 
 }  // namespace warplda

@@ -10,6 +10,7 @@
 #include "corpus/corpus.h"
 #include "dist/fault.h"
 #include "dist/transport.h"
+#include "util/contracts.h"
 
 namespace warplda {
 
@@ -52,7 +53,10 @@ namespace warplda {
 ///    the sweep resumes at the exact barrier state and still finishes
 ///    bit-identical to the uninterrupted run. Frames from before the epoch
 ///    bump are discarded by their epoch tag; duplicate deltas are idempotent.
-struct DistConfig {
+/// Class-level contract: a DistConfig is assembled by the caller and frozen
+/// once RunDistributedSweeps starts — coordinator and worker loops share it
+/// across processes/threads read-only.
+struct WARP_IMMUTABLE_AFTER(RunDistributedSweeps) DistConfig {
   static constexpr uint32_t kNoWorker = 0xFFFFFFFFu;
 
   uint32_t num_workers = 2;

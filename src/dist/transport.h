@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dist/fault.h"
+#include "util/contracts.h"
 
 namespace warplda {
 
@@ -148,9 +149,10 @@ class FrameChannel {
   void FlushWritesLocked();
   bool WriteWireLocked(const std::vector<uint8_t>& wire);
 
-  Options options_;
-  int fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
+  /// Fixed at construction; Close() only tears down the descriptors.
+  WARP_IMMUTABLE_AFTER(FrameChannel) Options options_;
+  WARP_IMMUTABLE_AFTER(FrameChannel, Close) int fd_ = -1;
+  WARP_IMMUTABLE_AFTER(FrameChannel, Close) int wake_pipe_[2] = {-1, -1};
 
   mutable std::mutex mutex_;
   std::condition_variable rx_cv_;
@@ -177,7 +179,7 @@ class FrameChannel {
 
   FaultInjector fault_;
   Stats stats_;
-  std::thread io_thread_;
+  WARP_IMMUTABLE_AFTER(FrameChannel) std::thread io_thread_;
 };
 
 /// Socket helpers for the executor (all loopback/local, all with the

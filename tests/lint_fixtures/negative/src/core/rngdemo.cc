@@ -1,0 +1,13 @@
+// Negative fixture: legal Rng use inside concurrent grid bodies — stream-
+// derived construction, lazy default construction, and RngFromState.
+#include "core/warp_lda.h"
+
+void WarpLdaSampler::AcceptChain(uint32_t n, uint32_t worker) {
+  Rng rng(DeriveStreamState(stream_base_, worker));
+  Rng lazy;  // default-constructed, seeded later from a stream
+  uint64_t state = TokenStreamState(n);
+  Rng from_state = simd::RngFromState(state);
+  (void)rng;
+  (void)lazy;
+  (void)from_state;
+}

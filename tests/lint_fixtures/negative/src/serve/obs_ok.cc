@@ -1,0 +1,19 @@
+// Negative fixture: every registry handle is driven — a bound-then-observed
+// histogram and a chained immediate increment.
+#include "obs/metrics.h"
+
+class PublishStats {
+ public:
+  PublishStats() {
+    publish_ok_us_ =
+        obs::Registry::Global().GetHistogram("serve_publish_ok_us");
+  }
+
+  void Record(double v) {
+    publish_ok_us_->Observe(v);
+    obs::Registry::Global().GetCounter("serve_publish_total")->Inc();
+  }
+
+ private:
+  obs::Histogram* publish_ok_us_ = nullptr;
+};

@@ -1,0 +1,10 @@
+// Positive fixture: Rng misuse inside concurrent grid bodies — a seeded
+// construction that does not flow from the per-token stream derivation, and
+// an explicit mid-body re-seed.
+#include "core/warp_lda.h"
+
+void WarpLdaSampler::AcceptChain(uint32_t n, uint32_t worker) {
+  Rng rng(seed_ + worker);  // same sequence every block: correlated draws
+  rng.Seed(n);              // re-seeding mid-body
+  (void)rng;
+}

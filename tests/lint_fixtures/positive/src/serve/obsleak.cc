@@ -1,0 +1,23 @@
+// Positive fixture: obs-registry orphans in both directions — a handle
+// fetched from the registry but never driven, and a handle driven but never
+// bound to the registry.
+#include "obs/metrics.h"
+
+class PublishStats {
+ public:
+  PublishStats() {
+    publish_dead_us_ =
+        obs::Registry::Global().GetHistogram("serve_publish_dead_us");
+  }
+
+ private:
+  obs::Histogram* publish_dead_us_ = nullptr;  // fetched, never Observe'd
+};
+
+class DeltaStats {
+ public:
+  void Record(double v) { delta_unbound_us_->Observe(v); }
+
+ private:
+  obs::Histogram* delta_unbound_us_ = nullptr;  // Observe'd, never bound
+};

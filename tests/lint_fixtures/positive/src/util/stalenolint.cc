@@ -1,0 +1,8 @@
+// Positive fixture: a suppression left behind after the offending code was
+// fixed — the line no longer triggers the rule it names.
+#include <cstdint>
+
+uint64_t FixedSeed() {
+  uint64_t seed = 42;  // NOLINT(warplint-determinism): seed fixed for repro
+  return seed;
+}

@@ -1,0 +1,14 @@
+// Schema fixture (base): the committed shape the lock is generated from.
+#include <cstdint>
+
+namespace warplda {
+
+inline constexpr uint32_t kStateVersion = 1;
+
+struct SweepState {
+  uint64_t iteration = 0;
+  uint64_t base_word = 0;
+  uint64_t base_doc = 0;
+};
+
+}  // namespace warplda

@@ -1,0 +1,21 @@
+// Schema fixture: SweepState reaches the checkpoint writer, so its field
+// sequence is wire format and must match the schema lock.
+#include "core/state.h"
+
+namespace warplda {
+
+void EncodeSweepState(const SweepState& s, PayloadWriter& out) {
+  out.Put32(kStateVersion);
+  out.Put64(s.iteration);
+  out.Put64(s.base_doc);
+  out.Put64(s.base_word);
+}
+
+bool DecodeSweepState(PayloadReader& in, SweepState* s) {
+  s->iteration = in.Get64();
+  s->base_doc = in.Get64();
+  s->base_word = in.Get64();
+  return true;
+}
+
+}  // namespace warplda

@@ -1,0 +1,15 @@
+// Schema fixture (bump): the drift reorder WITH the version constant bumped
+// — the sanctioned evolution path; regenerating the lock is now legal.
+#include <cstdint>
+
+namespace warplda {
+
+inline constexpr uint32_t kStateVersion = 2;
+
+struct SweepState {
+  uint64_t iteration = 0;
+  uint64_t base_doc = 0;
+  uint64_t base_word = 0;
+};
+
+}  // namespace warplda

@@ -1,0 +1,15 @@
+// Schema fixture (drift): base_word and base_doc reordered with NO version
+// bump — decoding against the old layout reads garbage.
+#include <cstdint>
+
+namespace warplda {
+
+inline constexpr uint32_t kStateVersion = 1;
+
+struct SweepState {
+  uint64_t iteration = 0;
+  uint64_t base_doc = 0;
+  uint64_t base_word = 0;
+};
+
+}  // namespace warplda

@@ -20,9 +20,10 @@ struct LintRun {
   std::string output;
 };
 
-LintRun RunLint(const std::string& root, bool json = false) {
-  std::string cmd = std::string("'") + WARPLINT_BIN + "' --root '" + root +
-                    "'" + (json ? " --json" : "") + " 2>&1";
+// Runs warplint with a raw argument string (shell-quoted by the caller);
+// stderr is folded into the captured output.
+LintRun RunLintCmd(const std::string& args) {
+  std::string cmd = std::string("'") + WARPLINT_BIN + "' " + args + " 2>&1";
   LintRun run;
   std::FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) return run;
@@ -36,11 +37,20 @@ LintRun RunLint(const std::string& root, bool json = false) {
   return run;
 }
 
+LintRun RunLint(const std::string& root, bool json = false) {
+  return RunLintCmd("--root '" + root + "'" + (json ? " --json" : ""));
+}
+
 std::string Positive() {
   return std::string(WARPLINT_FIXTURES) + "/positive";
 }
 std::string Negative() {
   return std::string(WARPLINT_FIXTURES) + "/negative";
+}
+// The schema-lock trees: base (the committed shape), drift (fields
+// reordered, version untouched), bump (same reorder plus a version bump).
+std::string SchemaTree(const char* which) {
+  return std::string(WARPLINT_FIXTURES) + "/schema/" + which;
 }
 
 // Findings for `rule` as "file:line" strings, parsed from text output lines
@@ -158,16 +168,72 @@ TEST_F(PositiveFixtures, NolintPolicyIsItselfLinted) {
 
 TEST_F(PositiveFixtures, JustifiedSuppressionsAreCountedNotReported) {
   // The two justified `delete` NOLINTs in badnolint.cc suppress cleanly.
+  // The stale NOLINT in stalenolint.cc suppresses nothing and is NOT
+  // counted — it is reported by warplint-stale-nolint instead.
   EXPECT_NE(run_->output.find("2 suppressed"), std::string::npos)
       << run_->output;
 }
 
+TEST_F(PositiveFixtures, ContractFiresOnAllFourViolationShapes) {
+  auto hits = FindingsFor(run_->output, "contract");
+  ASSERT_EQ(hits.size(), 4u) << run_->output;
+  EXPECT_EQ(hits[0], "src/core/contracts_demo.cc:11");  // BARRIER_ONLY write
+                                                        // in RunBlock
+  EXPECT_EQ(hits[1], "src/core/contracts_demo.cc:12");  // IMMUTABLE_AFTER
+                                                        // write outside Init
+  EXPECT_EQ(hits[2], "src/core/contracts_demo.cc:13");  // WORKER_LOCAL not
+                                                        // worker-indexed
+  EXPECT_EQ(hits[3], "src/core/contracts_demo.h:21");   // unannotated holder
+                                                        // of DemoScratch
+  EXPECT_NE(run_->output.find("may only be mutated at stage barriers"),
+            std::string::npos);
+  EXPECT_NE(run_->output.find("only {Init} (and constructors)"),
+            std::string::npos);
+  EXPECT_NE(run_->output.find("not indexed by the worker argument"),
+            std::string::npos);
+  EXPECT_NE(run_->output.find("holds worker-local type 'DemoScratch'"),
+            std::string::npos);
+}
+
+TEST_F(PositiveFixtures, RngStreamFiresOnSeededConstructionAndReseed) {
+  auto hits = FindingsFor(run_->output, "rng-stream");
+  ASSERT_EQ(hits.size(), 2u) << run_->output;
+  EXPECT_EQ(hits[0], "src/core/rngdemo.cc:7");  // Rng rng(seed_ + worker)
+  EXPECT_EQ(hits[1], "src/core/rngdemo.cc:8");  // rng.Seed(n) mid-body
+  EXPECT_NE(run_->output.find("without a per-token stream derivation"),
+            std::string::npos);
+  EXPECT_NE(run_->output.find("re-seeding an Rng inside concurrent body"),
+            std::string::npos);
+}
+
+TEST_F(PositiveFixtures, ObsOrphanFiresInBothDirections) {
+  auto hits = FindingsFor(run_->output, "obs-orphan");
+  ASSERT_EQ(hits.size(), 2u) << run_->output;
+  EXPECT_EQ(hits[0], "src/serve/obsleak.cc:10");  // fetched, never driven
+  EXPECT_EQ(hits[1], "src/serve/obsleak.cc:21");  // driven, never bound
+  EXPECT_NE(run_->output.find("never Inc/Add/Set/Observe'd"),
+            std::string::npos);
+  EXPECT_NE(run_->output.find("mutated but never bound to the registry"),
+            std::string::npos);
+}
+
+TEST_F(PositiveFixtures, StaleNolintFiresOnFixedLine) {
+  auto hits = FindingsFor(run_->output, "stale-nolint");
+  ASSERT_EQ(hits.size(), 1u) << run_->output;
+  EXPECT_EQ(hits[0], "src/util/stalenolint.cc:6");
+  EXPECT_NE(run_->output.find("suppresses nothing"), std::string::npos);
+}
+
 TEST(NegativeFixtures, EveryRuleStaysQuiet) {
+  // Includes the contract mirrors (worker-indexed scratch, barrier-side
+  // writes, listed-writer mutation, annotated holders), stream-derived Rng
+  // construction, and driven obs handles.
   LintRun run = RunLint(Negative());
   EXPECT_EQ(run.exit_code, 0) << run.output;
   EXPECT_NE(run.output.find("0 violation(s)"), std::string::npos)
       << run.output;
-  // leak_ok.cc's justified singleton NOLINT is recorded, not reported.
+  // leak_ok.cc's justified singleton NOLINT is recorded, not reported —
+  // and because its rule actually fires there, stale-nolint stays quiet.
   EXPECT_NE(run.output.find("1 suppressed"), std::string::npos)
       << run.output;
 }
@@ -182,7 +248,14 @@ TEST(JsonOutput, PositiveSummaryIsMachineReadable) {
             std::string::npos);
   EXPECT_NE(run.output.find("\"warplint-scalar-ref\": 2"),
             std::string::npos);
-  EXPECT_NE(run.output.find("\"total\": 28"), std::string::npos)
+  EXPECT_NE(run.output.find("\"warplint-contract\": 4"), std::string::npos);
+  EXPECT_NE(run.output.find("\"warplint-rng-stream\": 2"),
+            std::string::npos);
+  EXPECT_NE(run.output.find("\"warplint-obs-orphan\": 2"),
+            std::string::npos);
+  EXPECT_NE(run.output.find("\"warplint-stale-nolint\": 1"),
+            std::string::npos);
+  EXPECT_NE(run.output.find("\"total\": 37"), std::string::npos)
       << run.output;
 }
 
@@ -194,6 +267,90 @@ TEST(JsonOutput, NegativeSummaryReportsZeroViolations) {
   EXPECT_NE(run.output.find("\"total\": 0"), std::string::npos);
   EXPECT_NE(run.output.find("src/obs/leak_ok.cc"), std::string::npos)
       << "suppressed finding should appear in the suppressed list";
+}
+
+// The headline schema-lock invariant, end to end: a lock generated from the
+// base tree round-trips cleanly; reordering wire-struct fields without a
+// version bump fails the check AND blocks lock regeneration; bumping the
+// version turns the failure into a regenerate prompt and unlocks the write.
+TEST(SchemaLock, RoundTripDriftRefusalAndBump) {
+  const std::string lock = ::testing::TempDir() + "warplint_state.lock";
+  std::remove(lock.c_str());
+  const std::string at = "' --schema-lock '" + lock + "'";
+
+  LintRun wrote = RunLintCmd("--root '" + SchemaTree("base") + at +
+                             " --write-schema-lock");
+  EXPECT_EQ(wrote.exit_code, 0) << wrote.output;
+  EXPECT_NE(wrote.output.find("1 pinned struct(s)"), std::string::npos)
+      << wrote.output;
+
+  LintRun clean = RunLintCmd("--root '" + SchemaTree("base") + at);
+  EXPECT_EQ(clean.exit_code, 0) << clean.output;
+
+  LintRun drift = RunLintCmd("--root '" + SchemaTree("drift") + at);
+  EXPECT_EQ(drift.exit_code, 1) << drift.output;
+  EXPECT_NE(drift.output.find("'SweepState' drifted"), std::string::npos);
+  EXPECT_NE(drift.output.find("without a version bump"), std::string::npos)
+      << drift.output;
+
+  LintRun refused = RunLintCmd("--root '" + SchemaTree("drift") + at +
+                               " --write-schema-lock");
+  EXPECT_EQ(refused.exit_code, 2) << refused.output;
+  EXPECT_NE(refused.output.find("refusing to rewrite schema lock"),
+            std::string::npos)
+      << refused.output;
+
+  LintRun bumped = RunLintCmd("--root '" + SchemaTree("bump") + at);
+  EXPECT_EQ(bumped.exit_code, 1) << bumped.output;
+  EXPECT_NE(bumped.output.find("a version constant was bumped — regenerate"),
+            std::string::npos)
+      << bumped.output;
+
+  LintRun rewrote = RunLintCmd("--root '" + SchemaTree("bump") + at +
+                               " --write-schema-lock");
+  EXPECT_EQ(rewrote.exit_code, 0) << rewrote.output;
+
+  LintRun fresh = RunLintCmd("--root '" + SchemaTree("bump") + at);
+  EXPECT_EQ(fresh.exit_code, 0) << fresh.output;
+  std::remove(lock.c_str());
+}
+
+TEST(BaselineMode, KnownFindingsPassOnlyNewOnesFail) {
+  const std::string baseline =
+      ::testing::TempDir() + "warplint_baseline.json";
+  LintRun capture = RunLintCmd("--root '" + Positive() + "' --json > '" +
+                               baseline + "'");
+  EXPECT_EQ(capture.exit_code, 1);
+
+  // Every finding is in the baseline: the gate passes.
+  LintRun rerun = RunLintCmd("--root '" + Positive() + "' --baseline '" +
+                             baseline + "'");
+  EXPECT_EQ(rerun.exit_code, 0) << rerun.output;
+  EXPECT_NE(rerun.output.find("0 new violation(s), 37 baselined"),
+            std::string::npos)
+      << rerun.output;
+
+  // The JSON report carries the baselined count for the CI artifact.
+  LintRun json = RunLintCmd("--root '" + Positive() + "' --json --baseline '" +
+                            baseline + "'");
+  EXPECT_EQ(json.exit_code, 0) << json.output;
+  EXPECT_NE(json.output.find("\"baselined\": 37"), std::string::npos)
+      << json.output;
+  EXPECT_NE(json.output.find("\"total\": 0"), std::string::npos)
+      << json.output;
+
+  // An empty (but valid) baseline covers nothing: every finding is new and
+  // the gate fails again. An unreadable baseline path is a usage error (2).
+  LintRun none = RunLintCmd("--root '" + Negative() + "' --json > '" +
+                            baseline + "'");
+  EXPECT_EQ(none.exit_code, 0);
+  LintRun fresh = RunLintCmd("--root '" + Positive() + "' --baseline '" +
+                             baseline + "'");
+  EXPECT_EQ(fresh.exit_code, 1) << fresh.output;
+  LintRun unreadable = RunLintCmd("--root '" + Positive() + "' --baseline '" +
+                                  baseline + ".missing'");
+  EXPECT_EQ(unreadable.exit_code, 2) << unreadable.output;
+  std::remove(baseline.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,615 @@
+// The original token/line rule families (PR 7/8): determinism,
+// unordered-iter, hotpath-sync, scalar-ref, layering, naked-new,
+// memcpy-nontrivial, alignas-pad, nolint hygiene. Moved verbatim from the
+// single-file warplint.cc when it grew rule families; behavior is pinned by
+// tests/lint_test.cc.
+
+#include <functional>
+
+#include "lint_rules.h"
+
+namespace warplint {
+
+// ------------------------------------------------------------ rule: R1 -----
+
+namespace {
+struct DeterminismPattern {
+  const char* token;     // identifier to search for (word-delimited)
+  bool call_only;        // require '(' as next non-space char
+  const char* message;
+};
+}  // namespace
+
+void CheckDeterminism(const SourceFile& f, std::vector<Finding>* out) {
+  if (!StartsWith(f.rel, "src/") && !StartsWith(f.rel, "bench/")) return;
+  static const DeterminismPattern kPatterns[] = {
+      {"rand", true,
+       "rand() is seeded process-globally; use util/rng.h per-token streams"},
+      {"srand", true,
+       "srand() reseeds global state; use util/rng.h per-token streams"},
+      {"rand_r", false,
+       "rand_r() is not a per-token stream; use util/rng.h"},
+      {"drand48", false,
+       "drand48() is global-state; use util/rng.h per-token streams"},
+      {"random_device", false,
+       "std::random_device is non-reproducible; seeds must be explicit so "
+       "sweeps stay bit-identical"},
+      {"gettimeofday", false,
+       "wall-clock values must not feed sampling; use explicit seeds"},
+      {"system_clock", false,
+       "wall-clock time must not feed sampling or seeds; use explicit seeds "
+       "(steady_clock is fine for durations)"},
+  };
+  for (size_t ln = 0; ln < f.code.size(); ++ln) {
+    const std::string& s = f.code[ln];
+    for (const auto& p : kPatterns) {
+      size_t at = 0;
+      if (!HasWord(s, p.token, &at)) continue;
+      if (p.call_only) {
+        size_t j = at + std::string(p.token).size();
+        while (j < s.size() && s[j] == ' ') ++j;
+        if (j >= s.size() || s[j] != '(') continue;
+      }
+      out->push_back({f.rel, ln + 1, "determinism", p.message, false});
+    }
+    // time(NULL) / time(nullptr) / time(0) — wall-clock seeding.
+    size_t at = 0;
+    if (HasWord(s, "time", &at)) {
+      size_t j = at + 4;
+      while (j < s.size() && s[j] == ' ') ++j;
+      if (j < s.size() && s[j] == '(') {
+        std::string arg = Trim(s.substr(j + 1, s.find(')', j) - j - 1));
+        if (arg == "NULL" || arg == "nullptr" || arg == "0" || arg.empty()) {
+          out->push_back({f.rel, ln + 1, "determinism",
+                          "time() wall-clock seeding breaks reproducibility; "
+                          "use explicit seeds",
+                          false});
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ rule: R2 -----
+
+// Collects identifiers declared with an unordered container type in this
+// file, then flags range-fors / .begin() iteration over them.
+void CheckUnorderedIter(const SourceFile& f, std::vector<Finding>* out) {
+  if (!StartsWith(f.rel, "src/")) return;
+  std::set<std::string> unordered_names;
+  for (const std::string& s : f.code) {
+    size_t pos = 0;
+    while ((pos = s.find("unordered_", pos)) != std::string::npos) {
+      size_t j = pos;
+      while (j < s.size() && IsIdent(s[j])) ++j;
+      // Skip the template argument list, tracking angle-bracket depth.
+      while (j < s.size() && s[j] == ' ') ++j;
+      if (j >= s.size() || s[j] != '<') {
+        pos = j;
+        continue;
+      }
+      int depth = 0;
+      for (; j < s.size(); ++j) {
+        if (s[j] == '<') ++depth;
+        if (s[j] == '>' && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+      while (j < s.size() && (s[j] == ' ' || s[j] == '&')) ++j;
+      size_t name_start = j;
+      while (j < s.size() && IsIdent(s[j])) ++j;
+      if (j > name_start) {
+        // Declaration if followed by ; = { ( or end of line.
+        size_t k = j;
+        while (k < s.size() && s[k] == ' ') ++k;
+        if (k >= s.size() || s[k] == ';' || s[k] == '=' || s[k] == '{' ||
+            s[k] == '(') {
+          unordered_names.insert(s.substr(name_start, j - name_start));
+        }
+      }
+      pos = j;
+    }
+  }
+  if (unordered_names.empty()) return;
+  for (size_t ln = 0; ln < f.code.size(); ++ln) {
+    const std::string& s = f.code[ln];
+    // Range-for: `for (decl : expr)` where expr is a bare unordered name.
+    size_t at = 0;
+    if (HasWord(s, "for", &at)) {
+      // Find the range-for colon, stepping over any `::` qualifiers in the
+      // loop-variable declaration.
+      size_t colon = s.find(':', at);
+      while (colon != std::string::npos && colon + 1 < s.size() &&
+             s[colon + 1] == ':') {
+        colon = s.find(':', colon + 2);
+      }
+      if (colon != std::string::npos && colon + 1 < s.size() &&
+          (colon == 0 || s[colon - 1] != ':')) {
+        size_t close = s.find(')', colon);
+        if (close != std::string::npos) {
+          std::string expr = Trim(s.substr(colon + 1, close - colon - 1));
+          if (StartsWith(expr, "this->")) expr = expr.substr(6);
+          if (unordered_names.count(expr) > 0) {
+            out->push_back(
+                {f.rel, ln + 1, "unordered-iter",
+                 "iteration order over '" + expr +
+                     "' is hash-seed dependent; sort keys first (or NOLINT "
+                     "with a justification if order provably never reaches "
+                     "serialized/published output)",
+                 false});
+          }
+        }
+      }
+    }
+    // Iterator loops: `name.begin()` / `name.cbegin()`.
+    for (const std::string& name : unordered_names) {
+      size_t p = 0;
+      if (HasWord(s, name, &p) &&
+          (s.compare(p + name.size(), 7, ".begin(") == 0 ||
+           s.compare(p + name.size(), 8, ".cbegin(") == 0)) {
+        out->push_back({f.rel, ln + 1, "unordered-iter",
+                        "iterator walk over unordered container '" + name +
+                            "' is hash-seed dependent; sort keys first",
+                        false});
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ rule: R3 -----
+
+void CheckHotpathSync(const SourceFile& f, std::vector<Finding>* out) {
+  const bool kernel_tu = f.rel == "src/core/simd_kernels.cc";
+  bool scoped = f.rel == "src/core/warp_lda.cc" || kernel_tu ||
+                (StartsWith(f.rel, "src/baselines/") &&
+                 f.rel.size() > 3 && f.rel.substr(f.rel.size() - 3) == ".cc");
+  if (!scoped) return;
+  static const char* const kSyncTokens[] = {
+      "fetch_add",   "fetch_sub",  "fetch_and",       "fetch_or",
+      "fetch_xor",   "exchange",   "compare_exchange_weak",
+      "compare_exchange_strong",   "lock_guard",      "unique_lock",
+      "scoped_lock", "shared_lock", "try_lock",       "mutex",
+  };
+  std::vector<BodyRange> bodies = ExtractMethodBodies(f);
+  if (kernel_tu) {
+    // The SIMD kernel TU's hot code is free functions, not methods.
+    std::vector<BodyRange> free_bodies = ExtractFreeFunctionBodies(f);
+    bodies.insert(bodies.end(), free_bodies.begin(), free_bodies.end());
+  }
+  for (const BodyRange& b : bodies) {
+    if (!IsHotFunction(b.name)) continue;
+    for (size_t ln = b.begin_line; ln <= b.end_line && ln <= f.code.size();
+         ++ln) {
+      const std::string& s = f.code[ln - 1];
+      for (const char* tok : kSyncTokens) {
+        if (HasWord(s, tok)) {
+          out->push_back(
+              {f.rel, ln, "hotpath-sync",
+               std::string(tok) + " inside hot-path body '" + b.name +
+                   "' — accumulate in ThreadScratch and flush at a stage "
+                   "barrier (per-token synchronization breaks the O(1) "
+                   "hot-path claim)",
+               false});
+          break;  // one finding per line is enough
+        }
+      }
+      // `.lock()` / `->lock()` calls (the bare word "lock" would also hit
+      // "block", so match the call shape explicitly).
+      size_t p = s.find("lock(");
+      while (p != std::string::npos) {
+        bool member_call =
+            (p >= 1 && s[p - 1] == '.') ||
+            (p >= 2 && s[p - 2] == '-' && s[p - 1] == '>');
+        if (member_call) {
+          out->push_back({f.rel, ln, "hotpath-sync",
+                          "lock() call inside hot-path body '" + b.name +
+                              "' — flush at a stage barrier instead",
+                          false});
+          break;
+        }
+        p = s.find("lock(", p + 1);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------- rule: R3b -----
+
+// The *Scalar kernels in core/simd_kernels.cc are the portable reference
+// implementations the vector paths are verified bit-identical against —
+// an intrinsic inside one silently turns the oracle into the thing under
+// test (and breaks non-x86 builds, where only the scalar paths compile).
+void CheckScalarRef(const SourceFile& f, std::vector<Finding>* out) {
+  if (f.rel != "src/core/simd_kernels.cc") return;
+  auto is_intrinsic_at = [&](const std::string& s, size_t p) {
+    if (p > 0 && IsIdent(s[p - 1])) return false;  // mid-identifier
+    if (s.compare(p, 3, "_mm") == 0) return true;  // _mm_/_mm256_/_mm512_
+    // Vector register types: __m128*, __m256*, __m512*.
+    return s.compare(p, 4, "__m1") == 0 || s.compare(p, 4, "__m2") == 0 ||
+           s.compare(p, 4, "__m5") == 0;
+  };
+  for (const BodyRange& b : ExtractFreeFunctionBodies(f)) {
+    if (b.name.find("Scalar") == std::string::npos) continue;
+    for (size_t ln = b.begin_line; ln <= b.end_line && ln <= f.code.size();
+         ++ln) {
+      const std::string& s = f.code[ln - 1];
+      for (size_t p = 0; p < s.size(); ++p) {
+        if (!is_intrinsic_at(s, p)) continue;
+        out->push_back(
+            {f.rel, ln, "scalar-ref",
+             "SIMD intrinsic inside scalar reference kernel '" + b.name +
+                 "' — the scalar path is the bit-identity oracle and must "
+                 "stay portable; move vector code to an *Avx2 twin behind "
+                 "runtime dispatch",
+             false});
+        break;  // one finding per line is enough
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ rule: R4 -----
+
+namespace {
+// Allowed include targets per src/ layer. The two obs/ headers listed in
+// IsSeamHeader are the sanctioned cross-cutting instrumentation seams and
+// may be included from any layer.
+const std::map<std::string, std::set<std::string>>& LayerAllowance() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"obs", {"obs"}},
+      {"util", {"util"}},
+      {"corpus", {"corpus", "util"}},
+      {"cachesim", {"cachesim", "util"}},
+      {"eval", {"eval", "corpus", "util"}},
+      {"baselines", {"baselines", "cachesim", "corpus", "util"}},
+      {"core",
+       {"core", "baselines", "eval", "corpus", "cachesim", "util"}},
+      {"dist",
+       {"dist", "core", "baselines", "eval", "corpus", "cachesim", "util"}},
+      {"serve", {"serve", "core", "eval", "corpus", "util"}},
+  };
+  return kAllowed;
+}
+
+bool IsSeamHeader(const std::string& inc) {
+  return inc == "obs/metrics.h" || inc == "obs/trace.h";
+}
+}  // namespace
+
+void CollectIncludes(const SourceFile& f, std::vector<IncludeEdge>* edges) {
+  for (size_t ln = 0; ln < f.raw.size(); ++ln) {
+    const std::string& s = f.raw[ln];
+    size_t pos = s.find("#include");
+    if (pos == std::string::npos) continue;
+    size_t q1 = s.find('"', pos);
+    if (q1 == std::string::npos) continue;  // <system> include
+    size_t q2 = s.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    edges->push_back({f.rel, ln + 1, s.substr(q1 + 1, q2 - q1 - 1)});
+  }
+}
+
+void CheckLayering(const std::vector<IncludeEdge>& edges,
+                   const std::set<std::string>& repo_headers,
+                   std::vector<Finding>* out) {
+  // Per-file layer checks.
+  for (const IncludeEdge& e : edges) {
+    std::string layer = LayerOf(e.from_rel);
+    if (layer.empty()) continue;  // tests/bench may include anything
+    size_t slash = e.target.find('/');
+    if (slash == std::string::npos) continue;  // same-directory include
+    std::string target_layer = e.target.substr(0, slash);
+    const auto& allowed = LayerAllowance();
+    auto it = allowed.find(layer);
+    if (it == allowed.end()) {
+      out->push_back({e.from_rel, e.line, "layering",
+                      "unknown src/ layer '" + layer +
+                          "' — add it to the warplint layer map",
+                      false});
+      continue;
+    }
+    if (allowed.count(target_layer) == 0) continue;  // not a src/ layer path
+    if (it->second.count(target_layer) > 0) continue;
+    if (IsSeamHeader(e.target)) continue;  // sanctioned instrumentation seam
+    out->push_back(
+        {e.from_rel, e.line, "layering",
+         "layer '" + layer + "' must not include '" + e.target +
+             "' (allowed: own layer and below; obs/metrics.h and "
+             "obs/trace.h are the only sanctioned cross-cutting seams)",
+         false});
+  }
+  // Include-cycle detection over repo headers (nodes are include paths).
+  std::map<std::string, std::vector<const IncludeEdge*>> graph;
+  for (const IncludeEdge& e : edges) {
+    if (!StartsWith(e.from_rel, "src/")) continue;
+    std::string from_key = e.from_rel.substr(4);  // path relative to src/
+    if (repo_headers.count(e.target) > 0) graph[from_key].push_back(&e);
+  }
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = 1;
+    stack.push_back(node);
+    for (const IncludeEdge* e : graph[node]) {
+      int c = color.count(e->target) > 0 ? color[e->target] : 0;
+      if (c == 1) {
+        // Back edge: a cycle through `stack` from e->target to node.
+        std::string cyc = e->target;
+        for (size_t s = stack.size(); s-- > 0;) {
+          cyc += " -> " + stack[s];
+          if (stack[s] == e->target) break;
+        }
+        if (reported.insert(cyc).second) {
+          out->push_back({e->from_rel, e->line, "layering",
+                          "include cycle: " + cyc, false});
+        }
+      } else if (c == 0) {
+        dfs(e->target);
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+  };
+  for (const auto& [node, unused] : graph) {
+    (void)unused;
+    if (color[node] == 0) dfs(node);
+  }
+}
+
+// ------------------------------------------------------------ rule: R5 -----
+
+void CheckNakedNew(const SourceFile& f, std::vector<Finding>* out) {
+  if (!StartsWith(f.rel, "src/")) return;
+  for (size_t ln = 0; ln < f.code.size(); ++ln) {
+    const std::string& s = f.code[ln];
+    size_t at = 0;
+    if (HasWord(s, "new", &at)) {
+      out->push_back({f.rel, ln + 1, "naked-new",
+                      "naked new — use std::make_unique/make_shared or a "
+                      "container; a deliberate leaked singleton needs a "
+                      "NOLINT with a justification",
+                      false});
+    }
+    if (HasWord(s, "delete", &at)) {
+      // `= delete;` (deleted special member) is fine.
+      size_t b = at;
+      while (b > 0 && s[b - 1] == ' ') --b;
+      if (b > 0 && s[b - 1] == '=') continue;
+      out->push_back({f.rel, ln + 1, "naked-new",
+                      "naked delete — ownership must live in a smart "
+                      "pointer or container",
+                      false});
+    }
+  }
+}
+
+// ------------------------------------------------------------ rule: R6 -----
+
+namespace {
+// Identifiers declared with a non-trivially-copyable std:: type in this
+// file (value declarations, by no means exhaustive — the rule is a tripwire,
+// not a type checker).
+std::set<std::string> NonTrivialDecls(const SourceFile& f) {
+  static const char* const kTypes[] = {
+      "string", "vector",   "deque",      "list",       "map",
+      "set",    "function", "shared_ptr", "unique_ptr", "unordered_map",
+      "unordered_set",
+  };
+  std::set<std::string> names;
+  for (const std::string& s : f.code) {
+    for (const char* t : kTypes) {
+      size_t at = 0;
+      std::string tok = t;
+      size_t search = 0;
+      while (search < s.size()) {
+        std::string sub = s.substr(search);
+        if (!HasWord(sub, tok, &at)) break;
+        size_t j = search + at + tok.size();
+        if (s.compare(j, 1, "<") == 0) {  // skip template args
+          int depth = 0;
+          for (; j < s.size(); ++j) {
+            if (s[j] == '<') ++depth;
+            if (s[j] == '>' && --depth == 0) {
+              ++j;
+              break;
+            }
+          }
+        } else if (tok != "string") {
+          search = j;
+          continue;  // vector without <..> isn't a declaration
+        }
+        while (j < s.size() && s[j] == ' ') ++j;
+        size_t name_start = j;
+        while (j < s.size() && IsIdent(s[j])) ++j;
+        if (j > name_start) {
+          size_t k = j;
+          while (k < s.size() && s[k] == ' ') ++k;
+          if (k >= s.size() || s[k] == ';' || s[k] == '=' || s[k] == '{' ||
+              s[k] == '(') {
+            names.insert(s.substr(name_start, j - name_start));
+          }
+        }
+        search = j;
+      }
+    }
+  }
+  return names;
+}
+}  // namespace
+
+void CheckMemcpyNontrivial(const SourceFile& f, std::vector<Finding>* out) {
+  if (!StartsWith(f.rel, "src/")) return;
+  std::set<std::string> nontrivial = NonTrivialDecls(f);
+  for (size_t ln = 0; ln < f.code.size(); ++ln) {
+    const std::string& s = f.code[ln];
+    size_t at = 0;
+    if (!HasWord(s, "memcpy", &at) && !HasWord(s, "__builtin_memcpy", &at))
+      continue;
+    size_t open = s.find('(', at);
+    if (open == std::string::npos) continue;
+    // First two arguments, split at depth-0 commas.
+    std::vector<std::string> argv;
+    int depth = 0;
+    std::string cur;
+    for (size_t j = open + 1; j < s.size(); ++j) {
+      char c = s[j];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        if (depth == 0) {
+          argv.push_back(Trim(cur));
+          break;
+        }
+        --depth;
+      }
+      if (c == ',' && depth == 0) {
+        argv.push_back(Trim(cur));
+        cur.clear();
+        continue;
+      }
+      cur.push_back(c);
+    }
+    for (size_t a = 0; a < argv.size() && a < 2; ++a) {
+      std::string arg = argv[a];
+      if (arg == "this") {
+        out->push_back({f.rel, ln + 1, "memcpy-nontrivial",
+                        "memcpy over *this tramples invariants (and any "
+                        "vtable); copy members explicitly",
+                        false});
+        continue;
+      }
+      if (!arg.empty() && arg[0] == '&') arg = Trim(arg.substr(1));
+      // `&vec` / `vec` where vec is a non-trivial object (its .data() is
+      // fine — that's the element buffer, not the control block).
+      if (arg.find('.') == std::string::npos &&
+          arg.find("->") == std::string::npos &&
+          nontrivial.count(arg) > 0) {
+        out->push_back(
+            {f.rel, ln + 1, "memcpy-nontrivial",
+             "memcpy over non-trivially-copyable object '" + arg +
+                 "' corrupts its control block; use assignment or .data()",
+             false});
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ rule: R7 -----
+
+// Pass 1 collects `struct/class alignas(64) Name` across all files; pass 2
+// flags (a) alignas(64) on an array whose element type is not itself
+// alignas(64), (b) a member-level alignas(64) followed by an unaligned,
+// non-padding member in the same struct body.
+void CollectAlignedTypes(const SourceFile& f, std::set<std::string>* types) {
+  for (const std::string& s : f.code) {
+    size_t pos = s.find("alignas");
+    if (pos == std::string::npos) continue;
+    size_t sw = s.find("struct");
+    size_t cw = s.find("class");
+    size_t kw = std::min(sw == std::string::npos ? s.size() : sw,
+                         cw == std::string::npos ? s.size() : cw);
+    if (kw >= pos) continue;  // alignas not preceded by struct/class
+    size_t close = s.find(')', pos);
+    if (close == std::string::npos) continue;
+    size_t j = close + 1;
+    while (j < s.size() && s[j] == ' ') ++j;
+    size_t name_start = j;
+    while (j < s.size() && IsIdent(s[j])) ++j;
+    if (j > name_start) types->insert(s.substr(name_start, j - name_start));
+  }
+}
+
+void CheckAlignasPad(const SourceFile& f,
+                     const std::set<std::string>& aligned_types,
+                     std::vector<Finding>* out) {
+  if (!StartsWith(f.rel, "src/")) return;
+  bool prev_member_alignas = false;
+  for (size_t ln = 0; ln < f.code.size(); ++ln) {
+    const std::string& s = f.code[ln];
+    size_t pos = s.find("alignas(");
+    bool line_has_member_alignas = false;
+    if (pos != std::string::npos && s.find("struct") == std::string::npos &&
+        s.find("class") == std::string::npos) {
+      size_t close = s.find(')', pos);
+      std::string width =
+          close == std::string::npos
+              ? ""
+              : Trim(s.substr(pos + 8, close - pos - 8));
+      if (width == "64" && close != std::string::npos) {
+        // Declaration shape after alignas(64): Type name [ '[' ... ]
+        size_t j = close + 1;
+        while (j < s.size() && s[j] == ' ') ++j;
+        size_t type_start = j;
+        while (j < s.size() && (IsIdent(s[j]) || s[j] == ':')) ++j;
+        std::string type = s.substr(type_start, j - type_start);
+        size_t name_pos = j;
+        while (name_pos < s.size() && s[name_pos] == ' ') ++name_pos;
+        size_t name_end = name_pos;
+        while (name_end < s.size() && IsIdent(s[name_end])) ++name_end;
+        size_t after = name_end;
+        while (after < s.size() && s[after] == ' ') ++after;
+        bool is_array = after < s.size() && s[after] == '[';
+        std::string bare_type = type;
+        size_t last_colon = bare_type.rfind(':');
+        if (last_colon != std::string::npos)
+          bare_type = bare_type.substr(last_colon + 1);
+        if (is_array && aligned_types.count(bare_type) == 0) {
+          out->push_back(
+              {f.rel, ln + 1, "alignas-pad",
+               "alignas(64) on an array only aligns the base address; "
+               "elements of '" + type +
+                   "' still straddle cache lines — declare the element "
+                   "struct alignas(64) instead",
+               false});
+        }
+        // A member whose type is itself alignas(64) occupies whole cache
+        // lines, so the next member starts on a fresh line; anything else
+        // (scalars, atomics) leaves tail space the next member lands in.
+        line_has_member_alignas = aligned_types.count(bare_type) == 0;
+      }
+    }
+    // (b) member after an alignas(64) member without its own alignas.
+    std::string t = Trim(s);
+    bool is_member_decl =
+        !t.empty() && t.back() == ';' && t.find('(') == std::string::npos &&
+        t.find('}') == std::string::npos && t.find("using") != 0 &&
+        t.find("return") != 0 && t.find("static_assert") != 0;
+    if (prev_member_alignas && is_member_decl &&
+        t.find("alignas") == std::string::npos &&
+        t.find("pad") == std::string::npos) {
+      out->push_back(
+          {f.rel, ln + 1, "alignas-pad",
+           "member declared right after an alignas(64) member shares its "
+           "cache line — align it too, add explicit padding, or move the "
+           "alignas to the struct",
+           false});
+    }
+    if (!t.empty()) {
+      prev_member_alignas = line_has_member_alignas && !t.empty() &&
+                            t.back() == ';';
+    }
+  }
+}
+
+// ------------------------------------------------------------ rule: R8 -----
+
+void CheckNolintHygiene(const SourceFile& f, std::vector<Finding>* out) {
+  for (const auto& [line, sup] : f.nolint) {
+    for (const std::string& id : sup.rules) {
+      if (!IsKnownRule(id)) {
+        out->push_back({f.rel, line, "nolint",
+                        "NOLINT names unknown rule 'warplint-" + id + "'",
+                        false});
+      }
+    }
+    if (!sup.justified) {
+      out->push_back({f.rel, line, "nolint",
+                      "NOLINT(warplint-*) without a justification — append "
+                      "': <why this is safe>'",
+                      false});
+    }
+  }
+}
+
+}  // namespace warplint

@@ -1,0 +1,429 @@
+// Rule family 2: serialized-schema lock (warplint-schema).
+//
+// Every struct whose fields reach a PayloadWriter/PayloadReader serializer
+// (checkpoint frames, FrameKind::kDistMessage payloads) has its field
+// sequence — name, type tokens, declaration order — pinned in the committed
+// tools/lint/schema.lock, together with every `constexpr ... k*Version`
+// constant in the repo. Reordering, renaming, retyping, adding or removing
+// a field changes byte layout on the wire / on disk; the lock makes that a
+// build-breaking event instead of a silent corruption:
+//
+//   * normal runs diff the extracted schema against the lock and fail on
+//     any drift, with a message keyed to whether a version constant moved;
+//   * `--write-schema-lock` regenerates the lock, but REFUSES (exit 2) when
+//     a previously pinned struct's fields changed while the version map is
+//     identical to the committed lock — bump kFrameVersion (or the payload
+//     version) first, then regenerate.
+//
+// Discovery is heuristic but deliberately conservative: a struct C is
+// pinned by serializer body F only when (a) F belongs to a different class
+// than C (so FrameChannel is not pinned just because FrameChannel::Send
+// writes frames of *other* structs), (b) C's name appears as a word in F
+// (not as a `C::` qualifier), and (c) at least half of C's fields appear
+// as `.field` / `->field` accesses inside the arguments of F's Put* / Get*
+// calls — it is the fields flowing through the writer that makes a layout
+// wire format. That ratio is what keeps coordinator/worker bookkeeping
+// structs (whose names and odd fields drift through message-pump bodies)
+// and accessor-serialized classes like TopicModel out of the lock.
+// Embedded structs are pinned by closure: when a pinned struct has a field
+// whose type names another class (SweepCheckpoint's SweepPlan plan) and
+// that class's fields also flow through the same serializer, it is pinned
+// too.
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "lint_rules.h"
+
+namespace warplint {
+
+namespace {
+
+struct PinnedStruct {
+  std::string qualified;
+  std::string file;
+  size_t line = 0;
+  std::vector<std::string> fields;  // "type name" per declaration, in order
+};
+
+struct Schema {
+  std::map<std::string, std::string> versions;     // kFooVersion -> literal
+  std::map<std::string, PinnedStruct> structs;     // qualified -> pin
+};
+
+std::string RootClass(const std::string& qualified) {
+  size_t p = qualified.find("::");
+  return p == std::string::npos ? qualified : qualified.substr(0, p);
+}
+
+std::string BodyText(const SourceFile& f, const BodyRange& b) {
+  std::string text;
+  size_t first = b.head_line ? b.head_line : b.begin_line;
+  for (size_t ln = first; ln <= b.end_line && ln <= f.code.size(); ++ln) {
+    text += f.code[ln - 1];
+    text += '\n';
+  }
+  return text;
+}
+
+// `constexpr uint32_t kFrameVersion = 2;` (any integer type, any k*Version
+// name). Value kept as the literal token so hex/char forms round-trip.
+void CollectVersionConstants(const SourceFile& f, Schema* schema) {
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& s = f.code[i];
+    if (!HasWord(s, "constexpr")) continue;
+    size_t pos = 0;
+    while (pos < s.size()) {
+      if (s[pos] == 'k' && (pos == 0 || !IsIdent(s[pos - 1]))) {
+        size_t j = pos;
+        while (j < s.size() && IsIdent(s[j])) ++j;
+        std::string name = s.substr(pos, j - pos);
+        if (name.size() > 8 &&
+            name.compare(name.size() - 7, 7, "Version") == 0) {
+          size_t eq = s.find('=', j);
+          if (eq != std::string::npos) {
+            std::string val = Trim(s.substr(eq + 1));
+            size_t semi = val.find(';');
+            if (semi != std::string::npos) val = Trim(val.substr(0, semi));
+            if (!val.empty()) schema->versions[name] = val;
+          }
+        }
+        pos = j;
+      } else {
+        ++pos;
+      }
+    }
+  }
+}
+
+// Concatenated argument text of every call whose name starts with Put or
+// Get (Put, PutVec, PutConfig, Get, GetVec, GetConfig, ...). Only what
+// flows through these calls counts as "serialized".
+std::string PutGetArgs(const std::string& text) {
+  std::string args;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    if (IsIdent(text[pos]) && (pos == 0 || !IsIdent(text[pos - 1]))) {
+      size_t j = pos;
+      while (j < text.size() && IsIdent(text[j])) ++j;
+      std::string word = text.substr(pos, j - pos);
+      if ((StartsWith(word, "Put") || StartsWith(word, "Get")) &&
+          j < text.size() && text[j] == '(') {
+        int depth = 0;
+        size_t close = j;
+        for (; close < text.size(); ++close) {
+          if (text[close] == '(') ++depth;
+          if (text[close] == ')' && --depth == 0) break;
+        }
+        if (close < text.size()) {
+          args += text.substr(j + 1, close - j - 1);
+          args += ' ';
+        }
+      }
+      pos = j;
+    } else {
+      ++pos;
+    }
+  }
+  return args;
+}
+
+// `.name` / `->name` occurrence with a word boundary on the right.
+bool FieldFlows(const std::string& args, const std::string& name) {
+  size_t pos = 0, at = 0;
+  while (pos < args.size()) {
+    std::string tail = args.substr(pos);
+    if (!HasWord(tail, name, &at)) return false;
+    size_t begin = pos + at;
+    if (begin > 0 && (args[begin - 1] == '.' || args[begin - 1] == '>')) {
+      return true;
+    }
+    pos = begin + name.size();
+  }
+  return false;
+}
+
+size_t FieldsFlowing(const ClassDef& c, const std::string& args) {
+  size_t n = 0;
+  for (const FieldDecl& fd : c.fields) {
+    if (FieldFlows(args, fd.name)) ++n;
+  }
+  return n;
+}
+
+// C's name as a standalone type word — a `C::` qualifier match does not
+// count (EncodeStats(const FrameChannel::Stats&) names Stats, not
+// FrameChannel).
+bool NamesType(const std::string& text, const std::string& name) {
+  size_t pos = 0, at = 0;
+  while (pos < text.size()) {
+    std::string tail = text.substr(pos);
+    if (!HasWord(tail, name, &at)) return false;
+    size_t end = pos + at + name.size();
+    size_t j = end;
+    while (j < text.size() && text[j] == ' ') ++j;
+    if (!(j + 1 < text.size() && text[j] == ':' && text[j + 1] == ':')) {
+      return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+void Pin(const ClassDef& c, Schema* schema) {
+  PinnedStruct& pin = schema->structs[c.qualified];
+  if (!pin.fields.empty()) return;  // already pinned this run
+  pin.qualified = c.qualified;
+  pin.file = c.file;
+  pin.line = c.line;
+  for (const FieldDecl& fd : c.fields) {
+    pin.fields.push_back(fd.type + " " + fd.name);
+  }
+}
+
+Schema ExtractSchema(const std::vector<SourceFile>& files) {
+  Schema schema;
+  // All class definitions across the tree, for field lookup.
+  std::vector<ClassDef> classes;
+  for (const SourceFile& f : files) {
+    CollectVersionConstants(f, &schema);
+    std::vector<ClassDef> defs = CollectClasses(f);
+    classes.insert(classes.end(), defs.begin(), defs.end());
+  }
+  // Serializer bodies: any function whose text mentions PayloadWriter or
+  // PayloadReader (signature or body).
+  for (const SourceFile& f : files) {
+    std::vector<BodyRange> bodies = ExtractMethodBodies(f);
+    std::vector<BodyRange> frees = ExtractFreeFunctionBodies(f);
+    bodies.insert(bodies.end(), frees.begin(), frees.end());
+    for (const BodyRange& b : bodies) {
+      std::string text = BodyText(f, b);
+      if (!HasWord(text, "PayloadWriter") && !HasWord(text, "PayloadReader")) {
+        continue;
+      }
+      std::string args = PutGetArgs(text);
+      if (args.empty()) continue;
+      for (const ClassDef& c : classes) {
+        if (c.fields.empty()) continue;
+        std::string root = RootClass(c.qualified);
+        if (!b.cls.empty() && (b.cls == root || b.cls == c.name)) continue;
+        if (!NamesType(text, c.name)) continue;
+        size_t flowing = FieldsFlowing(c, args);
+        if (flowing == 0 || flowing * 2 < c.fields.size()) continue;
+        Pin(c, &schema);
+        // Closure over embedded structs: fields of C whose type names
+        // another class whose own fields flow through this serializer
+        // (SweepCheckpoint.plan -> SweepPlan).
+        for (const FieldDecl& fd : c.fields) {
+          for (const ClassDef& inner : classes) {
+            if (inner.fields.empty() || inner.qualified == c.qualified) {
+              continue;
+            }
+            if (!HasWord(fd.type, inner.name)) continue;
+            size_t inner_flow = FieldsFlowing(inner, args);
+            if (inner_flow == 0 || inner_flow * 2 < inner.fields.size()) {
+              continue;
+            }
+            Pin(inner, &schema);
+          }
+        }
+      }
+    }
+  }
+  return schema;
+}
+
+// Lock file format, one entry per line:
+//   version <kName> <literal>
+//   struct <Qualified::Name> <file>
+//     field <type tokens...> <name>
+std::string RenderLock(const Schema& s) {
+  std::ostringstream out;
+  out << "# warplint schema lock — field order of every serialized struct\n"
+      << "# plus all k*Version constants. Regenerate with\n"
+      << "#   warplint --root . --write-schema-lock\n"
+      << "# after bumping the relevant version constant.\n";
+  for (const auto& v : s.versions) {
+    out << "version " << v.first << " " << v.second << "\n";
+  }
+  for (const auto& it : s.structs) {
+    const PinnedStruct& p = it.second;
+    out << "struct " << p.qualified << " " << p.file << "\n";
+    for (const std::string& fld : p.fields) {
+      out << "  field " << fld << "\n";
+    }
+  }
+  return out.str();
+}
+
+bool ParseLock(const std::string& path, Schema* s) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  PinnedStruct* cur = nullptr;
+  while (std::getline(in, line)) {
+    std::string t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::istringstream ls(t);
+    std::string kw;
+    ls >> kw;
+    if (kw == "version") {
+      std::string name, val;
+      ls >> name;
+      std::getline(ls, val);
+      s->versions[name] = Trim(val);
+      cur = nullptr;
+    } else if (kw == "struct") {
+      std::string qual, file;
+      ls >> qual >> file;
+      cur = &s->structs[qual];
+      cur->qualified = qual;
+      cur->file = file;
+    } else if (kw == "field" && cur) {
+      std::string rest;
+      std::getline(ls, rest);
+      cur->fields.push_back(Trim(rest));
+    }
+  }
+  return true;
+}
+
+std::string DescribeFieldDrift(const PinnedStruct& locked,
+                               const PinnedStruct& now) {
+  if (locked.fields.size() != now.fields.size()) {
+    std::ostringstream m;
+    m << "field count changed " << locked.fields.size() << " -> "
+      << now.fields.size();
+    return m.str();
+  }
+  for (size_t i = 0; i < locked.fields.size(); ++i) {
+    if (locked.fields[i] != now.fields[i]) {
+      return "field " + std::to_string(i + 1) + " changed '" +
+             locked.fields[i] + "' -> '" + now.fields[i] + "'";
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int CheckSchema(const std::vector<SourceFile>& files, const SchemaOptions& opt,
+                std::vector<Finding>* out) {
+  Schema now = ExtractSchema(files);
+  Schema locked;
+  bool have_lock = ParseLock(opt.lock_path, &locked);
+  bool versions_moved = have_lock && locked.versions != now.versions;
+
+  if (opt.write_lock) {
+    if (have_lock) {
+      for (const auto& it : locked.structs) {
+        auto cur = now.structs.find(it.first);
+        if (cur == now.structs.end()) continue;  // removal is fine to record
+        std::string drift = DescribeFieldDrift(it.second, cur->second);
+        if (!drift.empty() && !versions_moved) {
+          std::fprintf(stderr,
+                       "warplint: refusing to rewrite schema lock: '%s' "
+                       "drifted (%s) but no k*Version constant changed — "
+                       "bump the frame/payload version first, then "
+                       "regenerate\n",
+                       it.first.c_str(), drift.c_str());
+          return 2;
+        }
+      }
+    }
+    std::ofstream outf(opt.lock_path);
+    if (!outf) {
+      std::fprintf(stderr, "warplint: cannot write %s\n",
+                   opt.lock_path.c_str());
+      return 2;
+    }
+    outf << RenderLock(now);
+    std::fprintf(stderr, "warplint: wrote %s (%zu version constant(s), %zu "
+                 "pinned struct(s))\n",
+                 opt.lock_path.c_str(), now.versions.size(),
+                 now.structs.size());
+    return 0;
+  }
+
+  if (!have_lock) {
+    if (!now.structs.empty()) {
+      const PinnedStruct& p = now.structs.begin()->second;
+      out->push_back({p.file, p.line, "schema",
+                      "serialized structs found but tools/lint/schema.lock "
+                      "is missing — run warplint --write-schema-lock and "
+                      "commit the lock",
+                      false});
+    }
+    return 0;
+  }
+
+  for (const auto& it : locked.structs) {
+    auto cur = now.structs.find(it.first);
+    if (cur == now.structs.end()) {
+      // Struct no longer reaches a serializer (renamed or deleted).
+      out->push_back(
+          {it.second.file, 1, "schema",
+           "serialized struct '" + it.first +
+               "' is pinned in schema.lock but no longer found — if the "
+               "wire format intentionally changed, bump the version "
+               "constant and regenerate the lock",
+           false});
+      continue;
+    }
+    std::string drift = DescribeFieldDrift(it.second, cur->second);
+    if (drift.empty()) continue;
+    if (versions_moved) {
+      out->push_back(
+          {cur->second.file, cur->second.line, "schema",
+           "serialized struct '" + it.first + "' drifted (" + drift +
+               ") and a version constant was bumped — regenerate the lock "
+               "with warplint --write-schema-lock",
+           false});
+    } else {
+      out->push_back(
+          {cur->second.file, cur->second.line, "schema",
+           "serialized struct '" + it.first + "' drifted (" + drift +
+               ") without a version bump — old checkpoints / peers will "
+               "decode garbage; bump kFrameVersion (or the payload "
+               "version) and regenerate schema.lock",
+           false});
+    }
+  }
+  for (const auto& it : now.structs) {
+    if (locked.structs.count(it.first)) continue;
+    out->push_back(
+        {it.second.file, it.second.line, "schema",
+         "struct '" + it.first +
+             "' now reaches a serializer but is not pinned in "
+             "schema.lock — regenerate the lock with warplint "
+             "--write-schema-lock",
+         false});
+  }
+  for (const auto& v : locked.versions) {
+    auto cur = now.versions.find(v.first);
+    if (cur == now.versions.end()) {
+      out->push_back({"tools/lint/schema.lock", 1, "schema",
+                      "version constant '" + v.first +
+                          "' is pinned in schema.lock but no longer "
+                          "defined — regenerate the lock",
+                      false});
+    }
+  }
+  if (versions_moved) {
+    // Versions moved but every pinned struct matched: the lock is stale.
+    bool any_struct_finding = false;
+    for (const Finding& fd : *out) {
+      if (fd.rule == "schema") { any_struct_finding = true; break; }
+    }
+    if (!any_struct_finding) {
+      out->push_back({"tools/lint/schema.lock", 1, "schema",
+                      "version constants changed but schema.lock was not "
+                      "regenerated — run warplint --write-schema-lock",
+                      false});
+    }
+  }
+  return 0;
+}
+
+}  // namespace warplint

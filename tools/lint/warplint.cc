@@ -1,60 +1,30 @@
-// warplint — repo-native invariant linter for the WarpLDA codebase.
+// warplint — repo-native static analysis for the WarpLDA codebase.
 //
-// Generic tools (clang-tidy, sanitizers) cannot know the rules this repo
-// lives by: bit-identical sampling under any block schedule or thread
-// count, and O(1) cache-resident hot paths with no per-token
-// synchronization. warplint walks src/, tests/, and bench/ at the
-// token/line level and enforces the invariants behind those claims:
+// Driver: gathers sources, runs every rule pass, applies NOLINT suppression
+// and the optional baseline, and reports. The analysis itself lives in
 //
-//   warplint-determinism      no rand()/random_device/wall-clock seeding in
-//                             src/ or bench/ — only util/rng.h per-token
-//                             streams keep sweeps bit-identical.
-//   warplint-unordered-iter   no iteration over std::unordered_{map,set}:
-//                             iteration order is hash-seed dependent, so
-//                             anything it feeds (serialized frames,
-//                             published snapshots, checkpoints) loses
-//                             bit-identity.
-//   warplint-hotpath-sync     no atomic RMW or lock acquisition inside
-//                             RunBlock / token-loop / fused-part /
-//                             SIMD-kernel bodies in core/warp_lda.cc,
-//                             core/simd_kernels.cc and baselines —
-//                             accumulate in ThreadScratch, flush at stage
-//                             barriers.
-//   warplint-scalar-ref       the *Scalar reference kernels in
-//                             core/simd_kernels.cc must stay free of SIMD
-//                             intrinsics — they are the bit-identity
-//                             oracle the vector paths are checked against,
-//                             so they must compile and run on any CPU.
-//   warplint-layering         util/ includes nothing above it; core/ never
-//                             includes serve/ or dist/; the only sanctioned
-//                             cross-cutting seams are obs/metrics.h and
-//                             obs/trace.h; no include cycles.
-//   warplint-naked-new        no naked new/delete in src/ — deliberate
-//                             leaked singletons carry a NOLINT with a
-//                             justification.
-//   warplint-memcpy-nontrivial  no memcpy into std::string/std::vector/...
-//                             objects or into *this.
-//   warplint-alignas-pad      alignas(64) on an array only aligns the
-//                             base; elements still straddle cache lines —
-//                             put alignas(64) on the element struct. A
-//                             member-level alignas(64) followed by an
-//                             unaligned member shares its line too.
-//   warplint-nolint           every NOLINT(warplint-*) must name a known
-//                             rule and carry a ": justification".
+//   lint_model.{h,cc}    scrubbed token/line view, body + class model
+//   rules_core.cc        the original token rules (determinism, layering,
+//                        hotpath-sync, naked-new, memcpy, alignas-pad, ...)
+//   rules_contracts.cc   WARP_WORKER_LOCAL / WARP_BARRIER_ONLY /
+//                        WARP_IMMUTABLE_AFTER concurrency contracts
+//   rules_schema.cc      serialized-schema lock (tools/lint/schema.lock)
+//   rules_crosstu.cc     obs-orphan, rng-stream, stale-nolint
 //
-// Suppression: append `// NOLINT(warplint-<rule>): <why this is safe>` to
-// the offending line. Suppressions are counted and reported in the JSON
-// summary so they stay visible.
+// Zero dependencies beyond the C++17 standard library — no libclang. Runs
+// as a tier-1 ctest (warplint_repo) and in CI.
 //
-// Usage: warplint --root <repo-root> [--json] [--dirs src,tests,bench]
-// Exit:  0 clean, 1 unsuppressed violations, 2 usage/IO error.
+// Usage:
+//   warplint --root <dir> [--json] [--dirs a,b,c] [--baseline <report.json>]
+//            [--schema-lock <path>] [--write-schema-lock]
+//
+// Exit codes: 0 clean, 1 violations (new violations in --baseline mode),
+// 2 usage / IO error / schema-lock write refusal.
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <functional>
 #include <map>
 #include <set>
 #include <sstream>
@@ -62,1022 +32,55 @@
 #include <tuple>
 #include <vector>
 
+#include "lint_model.h"
+#include "lint_rules.h"
+
 namespace fs = std::filesystem;
+
+using namespace warplint;
 
 namespace {
 
-// ----------------------------------------------------------------- model ---
-
-struct Finding {
-  std::string file;  // path relative to --root
-  size_t line = 0;   // 1-based
-  std::string rule;  // short id, e.g. "determinism"
-  std::string message;
-  bool suppressed = false;
-};
-
-struct Suppression {
-  std::set<std::string> rules;  // short ids named in NOLINT(...)
-  bool justified = false;
-};
-
-struct SourceFile {
-  std::string rel;                // e.g. "src/core/warp_lda.cc"
-  std::vector<std::string> raw;   // original lines
-  std::vector<std::string> code;  // comments + string/char literals blanked
-  std::map<size_t, Suppression> nolint;  // line (1-based) -> suppression
-};
-
-const char* const kRuleIds[] = {
-    "determinism",   "unordered-iter",     "hotpath-sync", "layering",
-    "naked-new",     "memcpy-nontrivial",  "alignas-pad",  "nolint",
-    "scalar-ref",
-};
-
-bool IsKnownRule(const std::string& id) {
-  for (const char* r : kRuleIds) {
-    if (id == r) return true;
+// Parses the "violations" array of a previous --json report into
+// per-(file, rule) counts. Deliberately shape-matched to our own emitter
+// rather than a general JSON parser.
+std::map<std::pair<std::string, std::string>, size_t> LoadBaseline(
+    const std::string& path, bool* ok) {
+  std::map<std::pair<std::string, std::string>, size_t> counts;
+  std::ifstream in(path);
+  if (!in) {
+    *ok = false;
+    return counts;
   }
-  return false;
-}
-
-// ------------------------------------------------------------- scrubbing ---
-
-// Blanks comments and string/char literal bodies with spaces, preserving
-// line structure and column positions so findings point at real code.
-std::vector<std::string> Scrub(const std::vector<std::string>& raw) {
-  std::vector<std::string> out(raw.size());
-  enum class St { kCode, kLineComment, kBlockComment, kString, kChar };
-  St st = St::kCode;
-  for (size_t ln = 0; ln < raw.size(); ++ln) {
-    const std::string& s = raw[ln];
-    std::string o(s.size(), ' ');
-    if (st == St::kLineComment) st = St::kCode;  // ends at newline
-    for (size_t i = 0; i < s.size(); ++i) {
-      char c = s[i];
-      char n = i + 1 < s.size() ? s[i + 1] : '\0';
-      switch (st) {
-        case St::kCode:
-          if (c == '/' && n == '/') {
-            st = St::kLineComment;
-          } else if (c == '/' && n == '*') {
-            st = St::kBlockComment;
-            ++i;
-          } else if (c == '"') {
-            o[i] = '"';
-            st = St::kString;
-          } else if (c == '\'') {
-            o[i] = '\'';
-            st = St::kChar;
-          } else {
-            o[i] = c;
-          }
-          break;
-        case St::kLineComment:
-          break;  // blank to end of line
-        case St::kBlockComment:
-          if (c == '*' && n == '/') {
-            st = St::kCode;
-            ++i;
-          }
-          break;
-        case St::kString:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '"') {
-            o[i] = '"';
-            st = St::kCode;
-          }
-          break;
-        case St::kChar:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            o[i] = '\'';
-            st = St::kCode;
-          }
-          break;
-      }
-    }
-    out[ln] = std::move(o);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  size_t begin = text.find("\"violations\"");
+  if (begin == std::string::npos) {
+    *ok = true;  // empty / clean report
+    return counts;
   }
-  return out;
-}
-
-// Parses `NOLINT(warplint-a,warplint-b)` (optionally followed by
-// `: justification`) out of the raw line's comment tail.
-void ParseNolint(SourceFile* f) {
-  for (size_t ln = 0; ln < f->raw.size(); ++ln) {
-    const std::string& s = f->raw[ln];
-    size_t pos = s.find("NOLINT(");
-    if (pos == std::string::npos) continue;
-    size_t open = pos + 6;  // index of '('
-    size_t close = s.find(')', open);
-    if (close == std::string::npos) continue;
-    Suppression sup;
-    std::string inside = s.substr(open + 1, close - open - 1);
-    std::stringstream ss(inside);
-    std::string id;
-    while (std::getline(ss, id, ',')) {
-      // trim
-      while (!id.empty() && std::isspace(static_cast<unsigned char>(id.front())))
-        id.erase(id.begin());
-      while (!id.empty() && std::isspace(static_cast<unsigned char>(id.back())))
-        id.pop_back();
-      const std::string prefix = "warplint-";
-      if (id.rfind(prefix, 0) == 0) sup.rules.insert(id.substr(prefix.size()));
-    }
-    if (sup.rules.empty()) continue;  // someone else's NOLINT (clang-tidy)
-    // Justification: a ':' right after the ')' with non-empty text.
-    size_t j = close + 1;
-    if (j < s.size() && s[j] == ':') {
-      ++j;
-      while (j < s.size() && std::isspace(static_cast<unsigned char>(s[j]))) ++j;
-      sup.justified = j < s.size();
-    }
-    f->nolint[ln + 1] = std::move(sup);
-  }
-}
-
-// --------------------------------------------------------- small helpers ---
-
-bool IsIdent(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// True if `text` contains `word` delimited by non-identifier characters.
-bool HasWord(const std::string& text, const std::string& word,
-             size_t* at = nullptr) {
-  size_t pos = 0;
-  while ((pos = text.find(word, pos)) != std::string::npos) {
-    bool l = pos == 0 || !IsIdent(text[pos - 1]);
-    size_t end = pos + word.size();
-    bool r = end >= text.size() || !IsIdent(text[end]);
-    if (l && r) {
-      if (at != nullptr) *at = pos;
-      return true;
-    }
-    pos += word.size();
-  }
-  return false;
-}
-
-std::string Trim(std::string s) {
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
-    s.erase(s.begin());
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
-    s.pop_back();
-  return s;
-}
-
-bool StartsWith(const std::string& s, const std::string& p) {
-  return s.rfind(p, 0) == 0;
-}
-
-// The layer is the first path component under src/ ("src/core/x.h" ->
-// "core"); empty for files outside src/.
-std::string LayerOf(const std::string& rel) {
-  if (!StartsWith(rel, "src/")) return "";
-  size_t slash = rel.find('/', 4);
-  if (slash == std::string::npos) return "";
-  return rel.substr(4, slash - 4);
-}
-
-// ------------------------------------------------------------ rule: R1 -----
-
-struct DeterminismPattern {
-  const char* token;     // identifier to search for (word-delimited)
-  bool call_only;        // require '(' as next non-space char
-  const char* message;
-};
-
-void CheckDeterminism(const SourceFile& f, std::vector<Finding>* out) {
-  if (!StartsWith(f.rel, "src/") && !StartsWith(f.rel, "bench/")) return;
-  static const DeterminismPattern kPatterns[] = {
-      {"rand", true,
-       "rand() is seeded process-globally; use util/rng.h per-token streams"},
-      {"srand", true,
-       "srand() reseeds global state; use util/rng.h per-token streams"},
-      {"rand_r", false,
-       "rand_r() is not a per-token stream; use util/rng.h"},
-      {"drand48", false,
-       "drand48() is global-state; use util/rng.h per-token streams"},
-      {"random_device", false,
-       "std::random_device is non-reproducible; seeds must be explicit so "
-       "sweeps stay bit-identical"},
-      {"gettimeofday", false,
-       "wall-clock values must not feed sampling; use explicit seeds"},
-      {"system_clock", false,
-       "wall-clock time must not feed sampling or seeds; use explicit seeds "
-       "(steady_clock is fine for durations)"},
-  };
-  for (size_t ln = 0; ln < f.code.size(); ++ln) {
-    const std::string& s = f.code[ln];
-    for (const auto& p : kPatterns) {
-      size_t at = 0;
-      if (!HasWord(s, p.token, &at)) continue;
-      if (p.call_only) {
-        size_t j = at + std::string(p.token).size();
-        while (j < s.size() && s[j] == ' ') ++j;
-        if (j >= s.size() || s[j] != '(') continue;
-      }
-      out->push_back({f.rel, ln + 1, "determinism", p.message, false});
-    }
-    // time(NULL) / time(nullptr) / time(0) — wall-clock seeding.
-    size_t at = 0;
-    if (HasWord(s, "time", &at)) {
-      size_t j = at + 4;
-      while (j < s.size() && s[j] == ' ') ++j;
-      if (j < s.size() && s[j] == '(') {
-        std::string arg = Trim(s.substr(j + 1, s.find(')', j) - j - 1));
-        if (arg == "NULL" || arg == "nullptr" || arg == "0" || arg.empty()) {
-          out->push_back({f.rel, ln + 1, "determinism",
-                          "time() wall-clock seeding breaks reproducibility; "
-                          "use explicit seeds",
-                          false});
-        }
-      }
-    }
-  }
-}
-
-// ------------------------------------------------------------ rule: R2 -----
-
-// Collects identifiers declared with an unordered container type in this
-// file, then flags range-fors / .begin() iteration over them.
-void CheckUnorderedIter(const SourceFile& f, std::vector<Finding>* out) {
-  if (!StartsWith(f.rel, "src/")) return;
-  std::set<std::string> unordered_names;
-  for (const std::string& s : f.code) {
-    size_t pos = 0;
-    while ((pos = s.find("unordered_", pos)) != std::string::npos) {
-      size_t j = pos;
-      while (j < s.size() && IsIdent(s[j])) ++j;
-      // Skip the template argument list, tracking angle-bracket depth.
-      while (j < s.size() && s[j] == ' ') ++j;
-      if (j >= s.size() || s[j] != '<') {
-        pos = j;
-        continue;
-      }
-      int depth = 0;
-      for (; j < s.size(); ++j) {
-        if (s[j] == '<') ++depth;
-        if (s[j] == '>' && --depth == 0) {
-          ++j;
-          break;
-        }
-      }
-      while (j < s.size() && (s[j] == ' ' || s[j] == '&')) ++j;
-      size_t name_start = j;
-      while (j < s.size() && IsIdent(s[j])) ++j;
-      if (j > name_start) {
-        // Declaration if followed by ; = { ( or end of line.
-        size_t k = j;
-        while (k < s.size() && s[k] == ' ') ++k;
-        if (k >= s.size() || s[k] == ';' || s[k] == '=' || s[k] == '{' ||
-            s[k] == '(') {
-          unordered_names.insert(s.substr(name_start, j - name_start));
-        }
-      }
-      pos = j;
-    }
-  }
-  if (unordered_names.empty()) return;
-  for (size_t ln = 0; ln < f.code.size(); ++ln) {
-    const std::string& s = f.code[ln];
-    // Range-for: `for (decl : expr)` where expr is a bare unordered name.
-    size_t at = 0;
-    if (HasWord(s, "for", &at)) {
-      // Find the range-for colon, stepping over any `::` qualifiers in the
-      // loop-variable declaration.
-      size_t colon = s.find(':', at);
-      while (colon != std::string::npos && colon + 1 < s.size() &&
-             s[colon + 1] == ':') {
-        colon = s.find(':', colon + 2);
-      }
-      if (colon != std::string::npos && colon + 1 < s.size() &&
-          (colon == 0 || s[colon - 1] != ':')) {
-        size_t close = s.find(')', colon);
-        if (close != std::string::npos) {
-          std::string expr = Trim(s.substr(colon + 1, close - colon - 1));
-          if (StartsWith(expr, "this->")) expr = expr.substr(6);
-          if (unordered_names.count(expr) > 0) {
-            out->push_back(
-                {f.rel, ln + 1, "unordered-iter",
-                 "iteration order over '" + expr +
-                     "' is hash-seed dependent; sort keys first (or NOLINT "
-                     "with a justification if order provably never reaches "
-                     "serialized/published output)",
-                 false});
-          }
-        }
-      }
-    }
-    // Iterator loops: `name.begin()` / `name.cbegin()`.
-    for (const std::string& name : unordered_names) {
-      size_t p = 0;
-      if (HasWord(s, name, &p) &&
-          (s.compare(p + name.size(), 7, ".begin(") == 0 ||
-           s.compare(p + name.size(), 8, ".cbegin(") == 0)) {
-        out->push_back({f.rel, ln + 1, "unordered-iter",
-                        "iterator walk over unordered container '" + name +
-                            "' is hash-seed dependent; sort keys first",
-                        false});
-      }
-    }
-  }
-}
-
-// ------------------------------------------------------------ rule: R3 -----
-
-// Function-body map: for each line, which method body encloses it.
-// Handles `Name::Method(args) [const] [noexcept] [: init-list] {`.
-struct BodyRange {
-  std::string name;
-  size_t begin_line;  // 1-based, inclusive
-  size_t end_line;
-};
-
-std::vector<BodyRange> ExtractMethodBodies(const SourceFile& f) {
-  std::vector<BodyRange> bodies;
-  // Flatten with line indices.
-  std::string text;
-  std::vector<size_t> line_of;  // char index -> line (0-based)
-  for (size_t ln = 0; ln < f.code.size(); ++ln) {
-    for (char c : f.code[ln]) {
-      text.push_back(c);
-      line_of.push_back(ln);
-    }
-    text.push_back('\n');
-    line_of.push_back(ln);
-  }
-  size_t i = 0;
-  while ((i = text.find("::", i)) != std::string::npos) {
-    size_t name_start = i + 2;
-    size_t j = name_start;
-    while (j < text.size() && IsIdent(text[j])) ++j;
-    if (j == name_start) {
-      i += 2;
-      continue;
-    }
-    std::string name = text.substr(name_start, j - name_start);
-    while (j < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[j])))
-      ++j;
-    if (j >= text.size() || text[j] != '(') {
-      i = j;
-      continue;
-    }
-    // Skip the parameter list.
-    int pdepth = 0;
-    for (; j < text.size(); ++j) {
-      if (text[j] == '(') ++pdepth;
-      if (text[j] == ')' && --pdepth == 0) {
-        ++j;
-        break;
-      }
-    }
-    // Find the body '{', skipping const/noexcept/override and a
-    // constructor init list (member brace-inits are preceded by an
-    // identifier or '>'; the body brace is not).
-    bool in_init_list = false;
-    char prev_nonspace = ')';
-    size_t body_open = std::string::npos;
-    for (; j < text.size(); ++j) {
-      char c = text[j];
-      if (std::isspace(static_cast<unsigned char>(c))) continue;
-      if (c == ';') break;  // declaration, no body
-      if (c == ':' && j + 1 < text.size() && text[j + 1] != ':') {
-        in_init_list = true;
-        prev_nonspace = c;
-        continue;
-      }
-      if (c == '(') {  // init-list member parens: skip to match
-        int d = 0;
-        for (; j < text.size(); ++j) {
-          if (text[j] == '(') ++d;
-          if (text[j] == ')' && --d == 0) break;
-        }
-        prev_nonspace = ')';
-        continue;
-      }
-      if (c == '{') {
-        if (in_init_list && (IsIdent(prev_nonspace) || prev_nonspace == '>')) {
-          int d = 0;  // member brace-init: skip to match
-          for (; j < text.size(); ++j) {
-            if (text[j] == '{') ++d;
-            if (text[j] == '}' && --d == 0) break;
-          }
-          prev_nonspace = '}';
-          continue;
-        }
-        body_open = j;
-        break;
-      }
-      prev_nonspace = c;
-    }
-    if (body_open == std::string::npos) {
-      i = j;
-      continue;
-    }
-    int d = 0;
-    size_t k = body_open;
-    for (; k < text.size(); ++k) {
-      if (text[k] == '{') ++d;
-      if (text[k] == '}' && --d == 0) break;
-    }
-    if (k < text.size()) {
-      bodies.push_back({name, line_of[body_open] + 1, line_of[k] + 1});
-      i = k;
-    } else {
-      i = body_open + 1;
-    }
-  }
-  return bodies;
-}
-
-// Free-function map for TUs whose hot code is namespace-scope functions
-// rather than class methods (core/simd_kernels.cc). Matches
-// `Name(args) [attrs] {` at whatever scope it appears, skipping control
-// keywords; recorded bodies are jumped over whole, so `if (...) {` inside
-// a function never masquerades as a definition.
-std::vector<BodyRange> ExtractFreeFunctionBodies(const SourceFile& f) {
-  static const std::set<std::string> kNotFunctions = {
-      "if",     "for",    "while",  "switch",   "catch",  "return",
-      "sizeof", "new",    "delete", "alignof",  "defined",
-  };
-  std::vector<BodyRange> bodies;
-  std::string text;
-  std::vector<size_t> line_of;
-  for (size_t ln = 0; ln < f.code.size(); ++ln) {
-    for (char c : f.code[ln]) {
-      text.push_back(c);
-      line_of.push_back(ln);
-    }
-    text.push_back('\n');
-    line_of.push_back(ln);
-  }
-  size_t i = 0;
-  while (i < text.size()) {
-    if (!IsIdent(text[i])) {
-      ++i;
-      continue;
-    }
-    size_t name_start = i;
-    while (i < text.size() && IsIdent(text[i])) ++i;
-    std::string name = text.substr(name_start, i - name_start);
-    // Method definitions (Name::Method) are ExtractMethodBodies' job.
-    bool qualified = name_start >= 2 && text[name_start - 1] == ':' &&
-                     text[name_start - 2] == ':';
-    size_t j = i;
-    while (j < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[j])))
-      ++j;
-    if (j >= text.size() || text[j] != '(' || qualified ||
-        kNotFunctions.count(name) > 0) {
-      continue;
-    }
-    int pdepth = 0;
-    for (; j < text.size(); ++j) {
-      if (text[j] == '(') ++pdepth;
-      if (text[j] == ')' && --pdepth == 0) {
-        ++j;
-        break;
-      }
-    }
-    // A definition continues with `{`, possibly after const/noexcept/
-    // override; declarations and calls continue with `;`, `,`, `)`, and an
-    // attribute's `((...))` is followed by the real declaration — any other
-    // identifier here means this paren group was not a parameter list.
-    size_t body_open = std::string::npos;
-    for (; j < text.size(); ++j) {
-      char c = text[j];
-      if (std::isspace(static_cast<unsigned char>(c))) continue;
-      if (c == '{') body_open = j;
-      if (c != '{' && IsIdent(c)) {
-        size_t w = j;
-        while (w < text.size() && IsIdent(text[w])) ++w;
-        const std::string word = text.substr(j, w - j);
-        if (word != "const" && word != "noexcept" && word != "override" &&
-            word != "final")
-          break;
-        j = w - 1;
-        continue;
-      }
+  size_t end = text.find("\"suppressed\"", begin);
+  if (end == std::string::npos) end = text.size();
+  size_t pos = begin;
+  while (true) {
+    size_t fkey = text.find("\"file\": \"", pos);
+    if (fkey == std::string::npos || fkey >= end) break;
+    size_t fbegin = fkey + 9;
+    size_t fend = text.find('"', fbegin);
+    size_t rkey = text.find("\"rule\": \"warplint-", fbegin);
+    if (fend == std::string::npos || rkey == std::string::npos || rkey >= end) {
       break;
     }
-    if (body_open == std::string::npos) {
-      i = j;
-      continue;
-    }
-    int d = 0;
-    size_t k = body_open;
-    for (; k < text.size(); ++k) {
-      if (text[k] == '{') ++d;
-      if (text[k] == '}' && --d == 0) break;
-    }
-    if (k < text.size()) {
-      bodies.push_back({name, line_of[body_open] + 1, line_of[k] + 1});
-      i = k + 1;
-    } else {
-      i = body_open + 1;
-    }
+    size_t rbegin = rkey + 18;
+    size_t rend = text.find('"', rbegin);
+    if (rend == std::string::npos) break;
+    counts[{text.substr(fbegin, fend - fbegin),
+            text.substr(rbegin, rend - rbegin)}]++;
+    pos = rend;
   }
-  return bodies;
-}
-
-bool IsHotFunction(const std::string& name) {
-  if (name.find("Block") != std::string::npos) return true;
-  // Fused span parts, the batched accept kernel and its helpers run inside
-  // RunBlock on every token; the Derive/ComputeAccept kernels are the SIMD
-  // inner loops themselves.
-  if (name.find("Part") != std::string::npos) return true;
-  if (name.find("Segment") != std::string::npos) return true;
-  if (StartsWith(name, "Derive") || StartsWith(name, "ComputeAccept"))
-    return true;
-  if (name == "Iterate" || name == "WordPhase" || name == "DocPhase" ||
-      name == "AcceptChain")
-    return true;
-  if (StartsWith(name, "Draw") || StartsWith(name, "Sample")) return true;
-  return false;
-}
-
-void CheckHotpathSync(const SourceFile& f, std::vector<Finding>* out) {
-  const bool kernel_tu = f.rel == "src/core/simd_kernels.cc";
-  bool scoped = f.rel == "src/core/warp_lda.cc" || kernel_tu ||
-                (StartsWith(f.rel, "src/baselines/") &&
-                 f.rel.size() > 3 && f.rel.substr(f.rel.size() - 3) == ".cc");
-  if (!scoped) return;
-  static const char* const kSyncTokens[] = {
-      "fetch_add",   "fetch_sub",  "fetch_and",       "fetch_or",
-      "fetch_xor",   "exchange",   "compare_exchange_weak",
-      "compare_exchange_strong",   "lock_guard",      "unique_lock",
-      "scoped_lock", "shared_lock", "try_lock",       "mutex",
-  };
-  std::vector<BodyRange> bodies = ExtractMethodBodies(f);
-  if (kernel_tu) {
-    // The SIMD kernel TU's hot code is free functions, not methods.
-    std::vector<BodyRange> free_bodies = ExtractFreeFunctionBodies(f);
-    bodies.insert(bodies.end(), free_bodies.begin(), free_bodies.end());
-  }
-  for (const BodyRange& b : bodies) {
-    if (!IsHotFunction(b.name)) continue;
-    for (size_t ln = b.begin_line; ln <= b.end_line && ln <= f.code.size();
-         ++ln) {
-      const std::string& s = f.code[ln - 1];
-      for (const char* tok : kSyncTokens) {
-        if (HasWord(s, tok)) {
-          out->push_back(
-              {f.rel, ln, "hotpath-sync",
-               std::string(tok) + " inside hot-path body '" + b.name +
-                   "' — accumulate in ThreadScratch and flush at a stage "
-                   "barrier (per-token synchronization breaks the O(1) "
-                   "hot-path claim)",
-               false});
-          break;  // one finding per line is enough
-        }
-      }
-      // `.lock()` / `->lock()` calls (the bare word "lock" would also hit
-      // "block", so match the call shape explicitly).
-      size_t p = s.find("lock(");
-      while (p != std::string::npos) {
-        bool member_call =
-            (p >= 1 && s[p - 1] == '.') ||
-            (p >= 2 && s[p - 2] == '-' && s[p - 1] == '>');
-        if (member_call) {
-          out->push_back({f.rel, ln, "hotpath-sync",
-                          "lock() call inside hot-path body '" + b.name +
-                              "' — flush at a stage barrier instead",
-                          false});
-          break;
-        }
-        p = s.find("lock(", p + 1);
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------- rule: R3b -----
-
-// The *Scalar kernels in core/simd_kernels.cc are the portable reference
-// implementations the vector paths are verified bit-identical against —
-// an intrinsic inside one silently turns the oracle into the thing under
-// test (and breaks non-x86 builds, where only the scalar paths compile).
-void CheckScalarRef(const SourceFile& f, std::vector<Finding>* out) {
-  if (f.rel != "src/core/simd_kernels.cc") return;
-  auto is_intrinsic_at = [&](const std::string& s, size_t p) {
-    if (p > 0 && IsIdent(s[p - 1])) return false;  // mid-identifier
-    if (s.compare(p, 3, "_mm") == 0) return true;  // _mm_/_mm256_/_mm512_
-    // Vector register types: __m128*, __m256*, __m512*.
-    return s.compare(p, 4, "__m1") == 0 || s.compare(p, 4, "__m2") == 0 ||
-           s.compare(p, 4, "__m5") == 0;
-  };
-  for (const BodyRange& b : ExtractFreeFunctionBodies(f)) {
-    if (b.name.find("Scalar") == std::string::npos) continue;
-    for (size_t ln = b.begin_line; ln <= b.end_line && ln <= f.code.size();
-         ++ln) {
-      const std::string& s = f.code[ln - 1];
-      for (size_t p = 0; p < s.size(); ++p) {
-        if (!is_intrinsic_at(s, p)) continue;
-        out->push_back(
-            {f.rel, ln, "scalar-ref",
-             "SIMD intrinsic inside scalar reference kernel '" + b.name +
-                 "' — the scalar path is the bit-identity oracle and must "
-                 "stay portable; move vector code to an *Avx2 twin behind "
-                 "runtime dispatch",
-             false});
-        break;  // one finding per line is enough
-      }
-    }
-  }
-}
-
-// ------------------------------------------------------------ rule: R4 -----
-
-// Allowed include targets per src/ layer. The two obs/ headers listed in
-// kSeamHeaders are the sanctioned cross-cutting instrumentation seams and
-// may be included from any layer.
-const std::map<std::string, std::set<std::string>>& LayerAllowance() {
-  static const std::map<std::string, std::set<std::string>> kAllowed = {
-      {"obs", {"obs"}},
-      {"util", {"util"}},
-      {"corpus", {"corpus", "util"}},
-      {"cachesim", {"cachesim", "util"}},
-      {"eval", {"eval", "corpus", "util"}},
-      {"baselines", {"baselines", "cachesim", "corpus", "util"}},
-      {"core",
-       {"core", "baselines", "eval", "corpus", "cachesim", "util"}},
-      {"dist",
-       {"dist", "core", "baselines", "eval", "corpus", "cachesim", "util"}},
-      {"serve", {"serve", "core", "eval", "corpus", "util"}},
-  };
-  return kAllowed;
-}
-
-bool IsSeamHeader(const std::string& inc) {
-  return inc == "obs/metrics.h" || inc == "obs/trace.h";
-}
-
-struct IncludeEdge {
-  std::string from_rel;  // including file, repo-relative
-  size_t line;
-  std::string target;    // include path as written, e.g. "core/warp_lda.h"
-};
-
-void CollectIncludes(const SourceFile& f, std::vector<IncludeEdge>* edges) {
-  for (size_t ln = 0; ln < f.raw.size(); ++ln) {
-    const std::string& s = f.raw[ln];
-    size_t pos = s.find("#include");
-    if (pos == std::string::npos) continue;
-    size_t q1 = s.find('"', pos);
-    if (q1 == std::string::npos) continue;  // <system> include
-    size_t q2 = s.find('"', q1 + 1);
-    if (q2 == std::string::npos) continue;
-    edges->push_back({f.rel, ln + 1, s.substr(q1 + 1, q2 - q1 - 1)});
-  }
-}
-
-void CheckLayering(const std::vector<IncludeEdge>& edges,
-                   const std::set<std::string>& repo_headers,
-                   std::vector<Finding>* out) {
-  // Per-file layer checks.
-  for (const IncludeEdge& e : edges) {
-    std::string layer = LayerOf(e.from_rel);
-    if (layer.empty()) continue;  // tests/bench may include anything
-    size_t slash = e.target.find('/');
-    if (slash == std::string::npos) continue;  // same-directory include
-    std::string target_layer = e.target.substr(0, slash);
-    const auto& allowed = LayerAllowance();
-    auto it = allowed.find(layer);
-    if (it == allowed.end()) {
-      out->push_back({e.from_rel, e.line, "layering",
-                      "unknown src/ layer '" + layer +
-                          "' — add it to the warplint layer map",
-                      false});
-      continue;
-    }
-    if (allowed.count(target_layer) == 0) continue;  // not a src/ layer path
-    if (it->second.count(target_layer) > 0) continue;
-    if (IsSeamHeader(e.target)) continue;  // sanctioned instrumentation seam
-    out->push_back(
-        {e.from_rel, e.line, "layering",
-         "layer '" + layer + "' must not include '" + e.target +
-             "' (allowed: own layer and below; obs/metrics.h and "
-             "obs/trace.h are the only sanctioned cross-cutting seams)",
-         false});
-  }
-  // Include-cycle detection over repo headers (nodes are include paths).
-  std::map<std::string, std::vector<const IncludeEdge*>> graph;
-  for (const IncludeEdge& e : edges) {
-    if (!StartsWith(e.from_rel, "src/")) continue;
-    std::string from_key = e.from_rel.substr(4);  // path relative to src/
-    if (repo_headers.count(e.target) > 0) graph[from_key].push_back(&e);
-  }
-  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
-  std::vector<std::string> stack;
-  std::set<std::string> reported;
-  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
-    color[node] = 1;
-    stack.push_back(node);
-    for (const IncludeEdge* e : graph[node]) {
-      int c = color.count(e->target) > 0 ? color[e->target] : 0;
-      if (c == 1) {
-        // Back edge: a cycle through `stack` from e->target to node.
-        std::string cyc = e->target;
-        for (size_t s = stack.size(); s-- > 0;) {
-          cyc += " -> " + stack[s];
-          if (stack[s] == e->target) break;
-        }
-        if (reported.insert(cyc).second) {
-          out->push_back({e->from_rel, e->line, "layering",
-                          "include cycle: " + cyc, false});
-        }
-      } else if (c == 0) {
-        dfs(e->target);
-      }
-    }
-    stack.pop_back();
-    color[node] = 2;
-  };
-  for (const auto& [node, unused] : graph) {
-    (void)unused;
-    if (color[node] == 0) dfs(node);
-  }
-}
-
-// ------------------------------------------------------------ rule: R5 -----
-
-void CheckNakedNew(const SourceFile& f, std::vector<Finding>* out) {
-  if (!StartsWith(f.rel, "src/")) return;
-  for (size_t ln = 0; ln < f.code.size(); ++ln) {
-    const std::string& s = f.code[ln];
-    size_t at = 0;
-    if (HasWord(s, "new", &at)) {
-      out->push_back({f.rel, ln + 1, "naked-new",
-                      "naked new — use std::make_unique/make_shared or a "
-                      "container; a deliberate leaked singleton needs a "
-                      "NOLINT with a justification",
-                      false});
-    }
-    if (HasWord(s, "delete", &at)) {
-      // `= delete;` (deleted special member) is fine.
-      size_t b = at;
-      while (b > 0 && s[b - 1] == ' ') --b;
-      if (b > 0 && s[b - 1] == '=') continue;
-      out->push_back({f.rel, ln + 1, "naked-new",
-                      "naked delete — ownership must live in a smart "
-                      "pointer or container",
-                      false});
-    }
-  }
-}
-
-// ------------------------------------------------------------ rule: R6 -----
-
-// Identifiers declared with a non-trivially-copyable std:: type in this
-// file (value declarations, by no means exhaustive — the rule is a tripwire,
-// not a type checker).
-std::set<std::string> NonTrivialDecls(const SourceFile& f) {
-  static const char* const kTypes[] = {
-      "string", "vector",   "deque",      "list",       "map",
-      "set",    "function", "shared_ptr", "unique_ptr", "unordered_map",
-      "unordered_set",
-  };
-  std::set<std::string> names;
-  for (const std::string& s : f.code) {
-    for (const char* t : kTypes) {
-      size_t at = 0;
-      std::string tok = t;
-      size_t search = 0;
-      while (search < s.size()) {
-        std::string sub = s.substr(search);
-        if (!HasWord(sub, tok, &at)) break;
-        size_t j = search + at + tok.size();
-        if (s.compare(j, 1, "<") == 0) {  // skip template args
-          int depth = 0;
-          for (; j < s.size(); ++j) {
-            if (s[j] == '<') ++depth;
-            if (s[j] == '>' && --depth == 0) {
-              ++j;
-              break;
-            }
-          }
-        } else if (tok != "string") {
-          search = j;
-          continue;  // vector without <..> isn't a declaration
-        }
-        while (j < s.size() && s[j] == ' ') ++j;
-        size_t name_start = j;
-        while (j < s.size() && IsIdent(s[j])) ++j;
-        if (j > name_start) {
-          size_t k = j;
-          while (k < s.size() && s[k] == ' ') ++k;
-          if (k >= s.size() || s[k] == ';' || s[k] == '=' || s[k] == '{' ||
-              s[k] == '(') {
-            names.insert(s.substr(name_start, j - name_start));
-          }
-        }
-        search = j;
-      }
-    }
-  }
-  return names;
-}
-
-void CheckMemcpyNontrivial(const SourceFile& f, std::vector<Finding>* out) {
-  if (!StartsWith(f.rel, "src/")) return;
-  std::set<std::string> nontrivial = NonTrivialDecls(f);
-  for (size_t ln = 0; ln < f.code.size(); ++ln) {
-    const std::string& s = f.code[ln];
-    size_t at = 0;
-    if (!HasWord(s, "memcpy", &at) && !HasWord(s, "__builtin_memcpy", &at))
-      continue;
-    size_t open = s.find('(', at);
-    if (open == std::string::npos) continue;
-    // First two arguments, split at depth-0 commas.
-    std::vector<std::string> argv;
-    int depth = 0;
-    std::string cur;
-    for (size_t j = open + 1; j < s.size(); ++j) {
-      char c = s[j];
-      if (c == '(') ++depth;
-      if (c == ')') {
-        if (depth == 0) {
-          argv.push_back(Trim(cur));
-          break;
-        }
-        --depth;
-      }
-      if (c == ',' && depth == 0) {
-        argv.push_back(Trim(cur));
-        cur.clear();
-        continue;
-      }
-      cur.push_back(c);
-    }
-    for (size_t a = 0; a < argv.size() && a < 2; ++a) {
-      std::string arg = argv[a];
-      if (arg == "this") {
-        out->push_back({f.rel, ln + 1, "memcpy-nontrivial",
-                        "memcpy over *this tramples invariants (and any "
-                        "vtable); copy members explicitly",
-                        false});
-        continue;
-      }
-      if (!arg.empty() && arg[0] == '&') arg = Trim(arg.substr(1));
-      // `&vec` / `vec` where vec is a non-trivial object (its .data() is
-      // fine — that's the element buffer, not the control block).
-      if (arg.find('.') == std::string::npos &&
-          arg.find("->") == std::string::npos &&
-          nontrivial.count(arg) > 0) {
-        out->push_back(
-            {f.rel, ln + 1, "memcpy-nontrivial",
-             "memcpy over non-trivially-copyable object '" + arg +
-                 "' corrupts its control block; use assignment or .data()",
-             false});
-      }
-    }
-  }
-}
-
-// ------------------------------------------------------------ rule: R7 -----
-
-// Pass 1 collects `struct/class alignas(64) Name` across all files; pass 2
-// flags (a) alignas(64) on an array whose element type is not itself
-// alignas(64), (b) a member-level alignas(64) followed by an unaligned,
-// non-padding member in the same struct body.
-void CollectAlignedTypes(const SourceFile& f, std::set<std::string>* types) {
-  for (const std::string& s : f.code) {
-    size_t pos = s.find("alignas");
-    if (pos == std::string::npos) continue;
-    size_t sw = s.find("struct");
-    size_t cw = s.find("class");
-    size_t kw = std::min(sw == std::string::npos ? s.size() : sw,
-                         cw == std::string::npos ? s.size() : cw);
-    if (kw >= pos) continue;  // alignas not preceded by struct/class
-    size_t close = s.find(')', pos);
-    if (close == std::string::npos) continue;
-    size_t j = close + 1;
-    while (j < s.size() && s[j] == ' ') ++j;
-    size_t name_start = j;
-    while (j < s.size() && IsIdent(s[j])) ++j;
-    if (j > name_start) types->insert(s.substr(name_start, j - name_start));
-  }
-}
-
-void CheckAlignasPad(const SourceFile& f,
-                     const std::set<std::string>& aligned_types,
-                     std::vector<Finding>* out) {
-  if (!StartsWith(f.rel, "src/")) return;
-  bool prev_member_alignas = false;
-  for (size_t ln = 0; ln < f.code.size(); ++ln) {
-    const std::string& s = f.code[ln];
-    size_t pos = s.find("alignas(");
-    bool line_has_member_alignas = false;
-    if (pos != std::string::npos && s.find("struct") == std::string::npos &&
-        s.find("class") == std::string::npos) {
-      size_t close = s.find(')', pos);
-      std::string width =
-          close == std::string::npos
-              ? ""
-              : Trim(s.substr(pos + 8, close - pos - 8));
-      if (width == "64" && close != std::string::npos) {
-        // Declaration shape after alignas(64): Type name [ '[' ... ]
-        size_t j = close + 1;
-        while (j < s.size() && s[j] == ' ') ++j;
-        size_t type_start = j;
-        while (j < s.size() && (IsIdent(s[j]) || s[j] == ':')) ++j;
-        std::string type = s.substr(type_start, j - type_start);
-        size_t name_pos = j;
-        while (name_pos < s.size() && s[name_pos] == ' ') ++name_pos;
-        size_t name_end = name_pos;
-        while (name_end < s.size() && IsIdent(s[name_end])) ++name_end;
-        size_t after = name_end;
-        while (after < s.size() && s[after] == ' ') ++after;
-        bool is_array = after < s.size() && s[after] == '[';
-        std::string bare_type = type;
-        size_t last_colon = bare_type.rfind(':');
-        if (last_colon != std::string::npos)
-          bare_type = bare_type.substr(last_colon + 1);
-        if (is_array && aligned_types.count(bare_type) == 0) {
-          out->push_back(
-              {f.rel, ln + 1, "alignas-pad",
-               "alignas(64) on an array only aligns the base address; "
-               "elements of '" + type +
-                   "' still straddle cache lines — declare the element "
-                   "struct alignas(64) instead",
-               false});
-        }
-        // A member whose type is itself alignas(64) occupies whole cache
-        // lines, so the next member starts on a fresh line; anything else
-        // (scalars, atomics) leaves tail space the next member lands in.
-        line_has_member_alignas = aligned_types.count(bare_type) == 0;
-      }
-    }
-    // (b) member after an alignas(64) member without its own alignas.
-    std::string t = Trim(s);
-    bool is_member_decl =
-        !t.empty() && t.back() == ';' && t.find('(') == std::string::npos &&
-        t.find('}') == std::string::npos && t.find("using") != 0 &&
-        t.find("return") != 0 && t.find("static_assert") != 0;
-    if (prev_member_alignas && is_member_decl &&
-        t.find("alignas") == std::string::npos &&
-        t.find("pad") == std::string::npos) {
-      out->push_back(
-          {f.rel, ln + 1, "alignas-pad",
-           "member declared right after an alignas(64) member shares its "
-           "cache line — align it too, add explicit padding, or move the "
-           "alignas to the struct",
-           false});
-    }
-    if (!t.empty()) {
-      prev_member_alignas = line_has_member_alignas && !t.empty() &&
-                            t.back() == ';';
-    }
-  }
-}
-
-// ------------------------------------------------------------ rule: R8 -----
-
-void CheckNolintHygiene(const SourceFile& f, std::vector<Finding>* out) {
-  for (const auto& [line, sup] : f.nolint) {
-    for (const std::string& id : sup.rules) {
-      if (!IsKnownRule(id)) {
-        out->push_back({f.rel, line, "nolint",
-                        "NOLINT names unknown rule 'warplint-" + id + "'",
-                        false});
-      }
-    }
-    if (!sup.justified) {
-      out->push_back({f.rel, line, "nolint",
-                      "NOLINT(warplint-*) without a justification — append "
-                      "': <why this is safe>'",
-                      false});
-    }
-  }
-}
-
-// ------------------------------------------------------------- reporting ---
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  *ok = true;
+  return counts;
 }
 
 }  // namespace
@@ -1085,6 +88,9 @@ std::string JsonEscape(const std::string& s) {
 int main(int argc, char** argv) {
   std::string root = ".";
   bool json = false;
+  std::string baseline_path;
+  std::string schema_lock;  // empty -> <root>/tools/lint/schema.lock
+  bool write_schema_lock = false;
   std::vector<std::string> dirs = {"src", "tests", "bench"};
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -1097,11 +103,23 @@ int main(int argc, char** argv) {
       std::stringstream ss(argv[++i]);
       std::string d;
       while (std::getline(ss, d, ',')) dirs.push_back(d);
+    } else if (a == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (a == "--schema-lock" && i + 1 < argc) {
+      schema_lock = argv[++i];
+    } else if (a == "--write-schema-lock") {
+      write_schema_lock = true;
     } else {
       std::fprintf(stderr,
-                   "usage: warplint --root <dir> [--json] [--dirs a,b,c]\n");
+                   "usage: warplint --root <dir> [--json] [--dirs a,b,c] "
+                   "[--baseline <report.json>] [--schema-lock <path>] "
+                   "[--write-schema-lock]\n");
       return 2;
     }
+  }
+  if (schema_lock.empty()) {
+    schema_lock = (fs::path(root) / "tools" / "lint" / "schema.lock")
+                      .generic_string();
   }
 
   // ------------------------------------------------------------- gather ---
@@ -1134,11 +152,21 @@ int main(int argc, char** argv) {
       while (std::getline(in, line)) f.raw.push_back(line);
       f.code = Scrub(f.raw);
       ParseNolint(&f);
+      Flatten(&f);
       files.push_back(std::move(f));
     }
   }
   std::sort(files.begin(), files.end(),
             [](const SourceFile& a, const SourceFile& b) { return a.rel < b.rel; });
+
+  SchemaOptions schema_opt;
+  schema_opt.lock_path = schema_lock;
+  schema_opt.write_lock = write_schema_lock;
+  if (write_schema_lock) {
+    // Lock (re)generation is its own mode: extract, guard, write, exit.
+    std::vector<Finding> ignored;
+    return CheckSchema(files, schema_opt, &ignored);
+  }
 
   // ------------------------------------------------------ global passes ---
   std::set<std::string> aligned_types;
@@ -1164,8 +192,15 @@ int main(int argc, char** argv) {
     CheckMemcpyNontrivial(f, &findings);
     CheckAlignasPad(f, aligned_types, &findings);
     CheckNolintHygiene(f, &findings);
+    CheckRngStream(f, &findings);
   }
   CheckLayering(edges, repo_headers, &findings);
+  ContractModel contracts = BuildContractModel(files);
+  CheckContracts(files, contracts, &findings);
+  CheckSchema(files, schema_opt, &findings);
+  CheckObsOrphans(files, &findings);
+  // Last on purpose: consults every finding above to spot dead NOLINTs.
+  CheckStaleNolint(files, &findings);
 
   // -------------------------------------------------------- suppression ---
   std::map<std::string, const SourceFile*> by_rel;
@@ -1186,11 +221,38 @@ int main(int argc, char** argv) {
                      std::tie(b.file, b.line, b.rule);
             });
 
+  // ----------------------------------------------------------- baseline ---
+  // A baseline is a previous --json report: per-(file, rule) counts of
+  // accepted findings. The first N active findings of each group are
+  // "baselined" (reported in the summary but neither printed nor fatal);
+  // anything beyond the allowance is NEW and fails the run.
+  std::vector<char> baselined(findings.size(), 0);
+  size_t baselined_count = 0;
+  if (!baseline_path.empty()) {
+    bool ok = false;
+    std::map<std::pair<std::string, std::string>, size_t> allowance =
+        LoadBaseline(baseline_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "warplint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    for (size_t i = 0; i < findings.size(); ++i) {
+      if (findings[i].suppressed) continue;
+      auto it = allowance.find({findings[i].file, findings[i].rule});
+      if (it != allowance.end() && it->second > 0) {
+        --it->second;
+        baselined[i] = 1;
+        ++baselined_count;
+      }
+    }
+  }
+
   size_t active = 0, suppressed = 0;
-  for (const Finding& fd : findings) {
-    if (fd.suppressed) {
+  for (size_t i = 0; i < findings.size(); ++i) {
+    if (findings[i].suppressed) {
       ++suppressed;
-    } else {
+    } else if (!baselined[i]) {
       ++active;
     }
   }
@@ -1198,14 +260,17 @@ int main(int argc, char** argv) {
   // ----------------------------------------------------------- emission ---
   if (json) {
     std::map<std::string, size_t> counts;
-    for (const Finding& fd : findings) {
-      if (!fd.suppressed) ++counts["warplint-" + fd.rule];
+    for (size_t i = 0; i < findings.size(); ++i) {
+      if (!findings[i].suppressed && !baselined[i]) {
+        ++counts["warplint-" + findings[i].rule];
+      }
     }
     std::printf("{\n  \"files_scanned\": %zu,\n", files.size());
     std::printf("  \"violations\": [");
     bool first = true;
-    for (const Finding& fd : findings) {
-      if (fd.suppressed) continue;
+    for (size_t i = 0; i < findings.size(); ++i) {
+      const Finding& fd = findings[i];
+      if (fd.suppressed || baselined[i]) continue;
       std::printf("%s\n    {\"file\": \"%s\", \"line\": %zu, "
                   "\"rule\": \"warplint-%s\", \"message\": \"%s\"}",
                   first ? "" : ",", JsonEscape(fd.file).c_str(), fd.line,
@@ -1230,15 +295,26 @@ int main(int argc, char** argv) {
       std::printf("%s\"%s\": %zu", first ? "" : ", ", rule.c_str(), n);
       first = false;
     }
-    std::printf("},\n  \"total\": %zu\n}\n", active);
+    std::printf("},\n");
+    if (!baseline_path.empty()) {
+      std::printf("  \"baselined\": %zu,\n", baselined_count);
+    }
+    std::printf("  \"total\": %zu\n}\n", active);
   } else {
-    for (const Finding& fd : findings) {
-      if (fd.suppressed) continue;
+    for (size_t i = 0; i < findings.size(); ++i) {
+      const Finding& fd = findings[i];
+      if (fd.suppressed || baselined[i]) continue;
       std::printf("%s:%zu warplint-%s %s\n", fd.file.c_str(), fd.line,
                   fd.rule.c_str(), fd.message.c_str());
     }
-    std::printf("warplint: %zu file(s), %zu violation(s), %zu suppressed\n",
-                files.size(), active, suppressed);
+    if (baseline_path.empty()) {
+      std::printf("warplint: %zu file(s), %zu violation(s), %zu suppressed\n",
+                  files.size(), active, suppressed);
+    } else {
+      std::printf("warplint: %zu file(s), %zu new violation(s), "
+                  "%zu baselined, %zu suppressed\n",
+                  files.size(), active, baselined_count, suppressed);
+    }
   }
   return active == 0 ? 0 : 1;
 }
